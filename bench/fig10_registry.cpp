@@ -1,0 +1,86 @@
+// Figure 10: the overall registry and its population consequence. On the
+// N = 1000, rho = 10, EMD_avg = 1.5 partition with G = {1, 2, 10}:
+//  - run the parameter search (paper finds sigma_1 = 0.7, sigma_2 = 0.1),
+//  - print the overall registry R_A block by block (category -> count),
+//  - average the population distribution over 100 selections and show the
+//    minority-class deficit (paper: class 8 at 0.0753 and class 9 at 0.0632
+//    instead of the ideal 0.1) caused by registry sparsity.
+
+#include "bench_common.hpp"
+#include "core/param_search.hpp"
+
+using namespace dubhe;
+
+int main() {
+  bench::banner("Fig. 10 — overall registry and registry sparsity",
+                "Figure 10 (N = 1000, rho = 10, EMD_avg = 1.5, G = {1, 2, 10})",
+                "Paper's search finds sigma_1 = 0.7, sigma_2 = 0.1; categories "
+                "containing only minority classes stay empty");
+
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = 1000;
+  pc.samples_per_client = 128;
+  pc.rho = 10;
+  pc.emd_avg = 1.5;
+  pc.seed = 3;
+  const data::Partition part = data::make_partition(pc);
+
+  const core::RegistryCodec codec(10, {1, 2, 10});
+  core::ParamSearchConfig ps;
+  ps.K = 20;
+  ps.tries = 10;
+  ps.grids = {{0.5, 0.6, 0.7, 0.8, 0.9}, {0.05, 0.1, 0.15, 0.2, 0.3}, {0.0}};
+  stats::Rng ps_rng(11);
+  const auto best = core::parameter_search(codec, part.client_dists, ps, ps_rng);
+  std::cout << "parameter search: sigma_1 = " << sim::fmt(best.sigma[0], 2)
+            << ", sigma_2 = " << sim::fmt(best.sigma[1], 2)
+            << " (paper: 0.70, 0.10)\n\n";
+
+  core::DubheSelector selector(&codec, best.sigma);
+  selector.register_clients(part.client_dists);
+  const auto& overall = selector.overall_registry();
+
+  // Block R_{A,1}: single dominating classes.
+  std::cout << "R_A,1 (single dominating class -> client count):\n  ";
+  for (std::size_t c = 0; c < 10; ++c) {
+    std::cout << "(" << c << ")=" << overall[c] << " ";
+  }
+  // Block R_{A,2}: pairs, printed sparsely.
+  std::cout << "\nR_A,2 (dominating pairs with non-zero counts):\n  ";
+  std::size_t empty_pairs = 0;
+  for (std::size_t idx = codec.subvector_offset(1);
+       idx < codec.subvector_offset(1) + codec.subvector_length(1); ++idx) {
+    if (overall[idx] == 0) {
+      ++empty_pairs;
+      continue;
+    }
+    const auto cat = codec.category_at(idx);
+    std::cout << "(" << cat[0] << "," << cat[1] << ")=" << overall[idx] << " ";
+  }
+  std::cout << "\n  empty pair categories: " << empty_pairs << " of "
+            << codec.subvector_length(1) << "\n";
+  std::cout << "R_A,10 (no dominating class): " << overall[codec.subvector_offset(2)]
+            << "\n";
+  std::cout << "nonzero categories ||R_A||_0 = " << selector.nonzero_categories()
+            << " of " << codec.length() << "\n\n";
+
+  // Average population over 100 selections.
+  stats::Rng rng(7);
+  stats::VectorStat pop(10);
+  for (int rep = 0; rep < 100; ++rep) {
+    pop.add(core::population_of(part.client_dists, selector.select(20, rng)));
+  }
+  const auto mean_pop = pop.means();
+  sim::Table table({"class", "global p_g", "avg population p_o", "ideal p_u"});
+  for (std::size_t c = 0; c < 10; ++c) {
+    table.add_row({std::to_string(c), sim::fmt(part.global_realized[c]),
+                   sim::fmt(mean_pop[c]), "0.1000"});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: p_o is far flatter than p_g, but the minority "
+               "classes (8, 9) sit below 0.1 — the registry-sparsity effect the "
+               "paper demonstrates (their run: class 8 = 0.0753, class 9 = "
+               "0.0632).\n";
+  return 0;
+}

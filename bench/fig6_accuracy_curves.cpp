@@ -1,0 +1,71 @@
+// Figure 6: test-accuracy curves for MNIST-2/{0.5,1.0,1.5} and
+// CIFAR10-10/{0.5,1.0,1.5}, comparing random / Dubhe / greedy selection
+// (K = 20, N_VC = 128, B = 8, E = 1). We print each curve's checkpoints and
+// the trailing-window average per method.
+//
+// Expected shape (paper): Dubhe tracks the greedy optimum and beats random;
+// the gap grows with EMD_avg, and fluctuations grow with EMD_avg.
+
+#include "bench_common.hpp"
+
+using namespace dubhe;
+
+namespace {
+
+void run_dataset(const char* name, const data::DatasetSpec& spec, double rho,
+                 double emd, std::size_t rounds) {
+  std::cout << "\n--- " << name << "-" << sim::fmt(rho, 0) << "/" << sim::fmt(emd, 1)
+            << " ---\n";
+  sim::Table table({"method", "acc@25%", "acc@50%", "acc@75%", "acc(final)",
+                    "mean ||p_o-p_u||"});
+  for (const sim::Method m :
+       {sim::Method::kRandom, sim::Method::kDubhe, sim::Method::kGreedy}) {
+    sim::ExperimentConfig cfg;
+    cfg.spec = spec;
+    cfg.part.num_classes = spec.num_classes;
+    cfg.part.num_clients = bench::scaled(1000, 400);
+    cfg.part.samples_per_client = 128;
+    cfg.part.rho = rho;
+    cfg.part.emd_avg = emd;
+    cfg.part.seed = 3;
+    cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+    cfg.K = 20;
+    cfg.rounds = rounds;
+    cfg.eval_every = std::max<std::size_t>(1, rounds / 12);
+    cfg.seed = 5;
+    cfg.method = m;
+    cfg.auto_param_search = (m == sim::Method::kDubhe);
+    const sim::ExperimentResult r = sim::run_experiment(cfg);
+    const auto& ac = r.accuracy_curve;
+    const auto at = [&](double f) {
+      return ac[std::min(ac.size() - 1, static_cast<std::size_t>(f * ac.size()))].second;
+    };
+    double mean_l1 = 0;
+    for (const double v : r.po_pu_l1) mean_l1 += v;
+    mean_l1 /= static_cast<double>(r.po_pu_l1.size());
+    table.add_row({sim::to_string(m), sim::fmt(at(0.25), 3), sim::fmt(at(0.5), 3),
+                   sim::fmt(at(0.75), 3), sim::fmt(r.final_accuracy, 4),
+                   sim::fmt(mean_l1, 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 6 — accuracy curves: random vs Dubhe vs greedy",
+                "Figure 6 (MNIST-2/EMD and CIFAR10-10/EMD, K = 20, B = 8, E = 1)",
+                "");
+  const std::size_t mnist_rounds = bench::scaled(200, 100);
+  const std::size_t cifar_rounds = bench::scaled(1000, 200);
+  for (const double emd : {0.5, 1.0, 1.5}) {
+    run_dataset("MNIST", data::mnist_like(), 2, emd, mnist_rounds);
+  }
+  for (const double emd : {0.5, 1.0, 1.5}) {
+    run_dataset("CIFAR10", data::cifar_like(), 10, emd, cifar_rounds);
+  }
+  std::cout << "\nPaper reference points: MNIST-2/* final accuracies cluster near "
+               "0.96-0.98 for all methods with Dubhe ~ greedy > random; "
+               "CIFAR10-10/* spreads to ~0.4-0.55 with the same ordering.\n";
+  return 0;
+}

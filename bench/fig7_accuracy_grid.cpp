@@ -1,0 +1,55 @@
+// Figure 7: average test accuracy over the trailing rounds for the full
+// rho x EMD_avg grid (rho in {1,2,5,10}, EMD_avg in {0,0.5,1.0,1.5}) on the
+// MNIST-like and CIFAR10-like datasets, for all three selection methods.
+//
+// Expected shape (paper): random degrades as rho and EMD_avg grow; Dubhe
+// and greedy hold accuracy; all three coincide at EMD_avg = 0 or rho = 1
+// (no room to balance).
+
+#include "bench_common.hpp"
+
+using namespace dubhe;
+
+namespace {
+
+void run_grid(const char* name, const data::DatasetSpec& spec, std::size_t rounds) {
+  std::cout << "\n--- " << name << " : average accuracy over the last rounds ---\n";
+  sim::Table table({"rho", "EMD", "random", "dubhe", "greedy"});
+  for (const double rho : {1.0, 2.0, 5.0, 10.0}) {
+    for (const double emd : {0.0, 0.5, 1.0, 1.5}) {
+      std::vector<std::string> row{sim::fmt(rho, 0), sim::fmt(emd, 1)};
+      for (const sim::Method m :
+           {sim::Method::kRandom, sim::Method::kDubhe, sim::Method::kGreedy}) {
+        sim::ExperimentConfig cfg;
+        cfg.spec = spec;
+        cfg.part.num_classes = spec.num_classes;
+        cfg.part.num_clients = bench::scaled(1000, 300);
+        cfg.part.samples_per_client = 128;
+        cfg.part.rho = rho;
+        cfg.part.emd_avg = emd;
+        cfg.part.seed = 3;
+        cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+        cfg.K = 20;
+        cfg.rounds = rounds;
+        cfg.eval_every = std::max<std::size_t>(1, rounds / 8);
+        cfg.seed = 5;
+        cfg.method = m;
+        const sim::ExperimentResult r = sim::run_experiment(cfg);
+        row.push_back(sim::fmt(r.final_accuracy, 3));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 7 — accuracy over the rho x EMD grid",
+                "Figure 7 (average accuracy over the last 50 rounds)",
+                "Rows where EMD = 0 or rho = 1 should show all three methods tied");
+  run_grid("MNIST-like", data::mnist_like(), bench::scaled(200, 60));
+  run_grid("CIFAR10-like", data::cifar_like(), bench::scaled(1000, 120));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 9: mean and standard deviation of || p_o - p_u ||_1 versus the
+// participation rate K/N for random / Dubhe / greedy selection, on the
+// MNIST/CIFAR10-10/1.5 partition with N = 1000 clients and 100 repeated
+// selections. Also prints the §4.2 headline: the worst-case reduction of
+// || p_o - p_u ||_1 versus random (paper: up to 64.4%).
+//
+// This experiment is selection-only (no training), so it runs at the
+// paper's full scale even in fast mode.
+
+#include "bench_common.hpp"
+#include "core/param_search.hpp"
+
+using namespace dubhe;
+
+int main() {
+  bench::banner("Fig. 9 — data unbiasedness vs participation rate",
+                "Figure 9 (MNIST/CIFAR10-10/1.5, N = 1000, 100 selections)",
+                "Base line = ||p_g - p_u||_1; paper reports Dubhe cutting the "
+                "random ||p_o - p_u||_1 by up to 64.4%");
+
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = 1000;
+  pc.samples_per_client = 128;
+  pc.rho = 10;
+  pc.emd_avg = 1.5;
+  pc.seed = 3;
+  const data::Partition part = data::make_partition(pc);
+  const double baseline =
+      stats::l1_distance(part.global_realized, stats::uniform(10));
+  std::cout << "partition: realized rho = "
+            << sim::fmt(stats::imbalance_ratio(part.global_realized), 2)
+            << ", realized EMD_avg = " << sim::fmt(part.realized_emd_avg, 3)
+            << ", base line ||p_g - p_u||_1 = " << sim::fmt(baseline, 4) << "\n\n";
+
+  // The paper's parameter-search stage picks the thresholds first (§5.3.2).
+  const core::RegistryCodec codec(10, {1, 2, 10});
+  core::ParamSearchConfig ps;
+  ps.K = 20;
+  ps.tries = 10;
+  ps.grids = {{0.5, 0.6, 0.7, 0.8, 0.9}, {0.05, 0.1, 0.15, 0.2, 0.3}, {0.0}};
+  stats::Rng ps_rng(11);
+  const auto best = core::parameter_search(codec, part.client_dists, ps, ps_rng);
+  std::cout << "parameter search: sigma_1 = " << sim::fmt(best.sigma[0], 2)
+            << ", sigma_2 = " << sim::fmt(best.sigma[1], 2)
+            << " (score " << sim::fmt(best.score, 4) << ")\n\n";
+
+  const std::size_t repeats = 100;
+  sim::Table table({"K/1000", "mean(rand)", "std(rand)", "mean(dubhe)", "std(dubhe)",
+                    "mean(greedy)", "std(greedy)", "dubhe vs rand"});
+  double best_reduction = 0;
+  std::size_t best_k = 0;
+  for (const std::size_t K : {10u, 20u, 50u, 100u, 200u, 500u, 1000u}) {
+    const auto rnd =
+        sim::selection_study(sim::Method::kRandom, part, K, repeats, 7);
+    const auto dub = sim::selection_study(sim::Method::kDubhe, part, K, repeats, 7,
+                                          {1, 2, 10}, best.sigma);
+    const auto grd =
+        sim::selection_study(sim::Method::kGreedy, part, K, repeats, 7);
+    const double reduction = (rnd.mean_l1 - dub.mean_l1) / rnd.mean_l1;
+    if (reduction > best_reduction) {
+      best_reduction = reduction;
+      best_k = K;
+    }
+    table.add_row({std::to_string(K), sim::fmt(rnd.mean_l1), sim::fmt(rnd.std_l1),
+                   sim::fmt(dub.mean_l1), sim::fmt(dub.std_l1), sim::fmt(grd.mean_l1),
+                   sim::fmt(grd.std_l1), sim::fmt_pct(reduction)});
+  }
+  table.print(std::cout);
+  std::cout << "\nHeadline: Dubhe reduces ||p_o - p_u||_1 by up to "
+            << sim::fmt_pct(best_reduction) << " vs random (at K = " << best_k
+            << "); paper reports up to 64.4%.\n"
+            << "Shape checks: random mean ~ base line with large std at small K; "
+               "greedy ~ 0 at small K and rising toward the base line at K = N; "
+               "Dubhe suppressed and robust across K.\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Micro-benchmarks (google-benchmark) for the cryptographic substrate:
+// bigint primitives, Montgomery exponentiation, Paillier operations, and
+// the packed-versus-per-slot registry encryption ablation. These quantify
+// the constants behind §6.4's wall-clock numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bigint/montgomery.hpp"
+#include "bigint/prime.hpp"
+#include "paillier/encrypted_vector.hpp"
+#include "paillier/packing.hpp"
+
+using namespace dubhe;
+using bigint::BigUint;
+
+namespace {
+
+BigUint odd_random(bigint::EntropySource& rng, std::size_t bits) {
+  BigUint m = bigint::random_exact_bits(rng, bits);
+  if (!m.is_odd()) m += BigUint{1};
+  return m;
+}
+
+void BM_BigUintMul(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  bigint::Xoshiro256ss rng(bits);
+  const BigUint a = bigint::random_exact_bits(rng, bits);
+  const BigUint b = bigint::random_exact_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigUintMul)->Arg(512)->Arg(2048)->Arg(8192);
+
+void BM_BigUintDivmod(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  bigint::Xoshiro256ss rng(bits + 1);
+  const BigUint a = bigint::random_exact_bits(rng, 2 * bits);
+  const BigUint b = bigint::random_exact_bits(rng, bits);
+  BigUint q, r;
+  for (auto _ : state) {
+    BigUint::divmod(a, b, q, r);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_BigUintDivmod)->Arg(512)->Arg(2048)->Arg(4096);
+
+void BM_MontgomeryPow(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  bigint::Xoshiro256ss rng(bits + 2);
+  const BigUint m = odd_random(rng, bits);
+  const bigint::Montgomery ctx(m);
+  const BigUint base = bigint::random_below(rng, m);
+  const BigUint exp = bigint::random_exact_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.pow(base, exp));
+  }
+}
+BENCHMARK(BM_MontgomeryPow)->Arg(1024)->Arg(2048)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_GenericPowModEvenModulus(benchmark::State& state) {
+  // The non-Montgomery fallback, for contrast with BM_MontgomeryPow.
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  bigint::Xoshiro256ss rng(bits + 3);
+  BigUint m = bigint::random_exact_bits(rng, bits);
+  if (m.is_odd()) m += BigUint{1};
+  const BigUint base = bigint::random_below(rng, m);
+  const BigUint exp = bigint::random_exact_bits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.pow_mod(exp, m));
+  }
+}
+BENCHMARK(BM_GenericPowModEvenModulus)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+const he::Keypair& keypair(std::size_t bits) {
+  static std::map<std::size_t, he::Keypair>* cache = new std::map<std::size_t, he::Keypair>();
+  auto it = cache->find(bits);
+  if (it == cache->end()) {
+    bigint::Xoshiro256ss rng(bits * 31);
+    it = cache->emplace(bits, he::Keypair::generate(rng, bits)).first;
+  }
+  return it->second;
+}
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const he::Keypair& kp = keypair(bits);
+  bigint::Xoshiro256ss rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pub.encrypt(BigUint{1}, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierDecryptCrt(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const he::Keypair& kp = keypair(bits);
+  bigint::Xoshiro256ss rng(6);
+  const he::Ciphertext ct = kp.pub.encrypt(BigUint{123456}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.prv.decrypt(ct));
+  }
+}
+BENCHMARK(BM_PaillierDecryptCrt)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_PaillierDecryptTextbook(benchmark::State& state) {
+  // CRT-vs-textbook decryption ablation.
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  const he::Keypair& kp = keypair(bits);
+  bigint::Xoshiro256ss rng(7);
+  const he::Ciphertext ct = kp.pub.encrypt(BigUint{123456}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.prv.decrypt_textbook(ct));
+  }
+}
+BENCHMARK(BM_PaillierDecryptTextbook)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_HomomorphicAdd(benchmark::State& state) {
+  const he::Keypair& kp = keypair(2048);
+  bigint::Xoshiro256ss rng(8);
+  const he::Ciphertext a = kp.pub.encrypt(BigUint{1}, rng);
+  const he::Ciphertext b = kp.pub.encrypt(BigUint{2}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pub.add(a, b));
+  }
+}
+BENCHMARK(BM_HomomorphicAdd);
+
+void BM_RegistryEncryptPerSlot(benchmark::State& state) {
+  // One 56-slot registry, one ciphertext per slot (the paper's layout).
+  const he::Keypair& kp = keypair(512);
+  bigint::Xoshiro256ss rng(9);
+  std::vector<std::uint64_t> registry(56, 0);
+  registry[17] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(he::EncryptedVector::encrypt(kp.pub, registry, rng));
+  }
+  state.counters["bytes"] = static_cast<double>(56 * (4 + kp.pub.ciphertext_bytes()));
+}
+BENCHMARK(BM_RegistryEncryptPerSlot)->Unit(benchmark::kMillisecond);
+
+void BM_RegistryEncryptPacked(benchmark::State& state) {
+  // Same registry packed into a single ciphertext (BatchCrypt-style).
+  const he::Keypair& kp = keypair(512);
+  const he::PackedCodec codec(kp.pub.key_bits() - 1, 8);
+  bigint::Xoshiro256ss rng(10);
+  std::vector<std::uint64_t> registry(56, 0);
+  registry[17] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        he::PackedEncryptedVector::encrypt(kp.pub, codec, registry, rng));
+  }
+  state.counters["bytes"] =
+      static_cast<double>(codec.plaintexts_for(56) * (4 + kp.pub.ciphertext_bytes()));
+}
+BENCHMARK(BM_RegistryEncryptPacked)->Unit(benchmark::kMillisecond);
+
+void BM_MillerRabin(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  bigint::Xoshiro256ss rng(11);
+  const BigUint p = bigint::random_prime(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bigint::is_probable_prime(p, rng, 8));
+  }
+}
+BENCHMARK(BM_MillerRabin)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

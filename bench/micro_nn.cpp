@@ -1,0 +1,150 @@
+// Micro-benchmarks for the training substrate: GEMM, layer forward/backward,
+// full client-round cost. These are the constants behind the FL loop's
+// wall-clock (the paper ran participants as parallel processes; here one
+// client step is cheap enough that a 24-core box trains K = 20 clients in
+// single-digit milliseconds).
+
+#include <benchmark/benchmark.h>
+
+#include "core/selection.hpp"
+#include "data/federated.hpp"
+#include "fl/client.hpp"
+#include "nn/builders.hpp"
+#include "nn/loss.hpp"
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+
+using namespace dubhe;
+
+namespace {
+
+tensor::Tensor random_tensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  tensor::Tensor t{std::move(shape)};
+  stats::Rng rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const tensor::Tensor a = random_tensor({n, n}, 1);
+  const tensor::Tensor b = random_tensor({n, n}, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(2 * n * n * n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  nn::Sequential model = nn::make_mlp(32, 64, 10, 3);
+  const tensor::Tensor x = random_tensor({8, 32}, 4);
+  const std::vector<std::size_t> y{0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    const auto loss = nn::softmax_cross_entropy(model.forward(x), y);
+    model.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_CnnForwardBackward(benchmark::State& state) {
+  nn::Sequential model = nn::make_cnn(8, 10, 3);
+  const tensor::Tensor x = random_tensor({8, 1, 8, 8}, 5);
+  const std::vector<std::size_t> y{0, 1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    const auto loss = nn::softmax_cross_entropy(model.forward(x), y);
+    model.backward(loss.grad);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+}
+BENCHMARK(BM_CnnForwardBackward);
+
+const data::FederatedDataset& bench_dataset() {
+  static auto* ds = [] {
+    data::PartitionConfig pc;
+    pc.num_classes = 10;
+    pc.num_clients = 50;
+    pc.samples_per_client = 128;
+    pc.rho = 10;
+    pc.emd_avg = 1.5;
+    pc.seed = 3;
+    return new data::FederatedDataset(data::mnist_like(), pc);
+  }();
+  return *ds;
+}
+
+void BM_ClientLocalRound(benchmark::State& state) {
+  // One client's full local round: B = 8, E = 1 over 128 samples (paper's
+  // group-1 configuration) on the 32->64->10 MLP.
+  const auto& ds = bench_dataset();
+  const auto samples = ds.client_samples(0);
+  const fl::Client client(0, {samples.begin(), samples.end()}, &ds);
+  const nn::Sequential proto = nn::make_mlp(ds.feature_dim(), 64, 10, 3);
+  const auto w = proto.get_weights();
+  const fl::TrainConfig cfg{.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.train(proto, w, cfg, ++seed));
+  }
+}
+BENCHMARK(BM_ClientLocalRound)->Unit(benchmark::kMillisecond);
+
+void BM_ClientLocalLoss(benchmark::State& state) {
+  // The per-candidate cost of loss-based selection (power-of-choice).
+  const auto& ds = bench_dataset();
+  const auto samples = ds.client_samples(0);
+  const fl::Client client(0, {samples.begin(), samples.end()}, &ds);
+  const nn::Sequential proto = nn::make_mlp(ds.feature_dim(), 64, 10, 3);
+  const auto w = proto.get_weights();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.local_loss(proto, w));
+  }
+}
+BENCHMARK(BM_ClientLocalLoss);
+
+void BM_GreedySelection(benchmark::State& state) {
+  // The paper reports greedy adding 0.13x selection time at N = 1000; this
+  // is the raw cost of one greedy round at that scale.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = n;
+  pc.samples_per_client = 128;
+  pc.rho = 10;
+  pc.emd_avg = 1.5;
+  pc.seed = 3;
+  const auto part = data::make_partition(pc);
+  core::GreedySelector sel(part.client_dists);
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.select(20, rng));
+  }
+}
+BENCHMARK(BM_GreedySelection)->Arg(1000)->Arg(8962)->Unit(benchmark::kMillisecond);
+
+void BM_DubheSelection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = n;
+  pc.samples_per_client = 128;
+  pc.rho = 10;
+  pc.emd_avg = 1.5;
+  pc.seed = 3;
+  const auto part = data::make_partition(pc);
+  static const core::RegistryCodec codec(10, {1, 2, 10});
+  core::DubheSelector sel(&codec, {0.7, 0.1, 0.0});
+  sel.register_clients(part.client_dists);
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sel.select(20, rng));
+  }
+}
+BENCHMARK(BM_DubheSelection)->Arg(1000)->Arg(8962)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

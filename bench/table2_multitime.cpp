@@ -1,0 +1,96 @@
+// Table 2: the effect of multi-time selection. For H in {1, 2, 5, 10, 20}:
+// EMD* = || p_{o,h*} - p_u ||_1 of the determined set, plus the trained
+// accuracy on the MNIST-like (Acc_M) and CIFAR10-like (Acc_C) datasets, and
+// beta = the fraction of the dubhe->greedy accuracy gap closed relative to
+// single-time selection ("opt" = greedy = 100%).
+//
+// Paper's Table 2 (MNIST/CIFAR10-10/1.5): EMD* 0.2946 -> 0.1750 as H goes
+// 1 -> 20 (opt 0.0144); Acc_M 0.9662 -> 0.9678 (opt 0.9694); Acc_C 0.4300 ->
+// 0.4577 (opt 0.5295).
+
+#include "bench_common.hpp"
+
+using namespace dubhe;
+
+namespace {
+
+struct MethodRun {
+  double acc = 0;
+  double emd_star = 0;
+};
+
+MethodRun run_once(const data::DatasetSpec& spec, sim::Method method, std::size_t h,
+                   std::size_t rounds, std::size_t n_clients) {
+  sim::ExperimentConfig cfg;
+  cfg.spec = spec;
+  cfg.part.num_classes = 10;
+  cfg.part.num_clients = n_clients;
+  cfg.part.samples_per_client = 128;
+  cfg.part.rho = 10;
+  cfg.part.emd_avg = 1.5;
+  cfg.part.seed = 3;
+  cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  cfg.K = 20;
+  cfg.rounds = rounds;
+  cfg.eval_every = std::max<std::size_t>(1, rounds / 8);
+  cfg.seed = 5;
+  cfg.method = method;
+  cfg.multi_time_h = h;
+  cfg.auto_param_search = (method == sim::Method::kDubhe);
+  const sim::ExperimentResult r = sim::run_experiment(cfg);
+  MethodRun out;
+  out.acc = r.final_accuracy;
+  const auto& emds = h > 1 ? r.emd_star : r.po_pu_l1;
+  for (const double v : emds) out.emd_star += v;
+  out.emd_star /= static_cast<double>(emds.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2 — multi-time selection (H tentative tries per round)",
+                "Table 2 (MNIST/CIFAR10-10/1.5, K = 20)",
+                "beta = share of the single-time->greedy accuracy gap closed; "
+                "EMD* must fall monotonically with H");
+
+  const std::size_t n_clients = bench::scaled(1000, 400);
+  const std::size_t mnist_rounds = bench::scaled(200, 80);
+  const std::size_t cifar_rounds = bench::scaled(1000, 160);
+  const std::vector<std::size_t> h_values{1, 2, 5, 10, 20};
+
+  std::vector<MethodRun> mnist_runs, cifar_runs;
+  for (const std::size_t h : h_values) {
+    mnist_runs.push_back(
+        run_once(data::mnist_like(), sim::Method::kDubhe, h, mnist_rounds, n_clients));
+    cifar_runs.push_back(
+        run_once(data::cifar_like(), sim::Method::kDubhe, h, cifar_rounds, n_clients));
+  }
+  const MethodRun mnist_opt =
+      run_once(data::mnist_like(), sim::Method::kGreedy, 1, mnist_rounds, n_clients);
+  const MethodRun cifar_opt =
+      run_once(data::cifar_like(), sim::Method::kGreedy, 1, cifar_rounds, n_clients);
+
+  const auto beta = [](double acc, double base, double opt) {
+    if (opt <= base) return std::string("n/a");
+    return sim::fmt_pct((acc - base) / (opt - base));
+  };
+
+  sim::Table table({"H", "EMD*", "Acc_M", "beta_M", "Acc_C", "beta_C"});
+  for (std::size_t i = 0; i < h_values.size(); ++i) {
+    table.add_row({std::to_string(h_values[i]), sim::fmt(mnist_runs[i].emd_star),
+                   sim::fmt(mnist_runs[i].acc),
+                   beta(mnist_runs[i].acc, mnist_runs[0].acc, mnist_opt.acc),
+                   sim::fmt(cifar_runs[i].acc),
+                   beta(cifar_runs[i].acc, cifar_runs[0].acc, cifar_opt.acc)});
+  }
+  table.add_row({"opt", sim::fmt(mnist_opt.emd_star), sim::fmt(mnist_opt.acc), "100.0%",
+                 sim::fmt(cifar_opt.acc), "100.0%"});
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference: EMD* 0.2946/0.2588/0.2176/0.1971/0.1750 (opt "
+               "0.0144); Acc_M 0.9662 -> 0.9678 (opt 0.9694); Acc_C 0.4300 -> "
+               "0.4577 (opt 0.5295). Accuracy improvements are noisy and not "
+               "strictly monotone in H, as the paper notes.\n";
+  return 0;
+}

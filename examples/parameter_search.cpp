@@ -1,0 +1,104 @@
+// Parameter search in a time-varying FL system (paper §5.3.2): when the
+// systematic structure changes (here: the global skew doubles and the
+// client pool shrinks), the old thresholds stop being optimal and the
+// search is re-run to re-settle the client selection module.
+//
+//   ./build/examples/parameter_search
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/multitime.hpp"
+#include "core/param_search.hpp"
+#include "data/partition.hpp"
+
+namespace {
+
+using namespace dubhe;
+
+double score_sigma(const core::RegistryCodec& codec, const data::Partition& part,
+                   const std::vector<double>& sigma, std::size_t K) {
+  core::DubheSelector sel(&codec, sigma);
+  sel.register_clients(part.client_dists);
+  stats::Rng rng(99);
+  stats::Distribution mean_po(codec.num_classes(), 0.0);
+  const int tries = 30;
+  for (int h = 0; h < tries; ++h) {
+    const auto po = core::population_of(part.client_dists, sel.select(K, rng));
+    for (std::size_t c = 0; c < po.size(); ++c) mean_po[c] += po[c] / tries;
+  }
+  return stats::l1_distance(mean_po, stats::uniform(codec.num_classes()));
+}
+
+data::Partition make_system(std::size_t n, double rho, double emd, std::uint64_t seed) {
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = n;
+  pc.samples_per_client = 128;
+  pc.rho = rho;
+  pc.emd_avg = emd;
+  pc.seed = seed;
+  return data::make_partition(pc);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dubhe;
+  const core::RegistryCodec codec(10, {1, 2, 10});
+  core::ParamSearchConfig ps;
+  ps.K = 20;
+  ps.tries = 10;
+  ps.grids = {{0.5, 0.6, 0.7, 0.8, 0.9}, {0.05, 0.1, 0.15, 0.2, 0.3}, {0.0}};
+
+  // Phase 1: the system comes up with mild skew.
+  const data::Partition sys1 = make_system(800, 5, 1.0, 3);
+  stats::Rng rng(11);
+  const auto best1 = core::parameter_search(codec, sys1.client_dists, ps, rng);
+  std::printf("phase 1 (N=800, rho=5, EMD=1.0): search over %zu candidates -> "
+              "sigma_1=%.2f sigma_2=%.2f, score %.4f\n",
+              best1.evaluated, best1.sigma[0], best1.sigma[1], best1.score);
+
+  // Phase 2: the system drifts — heavier global skew, smaller pool, and
+  // clients whose local concentration dropped (EMD 1.0 -> 0.8). The settled
+  // thresholds degrade; re-searching recovers the balance.
+  const data::Partition sys2 = make_system(400, 10, 0.8, 4);
+  const double stale = score_sigma(codec, sys2, best1.sigma, ps.K);
+  const auto best2 = core::parameter_search(codec, sys2.client_dists, ps, rng);
+  const double fresh = score_sigma(codec, sys2, best2.sigma, ps.K);
+  // Score the whole grid explicitly to show what the search protects against.
+  double worst = 0;
+  std::vector<double> worst_sigma{0, 0, 0};
+  for (const double s1 : ps.grids[0]) {
+    for (const double s2 : ps.grids[1]) {
+      const double score = score_sigma(codec, sys2, {s1, s2, 0.0}, ps.K);
+      if (score > worst) {
+        worst = score;
+        worst_sigma = {s1, s2, 0.0};
+      }
+    }
+  }
+  std::printf("phase 2 (N=400, rho=10, EMD=0.8):\n");
+  std::printf("  carried-over sigma (%.2f, %.2f): ||E[p_o]-p_u|| = %.4f\n",
+              best1.sigma[0], best1.sigma[1], stale);
+  std::printf("  re-searched sigma  (%.2f, %.2f): ||E[p_o]-p_u|| = %.4f\n",
+              best2.sigma[0], best2.sigma[1], fresh);
+  std::printf("  worst grid sigma   (%.2f, %.2f): ||E[p_o]-p_u|| = %.4f\n",
+              worst_sigma[0], worst_sigma[1], worst);
+  std::printf("  -> the search keeps the system %.1f%% below the worst "
+              "configuration%s\n",
+              100.0 * (worst - fresh) / (worst > 0 ? worst : 1.0),
+              fresh < stale ? " and improved on the stale thresholds" : "");
+
+  // The multi-time machinery the search is built on, used directly.
+  core::DubheSelector sel(&codec, best2.sigma);
+  sel.register_clients(sys2.client_dists);
+  stats::Rng sel_rng(5);
+  const auto outcome = core::multi_time_select(sel, sys2.client_dists, 20, 10, sel_rng);
+  std::printf("\nmulti-time client determination (H=10): best try %zu of 10, "
+              "EMD* = %.4f (tries ranged %.4f..%.4f)\n",
+              outcome.best_try + 1, outcome.emd_star,
+              *std::min_element(outcome.try_emds.begin(), outcome.try_emds.end()),
+              *std::max_element(outcome.try_emds.begin(), outcome.try_emds.end()));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: run a small federated learning job with Dubhe client
+// selection and compare it against random selection, end to end, in under
+// a minute.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace dubhe;
+
+  // A 10-class dataset with a skewed global distribution (most frequent
+  // class has 10x the samples of the least frequent) and strongly non-IID
+  // clients (average EMD between a client's labels and the global mix: 1.5).
+  sim::ExperimentConfig cfg;
+  cfg.spec = data::mnist_like();
+  cfg.part.num_classes = 10;
+  cfg.part.num_clients = 300;   // virtual clients, 128 samples each
+  cfg.part.samples_per_client = 128;
+  cfg.part.rho = 10;
+  cfg.part.emd_avg = 1.5;
+  cfg.part.seed = 1;
+
+  cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  cfg.K = 20;          // participants per round
+  cfg.rounds = 60;
+  cfg.eval_every = 10;
+  cfg.seed = 7;
+
+  std::printf("Federated training: %zu clients, K = %zu per round, rho = %.0f, "
+              "EMD_avg = %.1f\n\n",
+              cfg.part.num_clients, cfg.K, cfg.part.rho, cfg.part.emd_avg);
+
+  for (const sim::Method method : {sim::Method::kRandom, sim::Method::kDubhe}) {
+    cfg.method = method;
+    const sim::ExperimentResult result = sim::run_experiment(cfg);
+    std::printf("%-7s selection: ", sim::to_string(method).c_str());
+    for (const auto& [round, acc] : result.accuracy_curve) {
+      std::printf("r%zu=%.3f ", round, acc);
+    }
+    double mean_l1 = 0;
+    for (const double v : result.po_pu_l1) mean_l1 += v;
+    std::printf("\n         final accuracy %.4f, mean ||p_o - p_u||_1 = %.3f\n",
+                result.final_accuracy,
+                mean_l1 / static_cast<double>(result.po_pu_l1.size()));
+  }
+  std::printf("\nDubhe selects clients so each round's participated label mix is "
+              "closer to uniform,\nwhich is what lifts the balanced-test "
+              "accuracy under skew.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "bigint/bigint.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::bigint {
+
+BigInt::BigInt(std::int64_t v)
+    : mag_(v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1 : static_cast<std::uint64_t>(v)),
+      neg_(v < 0) {}
+
+BigInt::BigInt(BigUint magnitude, bool negative)
+    : mag_(std::move(magnitude)), neg_(negative) {
+  normalize();
+}
+
+BigInt::BigInt(BigUint magnitude) : mag_(std::move(magnitude)), neg_(false) {}
+
+BigInt BigInt::from_dec(std::string_view s) {
+  if (!s.empty() && s.front() == '-') {
+    return BigInt(BigUint::from_dec(s.substr(1)), true);
+  }
+  return BigInt(BigUint::from_dec(s), false);
+}
+
+std::int64_t BigInt::to_i64() const {
+  const auto low = static_cast<std::int64_t>(mag_.to_u64() & 0x7FFFFFFFFFFFFFFFULL);
+  return neg_ ? -low : low;
+}
+
+std::string BigInt::to_dec() const {
+  return neg_ ? "-" + mag_.to_dec() : mag_.to_dec();
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  if (neg_ == o.neg_) {
+    mag_ += o.mag_;
+  } else if (mag_ >= o.mag_) {
+    mag_ -= o.mag_;
+  } else {
+    mag_ = o.mag_ - mag_;
+    neg_ = o.neg_;
+  }
+  normalize();
+  return *this;
+}
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+  mag_ *= o.mag_;
+  neg_ = neg_ != o.neg_;
+  normalize();
+  return *this;
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r) {
+  BigUint uq, ur;
+  BigUint::divmod(a.mag_, b.mag_, uq, ur);  // throws on b == 0
+  q = BigInt(std::move(uq), a.neg_ != b.neg_);
+  r = BigInt(std::move(ur), a.neg_);
+}
+
+BigUint BigInt::mod_floor(const BigUint& m) const {
+  if (m.is_zero()) throw std::domain_error("BigInt::mod_floor: zero modulus");
+  BigUint rem = mag_ % m;
+  if (neg_ && !rem.is_zero()) rem = m - rem;
+  return rem;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& o) const {
+  if (neg_ != o.neg_) {
+    return neg_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  const auto mag_order = mag_ <=> o.mag_;
+  if (!neg_) return mag_order;
+  if (mag_order == std::strong_ordering::less) return std::strong_ordering::greater;
+  if (mag_order == std::strong_ordering::greater) return std::strong_ordering::less;
+  return std::strong_ordering::equal;
+}
+
+ExtendedGcd extended_gcd(const BigUint& a, const BigUint& b) {
+  // Iterative: maintain r0 = a*x0 + b*y0 and r1 = a*x1 + b*y1.
+  BigInt x0{1}, y0{0}, x1{0}, y1{1};
+  BigUint r0 = a, r1 = b;
+  while (!r1.is_zero()) {
+    BigUint q, rem;
+    BigUint::divmod(r0, r1, q, rem);
+    const BigInt qs{q};
+    BigInt x2 = x0 - qs * x1;
+    BigInt y2 = y0 - qs * y1;
+    r0 = std::move(r1);
+    r1 = std::move(rem);
+    x0 = std::move(x1);
+    x1 = std::move(x2);
+    y0 = std::move(y1);
+    y1 = std::move(y2);
+  }
+  return ExtendedGcd{std::move(r0), std::move(x0), std::move(y0)};
+}
+
+}  // namespace dubhe::bigint

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bigint/biguint.hpp"
+
+namespace dubhe::bigint {
+
+/// Arbitrary-precision signed integer: sign-and-magnitude over BigUint.
+/// Division truncates toward zero and the remainder takes the dividend's
+/// sign (C++ semantics). Zero is always non-negative (no negative zero).
+///
+/// The Paillier layer itself only needs unsigned arithmetic; BigInt exists
+/// for the places where signed intermediates are the natural formulation —
+/// notably the extended Euclidean algorithm (Bezout coefficients) used for
+/// modular inverses, exposed below as extended_gcd().
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor)
+  /// From magnitude and sign; a zero magnitude ignores `negative`.
+  BigInt(BigUint magnitude, bool negative);
+  /// Non-negative value from a BigUint.
+  BigInt(BigUint magnitude);  // NOLINT(google-explicit-constructor)
+
+  /// Parses optional leading '-' followed by decimal digits.
+  static BigInt from_dec(std::string_view s);
+
+  [[nodiscard]] bool is_zero() const { return mag_.is_zero(); }
+  [[nodiscard]] bool is_negative() const { return neg_; }
+  [[nodiscard]] const BigUint& magnitude() const { return mag_; }
+  /// |x| as a signed value.
+  [[nodiscard]] BigInt abs() const { return BigInt(mag_, false); }
+  /// Truncating conversion; sign applied to the low 64 bits of |x|.
+  [[nodiscard]] std::int64_t to_i64() const;
+  [[nodiscard]] std::string to_dec() const;
+
+  [[nodiscard]] BigInt operator-() const { return BigInt(mag_, !neg_); }
+
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o) { return *this += -o; }
+  BigInt& operator*=(const BigInt& o);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { a += b; return a; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { a -= b; return a; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { a *= b; return a; }
+
+  /// Truncated division: quotient rounds toward zero, remainder has the
+  /// dividend's sign and |r| < |b|. Throws std::domain_error on b == 0.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& q, BigInt& r);
+  friend BigInt operator/(const BigInt& a, const BigInt& b) {
+    BigInt q, r;
+    divmod(a, b, q, r);
+    return q;
+  }
+  friend BigInt operator%(const BigInt& a, const BigInt& b) {
+    BigInt q, r;
+    divmod(a, b, q, r);
+    return r;
+  }
+
+  /// Euclidean (non-negative) remainder mod m > 0: result in [0, m).
+  [[nodiscard]] BigUint mod_floor(const BigUint& m) const;
+
+  std::strong_ordering operator<=>(const BigInt& o) const;
+  bool operator==(const BigInt& o) const { return neg_ == o.neg_ && mag_ == o.mag_; }
+
+ private:
+  void normalize() {
+    if (mag_.is_zero()) neg_ = false;
+  }
+
+  BigUint mag_;
+  bool neg_ = false;
+};
+
+/// Bezout decomposition g = gcd(a, b) = a*x + b*y.
+struct ExtendedGcd {
+  BigUint g;
+  BigInt x;
+  BigInt y;
+};
+
+/// Extended Euclidean algorithm over non-negative inputs (signed Bezout
+/// coefficients). extended_gcd(0, 0) has g = 0, x = y = 0.
+ExtendedGcd extended_gcd(const BigUint& a, const BigUint& b);
+
+}  // namespace dubhe::bigint

@@ -1,0 +1,453 @@
+#include "bigint/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <stdexcept>
+
+#include "bigint/montgomery.hpp"
+
+namespace dubhe::bigint {
+
+namespace {
+constexpr BigUint::Wide kBase = BigUint::Wide{1} << 32;
+}  // namespace
+
+BigUint::BigUint(std::uint64_t v) {
+  if (v == 0) return;
+  limbs_.push_back(static_cast<Limb>(v));
+  if (v >> 32) limbs_.push_back(static_cast<Limb>(v >> 32));
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::pow2(std::size_t k) {
+  BigUint r;
+  r.limbs_.assign(k / 32 + 1, 0);
+  r.limbs_.back() = Limb{1} << (k % 32);
+  return r;
+}
+
+BigUint BigUint::from_hex(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BigUint::from_hex: empty string");
+  BigUint r;
+  r.limbs_.assign(s.size() / 8 + 1, 0);
+  std::size_t bitpos = 0;
+  for (std::size_t i = s.size(); i-- > 0;) {
+    const char c = s[i];
+    Limb v = 0;
+    if (c >= '0' && c <= '9') v = static_cast<Limb>(c - '0');
+    else if (c >= 'a' && c <= 'f') v = static_cast<Limb>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v = static_cast<Limb>(c - 'A' + 10);
+    else throw std::invalid_argument("BigUint::from_hex: bad character");
+    r.limbs_[bitpos / 32] |= v << (bitpos % 32);
+    bitpos += 4;
+  }
+  r.trim();
+  return r;
+}
+
+BigUint BigUint::from_dec(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BigUint::from_dec: empty string");
+  BigUint r;
+  // Consume 9 decimal digits at a time: r = r * 10^9 + chunk.
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const std::size_t take = std::min<std::size_t>(9, s.size() - i);
+    std::uint32_t chunk = 0, scale = 1;
+    for (std::size_t j = 0; j < take; ++j) {
+      const char c = s[i + j];
+      if (c < '0' || c > '9') throw std::invalid_argument("BigUint::from_dec: bad character");
+      chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
+      scale *= 10;
+    }
+    // r = r * scale + chunk, in place.
+    Wide carry = chunk;
+    for (auto& limb : r.limbs_) {
+      const Wide cur = static_cast<Wide>(limb) * scale + carry;
+      limb = static_cast<Limb>(cur);
+      carry = cur >> 32;
+    }
+    if (carry) r.limbs_.push_back(static_cast<Limb>(carry));
+    i += take;
+  }
+  r.trim();
+  return r;
+}
+
+BigUint BigUint::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigUint r;
+  r.limbs_.assign(bytes.size() / 4 + 1, 0);
+  std::size_t shift = 0, limb = 0;
+  for (std::size_t i = bytes.size(); i-- > 0;) {
+    r.limbs_[limb] |= static_cast<Limb>(bytes[i]) << shift;
+    shift += 8;
+    if (shift == 32) { shift = 0; ++limb; }
+  }
+  r.trim();
+  return r;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigUint::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigUint::to_u64() const {
+  std::uint64_t v = limbs_.empty() ? 0u : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::string BigUint::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(limbs_.size() * 8);
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      out.push_back(kDigits[(limbs_[i] >> (nib * 4)) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigUint::to_dec() const {
+  if (limbs_.empty()) return "0";
+  std::vector<Limb> work(limbs_);
+  std::string out;
+  while (!work.empty()) {
+    // Divide work by 10^9, collecting the remainder.
+    Wide rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const Wide cur = (rem << 32) | work[i];
+      work[i] = static_cast<Limb>(cur / 1000000000u);
+      rem = cur % 1000000000u;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint8_t> BigUint::to_bytes_be(std::size_t pad_to) const {
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t total = std::max(nbytes, pad_to);
+  std::vector<std::uint8_t> out(total, 0);
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    out[total - 1 - i] = static_cast<std::uint8_t>(limbs_[i / 4] >> ((i % 4) * 8));
+  }
+  return out;
+}
+
+std::strong_ordering BigUint::operator<=>(const BigUint& o) const {
+  if (limbs_.size() != o.limbs_.size()) {
+    return limbs_.size() <=> o.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] <=> o.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUint& BigUint::operator+=(const BigUint& o) {
+  if (limbs_.size() < o.limbs_.size()) limbs_.resize(o.limbs_.size(), 0);
+  Wide carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const Wide cur = static_cast<Wide>(limbs_[i]) + o.limb(i) + carry;
+    limbs_[i] = static_cast<Limb>(cur);
+    carry = cur >> 32;
+    if (carry == 0 && i >= o.limbs_.size()) break;
+  }
+  if (carry) limbs_.push_back(static_cast<Limb>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& o) {
+  if (*this < o) throw std::underflow_error("BigUint subtraction underflow");
+  Wide borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const Wide sub = static_cast<Wide>(o.limb(i)) + borrow;
+    if (limbs_[i] >= sub) {
+      limbs_[i] = static_cast<Limb>(limbs_[i] - sub);
+      borrow = 0;
+      if (i >= o.limbs_.size()) break;
+    } else {
+      limbs_[i] = static_cast<Limb>(kBase + limbs_[i] - sub);
+      borrow = 1;
+    }
+  }
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator<<=(std::size_t bits) {
+  if (limbs_.empty() || bits == 0) return *this;
+  const std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  const std::size_t old = limbs_.size();
+  limbs_.resize(old + limb_shift + (bit_shift ? 1 : 0), 0);
+  for (std::size_t i = old; i-- > 0;) {
+    const Wide v = static_cast<Wide>(limbs_[i]) << bit_shift;
+    limbs_[i + limb_shift + 1] |= static_cast<Limb>(v >> 32);
+    limbs_[i + limb_shift] = static_cast<Limb>(v);
+  }
+  for (std::size_t i = 0; i < limb_shift; ++i) limbs_[i] = 0;
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(std::size_t bits) {
+  const std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  const std::size_t n = limbs_.size() - limb_shift;
+  for (std::size_t i = 0; i < n; ++i) {
+    Wide v = static_cast<Wide>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<Wide>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+    }
+    limbs_[i] = static_cast<Limb>(v);
+  }
+  limbs_.resize(n);
+  trim();
+  return *this;
+}
+
+BigUint BigUint::slice_limbs(std::size_t lo, std::size_t hi) const {
+  BigUint r;
+  hi = std::min(hi, limbs_.size());
+  if (lo >= hi) return r;
+  r.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(lo),
+                  limbs_.begin() + static_cast<std::ptrdiff_t>(hi));
+  r.trim();
+  return r;
+}
+
+BigUint BigUint::mul_schoolbook(const BigUint& a, const BigUint& b) {
+  BigUint r;
+  if (a.is_zero() || b.is_zero()) return r;
+  r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    Wide carry = 0;
+    const Wide ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const Wide cur = static_cast<Wide>(r.limbs_[i + j]) + ai * b.limbs_[j] + carry;
+      r.limbs_[i + j] = static_cast<Limb>(cur);
+      carry = cur >> 32;
+    }
+    r.limbs_[i + b.limbs_.size()] = static_cast<Limb>(carry);
+  }
+  r.trim();
+  return r;
+}
+
+BigUint BigUint::mul_karatsuba(const BigUint& a, const BigUint& b) {
+  const std::size_t m = std::max(a.limbs_.size(), b.limbs_.size()) / 2;
+  const BigUint a0 = a.slice_limbs(0, m), a1 = a.slice_limbs(m, a.limbs_.size());
+  const BigUint b0 = b.slice_limbs(0, m), b1 = b.slice_limbs(m, b.limbs_.size());
+  const BigUint z0 = a0 * b0;
+  const BigUint z2 = a1 * b1;
+  BigUint z1 = (a0 + a1) * (b0 + b1);
+  z1 -= z0;
+  z1 -= z2;
+  BigUint r = z2;
+  r <<= 32 * m;
+  r += z1;
+  r <<= 32 * m;
+  r += z0;
+  return r;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+  if (std::min(a.limbs_.size(), b.limbs_.size()) >= BigUint::kKaratsubaThreshold) {
+    return BigUint::mul_karatsuba(a, b);
+  }
+  return BigUint::mul_schoolbook(a, b);
+}
+
+void BigUint::divmod(const BigUint& a, const BigUint& b, BigUint& q, BigUint& r) {
+  if (b.is_zero()) throw std::domain_error("BigUint division by zero");
+  if (a < b) {
+    r = a;
+    q = BigUint{};
+    return;
+  }
+  if (b.limbs_.size() == 1) {
+    // Single-limb fast path.
+    const Wide d = b.limbs_[0];
+    BigUint quot;
+    quot.limbs_.assign(a.limbs_.size(), 0);
+    Wide rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const Wide cur = (rem << 32) | a.limbs_[i];
+      quot.limbs_[i] = static_cast<Limb>(cur / d);
+      rem = cur % d;
+    }
+    quot.trim();
+    q = std::move(quot);
+    r = BigUint{static_cast<std::uint64_t>(rem)};
+    return;
+  }
+
+  // Knuth TAOCP vol. 2, Algorithm D. Normalize so the divisor's top bit is set.
+  const unsigned shift = static_cast<unsigned>(std::countl_zero(b.limbs_.back()));
+  BigUint u = a << shift;
+  const BigUint v = b << shift;
+  const std::size_t n = v.limbs_.size();
+  u.limbs_.resize(std::max(u.limbs_.size(), a.limbs_.size() + (shift ? 1u : 0u)) + 1, 0);
+  const std::size_t m = u.limbs_.size() - n - 1;
+
+  BigUint quot;
+  quot.limbs_.assign(m + 1, 0);
+  const Wide vtop = v.limbs_[n - 1], vsec = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const Wide numer = (static_cast<Wide>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    Wide qhat = numer / vtop;
+    Wide rhat = numer % vtop;
+    while (qhat >= kBase ||
+           qhat * vsec > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+      if (rhat >= kBase) break;
+    }
+    // Multiply-and-subtract qhat * v from u[j .. j+n].
+    Wide borrow = 0, carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Wide prod = qhat * v.limbs_[i] + carry;
+      carry = prod >> 32;
+      const Wide sub = static_cast<Wide>(static_cast<Limb>(prod)) + borrow;
+      if (u.limbs_[j + i] >= sub) {
+        u.limbs_[j + i] = static_cast<Limb>(u.limbs_[j + i] - sub);
+        borrow = 0;
+      } else {
+        u.limbs_[j + i] = static_cast<Limb>(kBase + u.limbs_[j + i] - sub);
+        borrow = 1;
+      }
+    }
+    const Wide sub = carry + borrow;
+    if (u.limbs_[j + n] >= sub) {
+      u.limbs_[j + n] = static_cast<Limb>(u.limbs_[j + n] - sub);
+      borrow = 0;
+    } else {
+      u.limbs_[j + n] = static_cast<Limb>(kBase + u.limbs_[j + n] - sub);
+      borrow = 1;
+    }
+    if (borrow) {
+      // qhat was one too large (rare): add v back and decrement qhat.
+      --qhat;
+      Wide c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Wide cur = static_cast<Wide>(u.limbs_[j + i]) + v.limbs_[i] + c;
+        u.limbs_[j + i] = static_cast<Limb>(cur);
+        c = cur >> 32;
+      }
+      u.limbs_[j + n] = static_cast<Limb>(u.limbs_[j + n] + c);
+    }
+    quot.limbs_[j] = static_cast<Limb>(qhat);
+  }
+
+  quot.trim();
+  u.limbs_.resize(n);
+  u.trim();
+  u >>= shift;
+  q = std::move(quot);
+  r = std::move(u);
+}
+
+BigUint BigUint::add_mod(const BigUint& o, const BigUint& m) const {
+  BigUint s = *this + o;
+  if (s >= m) s -= m;
+  return s;
+}
+
+BigUint BigUint::mul_mod(const BigUint& o, const BigUint& m) const {
+  return (*this * o) % m;
+}
+
+BigUint BigUint::pow_mod(const BigUint& e, const BigUint& m) const {
+  if (m.is_zero()) throw std::domain_error("BigUint::pow_mod: zero modulus");
+  if (m.is_one()) return BigUint{};
+  if (m.is_odd()) {
+    const Montgomery ctx(m);
+    return ctx.pow(*this % m, e);
+  }
+  // Generic square-and-multiply for even moduli (not used by Paillier, whose
+  // moduli are odd, but kept for API completeness).
+  BigUint base = *this % m;
+  BigUint result{1};
+  for (std::size_t i = 0, nbits = e.bit_length(); i < nbits; ++i) {
+    if (e.bit(i)) result = result.mul_mod(base, m);
+    base = base.mul_mod(base, m);
+  }
+  return result;
+}
+
+BigUint BigUint::gcd(BigUint a, BigUint b) {
+  while (!b.is_zero()) {
+    BigUint q, r;
+    divmod(a, b, q, r);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigUint BigUint::lcm(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  return (a / gcd(a, b)) * b;
+}
+
+BigUint BigUint::mod_inverse(const BigUint& a, const BigUint& m) {
+  if (m.is_zero()) throw std::domain_error("BigUint::mod_inverse: zero modulus");
+  // Iterative extended Euclid keeping only the coefficient of `a`. The
+  // coefficient alternates in sign along the iteration, so we track its
+  // magnitude and sign separately to stay within unsigned arithmetic.
+  BigUint r0 = a % m, r1 = m;
+  BigUint s0{1}, s1{0};
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    BigUint q, rem;
+    divmod(r0, r1, q, rem);
+    // s2 = s0 - q*s1
+    BigUint qs1 = q * s1;
+    BigUint s2;
+    bool neg2;
+    if (neg0 == neg1) {
+      if (s0 >= qs1) { s2 = s0 - qs1; neg2 = neg0; }
+      else { s2 = qs1 - s0; neg2 = !neg0; }
+    } else {
+      s2 = s0 + qs1;
+      neg2 = neg0;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(rem);
+    s0 = std::move(s1);
+    neg0 = neg1;
+    s1 = std::move(s2);
+    neg1 = neg2;
+  }
+  if (!r0.is_one()) throw std::domain_error("BigUint::mod_inverse: not invertible");
+  BigUint inv = s0 % m;
+  if (neg0 && !inv.is_zero()) inv = m - inv;
+  return inv;
+}
+
+}  // namespace dubhe::bigint

@@ -1,0 +1,144 @@
+#include "bigint/montgomery.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dubhe::bigint {
+
+namespace {
+
+/// Inverse of odd `x` mod 2^32 by Newton iteration (5 steps double precision
+/// each time: 2 -> 4 -> 8 -> 16 -> 32 correct low bits).
+std::uint32_t inv32(std::uint32_t x) {
+  std::uint32_t y = x;  // correct to 3 bits for odd x
+  for (int i = 0; i < 5; ++i) y *= 2u - x * y;
+  return y;
+}
+
+}  // namespace
+
+Montgomery::Montgomery(const BigUint& modulus) : n_(modulus) {
+  if (n_.is_zero() || !n_.is_odd()) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and non-zero");
+  }
+  s_ = n_.limb_count();
+  n_limbs_.resize(s_);
+  for (std::size_t i = 0; i < s_; ++i) n_limbs_[i] = n_.limb(i);
+  n0inv_ = static_cast<Limb>(0u - inv32(n_limbs_[0]));
+
+  // R = 2^(32 s); compute R mod N and R^2 mod N with plain division once.
+  const BigUint r = BigUint::pow2(32 * s_) % n_;
+  one_mont_ = r;
+  rr_ = r.mul_mod(r, n_);
+}
+
+std::vector<Montgomery::Limb> Montgomery::padded(const BigUint& x) const {
+  std::vector<Limb> v(s_, 0);
+  for (std::size_t i = 0; i < s_; ++i) v[i] = x.limb(i);
+  return v;
+}
+
+BigUint Montgomery::from_limbs(std::vector<Limb> v) {
+  BigUint r;
+  r.limbs_ = std::move(v);
+  r.trim();
+  return r;
+}
+
+void Montgomery::cios(const std::vector<Limb>& a, const std::vector<Limb>& b,
+                      std::vector<Limb>& out) const {
+  const std::size_t s = s_;
+  std::vector<Wide> t(s + 2, 0);
+  for (std::size_t i = 0; i < s; ++i) {
+    // t += a * b[i]
+    const Wide bi = b[i];
+    Wide carry = 0;
+    for (std::size_t j = 0; j < s; ++j) {
+      const Wide cur = t[j] + static_cast<Wide>(a[j]) * bi + carry;
+      t[j] = static_cast<Limb>(cur);
+      carry = cur >> 32;
+    }
+    Wide cur = t[s] + carry;
+    t[s] = static_cast<Limb>(cur);
+    t[s + 1] = cur >> 32;
+
+    // Reduce: add m * N where m makes the low limb vanish, then shift.
+    const Limb m = static_cast<Limb>(t[0]) * n0inv_;
+    cur = t[0] + static_cast<Wide>(m) * n_limbs_[0];
+    carry = cur >> 32;
+    for (std::size_t j = 1; j < s; ++j) {
+      cur = t[j] + static_cast<Wide>(m) * n_limbs_[j] + carry;
+      t[j - 1] = static_cast<Limb>(cur);
+      carry = cur >> 32;
+    }
+    cur = t[s] + carry;
+    t[s - 1] = static_cast<Limb>(cur);
+    t[s] = t[s + 1] + (cur >> 32);
+    t[s + 1] = 0;
+  }
+  out.assign(s + 1, 0);
+  for (std::size_t i = 0; i <= s; ++i) out[i] = static_cast<Limb>(t[i]);
+  // Conditional final subtraction: result < 2N, reduce to < N.
+  bool ge = out[s] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = s; i-- > 0;) {
+      if (out[i] != n_limbs_[i]) { ge = out[i] > n_limbs_[i]; break; }
+    }
+  }
+  if (ge) {
+    Wide borrow = 0;
+    for (std::size_t i = 0; i < s; ++i) {
+      const Wide sub = static_cast<Wide>(n_limbs_[i]) + borrow;
+      if (out[i] >= sub) {
+        out[i] = static_cast<Limb>(out[i] - sub);
+        borrow = 0;
+      } else {
+        out[i] = static_cast<Limb>((Wide{1} << 32) + out[i] - sub);
+        borrow = 1;
+      }
+    }
+    out[s] = static_cast<Limb>(out[s] - borrow);
+  }
+  out.resize(s_);
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+  std::vector<Limb> out;
+  cios(padded(a), padded(b), out);
+  return from_limbs(std::move(out));
+}
+
+BigUint Montgomery::to_mont(const BigUint& x) const {
+  return mul(x, rr_);
+}
+
+BigUint Montgomery::from_mont(const BigUint& x) const {
+  return mul(x, BigUint{1});
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
+  if (exp.is_zero()) return BigUint{1} % n_;
+  const BigUint b = base % n_;
+  const BigUint bm = to_mont(b);
+
+  // Precompute bm^0 .. bm^15 for a fixed 4-bit window.
+  std::array<BigUint, 16> table;
+  table[0] = one_mont_;
+  for (std::size_t i = 1; i < 16; ++i) table[i] = mul(table[i - 1], bm);
+
+  const std::size_t nbits = exp.bit_length();
+  const std::size_t nwindows = (nbits + 3) / 4;
+  BigUint acc = one_mont_;
+  for (std::size_t w = nwindows; w-- > 0;) {
+    for (int sq = 0; sq < 4; ++sq) acc = mul(acc, acc);
+    unsigned idx = 0;
+    for (int k = 3; k >= 0; --k) {
+      idx = (idx << 1) | (exp.bit(w * 4 + static_cast<std::size_t>(k)) ? 1u : 0u);
+    }
+    if (idx != 0) acc = mul(acc, table[idx]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace dubhe::bigint

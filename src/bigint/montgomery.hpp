@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+
+namespace dubhe::bigint {
+
+/// Montgomery multiplication context for a fixed odd modulus.
+///
+/// Implements the CIOS (coarsely integrated operand scanning) method with
+/// 32-bit limbs. A context precomputes `R^2 mod N` and `-N^{-1} mod 2^32`
+/// once, after which modular multiplications cost one pass over the operand
+/// limbs with no long division. `pow` uses a fixed 4-bit window, which is the
+/// sweet spot for the 2048/4096-bit exponents Paillier needs.
+class Montgomery {
+ public:
+  /// Throws std::invalid_argument if `modulus` is even or zero.
+  explicit Montgomery(const BigUint& modulus);
+
+  [[nodiscard]] const BigUint& modulus() const { return n_; }
+
+  /// x * R mod N (into Montgomery form). x must be < N.
+  [[nodiscard]] BigUint to_mont(const BigUint& x) const;
+  /// x * R^{-1} mod N (out of Montgomery form).
+  [[nodiscard]] BigUint from_mont(const BigUint& x) const;
+  /// Montgomery product: a * b * R^{-1} mod N, operands in Montgomery form.
+  [[nodiscard]] BigUint mul(const BigUint& a, const BigUint& b) const;
+  /// base^exp mod N for plain (non-Montgomery) base, result plain.
+  [[nodiscard]] BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+ private:
+  using Limb = BigUint::Limb;
+  using Wide = BigUint::Wide;
+
+  /// Raw CIOS kernel on limb vectors of length s_ (inputs zero-padded).
+  void cios(const std::vector<Limb>& a, const std::vector<Limb>& b,
+            std::vector<Limb>& out) const;
+  [[nodiscard]] std::vector<Limb> padded(const BigUint& x) const;
+  [[nodiscard]] static BigUint from_limbs(std::vector<Limb> v);
+
+  BigUint n_;
+  std::vector<Limb> n_limbs_;  // modulus, padded to s_
+  std::size_t s_ = 0;          // limb count of the modulus
+  Limb n0inv_ = 0;             // -N^{-1} mod 2^32
+  BigUint rr_;                 // R^2 mod N
+  BigUint one_mont_;           // R mod N (1 in Montgomery form)
+};
+
+}  // namespace dubhe::bigint

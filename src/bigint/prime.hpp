@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bigint/biguint.hpp"
+#include "bigint/random.hpp"
+
+namespace dubhe::bigint {
+
+/// First primes for trial division (2, 3, 5, ... up to a few thousand).
+std::span<const std::uint32_t> small_primes();
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+/// Deterministically correct for n < 3,317,044,064,679,887,385,961,981 when
+/// rounds >= 13 with random bases is replaced by the fixed-base variant; we
+/// use random bases, so the error probability is <= 4^-rounds.
+bool is_probable_prime(const BigUint& n, EntropySource& rng, int rounds = 24);
+
+/// Uniform random probable prime with exactly `bits` significant bits.
+/// Candidates get trial division by small_primes() before Miller–Rabin.
+/// Throws std::invalid_argument for bits < 2.
+BigUint random_prime(EntropySource& rng, std::size_t bits, int mr_rounds = 24);
+
+}  // namespace dubhe::bigint

@@ -1,0 +1,95 @@
+#include "bigint/random.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dubhe::bigint {
+
+std::uint64_t SplitMix64::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next_u64();
+}
+
+std::uint64_t Xoshiro256ss::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256ss::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) {
+  // Lemire's unbiased bounded generation with rejection.
+  if (bound == 0) throw std::invalid_argument("next_below: zero bound");
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    const unsigned __int128 m = static_cast<unsigned __int128>(r) * bound;
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::uint64_t SystemEntropySource::next_u64() {
+  static thread_local std::FILE* urandom = std::fopen("/dev/urandom", "rb");
+  if (urandom == nullptr) throw std::runtime_error("cannot open /dev/urandom");
+  std::uint64_t v = 0;
+  if (std::fread(&v, sizeof(v), 1, urandom) != 1) {
+    throw std::runtime_error("short read from /dev/urandom");
+  }
+  return v;
+}
+
+BigUint random_bits(EntropySource& rng, std::size_t bits) {
+  if (bits == 0) return BigUint{};
+  const std::size_t words = (bits + 63) / 64;
+  std::vector<std::uint8_t> bytes(words * 8);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 8; ++b) {
+      bytes[w * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(v >> (8 * b));
+    }
+  }
+  BigUint r = BigUint::from_bytes_be(bytes);
+  const std::size_t excess = words * 64 - bits;
+  if (excess > 0) r >>= excess;
+  return r;
+}
+
+BigUint random_exact_bits(EntropySource& rng, std::size_t bits) {
+  if (bits == 0) return BigUint{};
+  BigUint r = random_bits(rng, bits);
+  // Force the top bit so the value has exactly `bits` significant bits.
+  BigUint top = BigUint::pow2(bits - 1);
+  if (r < top) r += top;
+  return r;
+}
+
+BigUint random_below(EntropySource& rng, const BigUint& n) {
+  if (n.is_zero()) throw std::invalid_argument("random_below: zero bound");
+  const std::size_t bits = n.bit_length();
+  for (;;) {
+    BigUint r = random_bits(rng, bits);
+    if (r < n) return r;
+  }
+}
+
+}  // namespace dubhe::bigint

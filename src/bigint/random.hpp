@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bigint/biguint.hpp"
+
+namespace dubhe::bigint {
+
+/// Source of random 64-bit words. The bigint/paillier layers are written
+/// against this interface so experiments can run with a deterministic,
+/// seedable generator while a deployment can plug in OS entropy.
+class EntropySource {
+ public:
+  virtual ~EntropySource() = default;
+  virtual std::uint64_t next_u64() = 0;
+};
+
+/// SplitMix64 — tiny, fast generator used for seeding and tests.
+class SplitMix64 final : public EntropySource {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next_u64() override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the default deterministic generator for experiments.
+/// Seeded from a single 64-bit value through SplitMix64 per the authors'
+/// recommendation.
+class Xoshiro256ss final : public EntropySource {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed);
+  std::uint64_t next_u64() override;
+
+  /// Uniform double in [0, 1).
+  double next_double();
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Reads /dev/urandom. Throws std::runtime_error if unavailable.
+class SystemEntropySource final : public EntropySource {
+ public:
+  std::uint64_t next_u64() override;
+};
+
+/// Uniform integer in [0, 2^bits).
+BigUint random_bits(EntropySource& rng, std::size_t bits);
+/// Uniform integer with exactly `bits` significant bits (top bit forced).
+BigUint random_exact_bits(EntropySource& rng, std::size_t bits);
+/// Uniform integer in [0, n) by rejection sampling. Throws on n == 0.
+BigUint random_below(EntropySource& rng, const BigUint& n);
+
+}  // namespace dubhe::bigint

@@ -1,0 +1,44 @@
+#include "core/multitime.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::core {
+
+stats::Distribution population_of(std::span<const stats::Distribution> client_dists,
+                                  std::span<const std::size_t> selected) {
+  if (selected.empty()) throw std::invalid_argument("population_of: empty selection");
+  const std::size_t C = client_dists[0].size();
+  stats::Distribution po(C, 0.0);
+  for (const std::size_t k : selected) {
+    const auto& d = client_dists[k];
+    for (std::size_t c = 0; c < C; ++c) po[c] += d[c];
+  }
+  stats::normalize(po);
+  return po;
+}
+
+MultiTimeOutcome multi_time_select(SelectionStrategy& strategy,
+                                   std::span<const stats::Distribution> client_dists,
+                                   std::size_t K, std::size_t H, stats::Rng& rng) {
+  if (H == 0) throw std::invalid_argument("multi_time_select: H == 0");
+  if (client_dists.empty()) throw std::invalid_argument("multi_time_select: no clients");
+  const stats::Distribution pu = stats::uniform(client_dists[0].size());
+
+  MultiTimeOutcome out;
+  out.try_emds.reserve(H);
+  for (std::size_t h = 0; h < H; ++h) {
+    std::vector<std::size_t> s = strategy.select(K, rng);
+    stats::Distribution po = population_of(client_dists, s);
+    const double emd = stats::l1_distance(po, pu);
+    out.try_emds.push_back(emd);
+    if (h == 0 || emd < out.emd_star) {
+      out.emd_star = emd;
+      out.best_try = h;
+      out.selected = std::move(s);
+      out.population = std::move(po);
+    }
+  }
+  return out;
+}
+
+}  // namespace dubhe::core

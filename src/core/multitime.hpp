@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/selection.hpp"
+
+namespace dubhe::core {
+
+/// Result of an H-time tentative selection (paper §5.3).
+struct MultiTimeOutcome {
+  /// The determined participant set S_{h*}.
+  std::vector<std::size_t> selected;
+  /// EMD* = || p_{o,h*} - p_u ||_1 of the winning try.
+  double emd_star = 0;
+  std::size_t best_try = 0;
+  /// || p_{o,h} - p_u ||_1 for every try, in order.
+  std::vector<double> try_emds;
+  /// Population distribution of the winning try.
+  stats::Distribution population;
+};
+
+/// Runs H tentative selections with `strategy`, scores each try's population
+/// distribution p_{o,h} against uniform, and keeps the argmin (client
+/// determination, §5.3.1). In the secure deployment p_{o,h} reaches the
+/// agent only as a Paillier aggregate (see SecureSelectionSession); here the
+/// aggregation is plaintext but numerically identical. H = 1 degenerates to
+/// a single one-off selection.
+MultiTimeOutcome multi_time_select(SelectionStrategy& strategy,
+                                   std::span<const stats::Distribution> client_dists,
+                                   std::size_t K, std::size_t H, stats::Rng& rng);
+
+/// Population distribution of a selected set: mean of the members' label
+/// distributions (all virtual clients carry equal sample counts).
+stats::Distribution population_of(std::span<const stats::Distribution> client_dists,
+                                  std::span<const std::size_t> selected);
+
+}  // namespace dubhe::core

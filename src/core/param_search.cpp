@@ -1,0 +1,65 @@
+#include "core/param_search.hpp"
+
+#include <stdexcept>
+
+#include "core/multitime.hpp"
+
+namespace dubhe::core {
+
+namespace {
+
+/// Odometer-style iteration over the Cartesian product of grids.
+bool advance(std::vector<std::size_t>& idx, const std::vector<std::vector<double>>& grids) {
+  for (std::size_t d = idx.size(); d-- > 0;) {
+    if (++idx[d] < grids[d].size()) return true;
+    idx[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+ParamSearchResult parameter_search(const RegistryCodec& codec,
+                                   std::span<const stats::Distribution> client_dists,
+                                   const ParamSearchConfig& cfg, stats::Rng& rng) {
+  if (cfg.grids.size() != codec.reference_set().size()) {
+    throw std::invalid_argument("parameter_search: one grid per reference-set element");
+  }
+  for (const auto& g : cfg.grids) {
+    if (g.empty()) throw std::invalid_argument("parameter_search: empty grid");
+  }
+  if (cfg.tries == 0) throw std::invalid_argument("parameter_search: tries == 0");
+
+  const std::size_t C = codec.num_classes();
+  const stats::Distribution pu = stats::uniform(C);
+
+  ParamSearchResult best;
+  std::vector<std::size_t> idx(cfg.grids.size(), 0);
+  bool more = true;
+  while (more) {
+    std::vector<double> sigma(cfg.grids.size());
+    for (std::size_t d = 0; d < sigma.size(); ++d) sigma[d] = cfg.grids[d][idx[d]];
+
+    DubheSelector selector(&codec, sigma);
+    selector.register_clients(client_dists);
+    // E_h[p_{o,h}] over the tentative tries.
+    stats::Distribution mean_po(C, 0.0);
+    for (std::size_t h = 0; h < cfg.tries; ++h) {
+      const auto s = selector.select(cfg.K, rng);
+      const auto po = population_of(client_dists, s);
+      for (std::size_t c = 0; c < C; ++c) mean_po[c] += po[c];
+    }
+    for (double& v : mean_po) v /= static_cast<double>(cfg.tries);
+    const double score = stats::l1_distance(mean_po, pu);
+
+    if (best.evaluated == 0 || score < best.score) {
+      best.score = score;
+      best.sigma = std::move(sigma);
+    }
+    ++best.evaluated;
+    more = advance(idx, cfg.grids);
+  }
+  return best;
+}
+
+}  // namespace dubhe::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/selection.hpp"
+
+namespace dubhe::core {
+
+/// Configuration of the threshold grid search (paper §5.3.2). One candidate
+/// list per element of the codec's reference set G; the entry for i = C is
+/// conventionally the single value {0} — sigma_C is fixed at 0 because the
+/// size-1 "no dominating class" sub-vector must always be reachable.
+struct ParamSearchConfig {
+  std::vector<std::vector<double>> grids;
+  /// Tentative selections per candidate (the multi-time machinery reused
+  /// for scoring).
+  std::size_t tries = 10;
+  std::size_t K = 20;
+};
+
+struct ParamSearchResult {
+  /// The winning thresholds, aligned with the reference set.
+  std::vector<double> sigma;
+  /// || E_h[p_{o,h}] - p_u ||_1 of the winner.
+  double score = 0;
+  /// Number of candidates evaluated.
+  std::size_t evaluated = 0;
+};
+
+/// Exhaustive search over the Cartesian product of the per-group grids.
+/// For each candidate: register every client, run `tries` tentative Dubhe
+/// selections, average the populations, and score the average against
+/// uniform. The winner minimizes the score; ties break toward the earlier
+/// candidate for determinism. In deployment this loop runs under HE — each
+/// p_{o,h} reaches the agent encrypted — with identical arithmetic.
+ParamSearchResult parameter_search(const RegistryCodec& codec,
+                                   std::span<const stats::Distribution> client_dists,
+                                   const ParamSearchConfig& cfg, stats::Rng& rng);
+
+}  // namespace dubhe::core

@@ -1,0 +1,45 @@
+#include "core/registration.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dubhe::core {
+
+Registration register_client(const RegistryCodec& codec, const stats::Distribution& p,
+                             std::span<const double> sigma) {
+  const std::size_t C = codec.num_classes();
+  if (p.size() != C) throw std::invalid_argument("register_client: distribution size");
+  if (sigma.size() != codec.reference_set().size()) {
+    throw std::invalid_argument("register_client: sigma size must match |G|");
+  }
+  // Classes sorted by proportion, descending; ties toward lower class id.
+  std::vector<std::size_t> order(C);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&p](std::size_t a, std::size_t b) { return p[a] > p[b]; });
+
+  const auto& G = codec.reference_set();
+  for (std::size_t gi = 0; gi < G.size(); ++gi) {
+    const std::size_t i = G[gi];
+    const double m_i = p[order[i - 1]];  // proportion of the i-th largest class
+    if (m_i >= sigma[gi]) {
+      Registration reg;
+      reg.group_index = gi;
+      reg.category.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(i));
+      std::sort(reg.category.begin(), reg.category.end());
+      reg.category_index = codec.index_of(reg.category);
+      return reg;
+    }
+  }
+  throw std::runtime_error(
+      "register_client: no group matched; the fallback group i = C needs sigma = 0");
+}
+
+std::vector<std::uint64_t> to_onehot(const RegistryCodec& codec, const Registration& reg) {
+  std::vector<std::uint64_t> v(codec.length(), 0);
+  v.at(reg.category_index) = 1;
+  return v;
+}
+
+}  // namespace dubhe::core

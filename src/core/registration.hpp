@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "stats/distribution.hpp"
+
+namespace dubhe::core {
+
+/// Outcome of Algorithm 1 for one client.
+struct Registration {
+  /// Global slot index of the flipped bit (the one-hot position).
+  std::size_t category_index = 0;
+  /// The dominating classes u^{(t,k)}, strictly increasing.
+  std::vector<std::size_t> category;
+  /// Index into the codec's reference set of the matched group i.
+  std::size_t group_index = 0;
+};
+
+/// Algorithm 1 (paper §5.1): walk the reference set G in ascending order;
+/// for each candidate count i, take the top-i classes by local proportion
+/// and accept the first i whose i-th largest proportion reaches the
+/// threshold sigma_i. The fallback i = C with sigma_C = 0 always matches a
+/// normalized distribution, so a correctly configured codec always yields a
+/// registration (otherwise std::runtime_error). Ties between equal
+/// proportions resolve toward the lower class id, deterministically.
+///
+/// `sigma` carries one threshold per element of the codec's reference set.
+Registration register_client(const RegistryCodec& codec, const stats::Distribution& p,
+                             std::span<const double> sigma);
+
+/// One-hot registry vector for a registration (what gets encrypted slot by
+/// slot in the secure flow).
+std::vector<std::uint64_t> to_onehot(const RegistryCodec& codec, const Registration& reg);
+
+}  // namespace dubhe::core

@@ -1,0 +1,94 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dubhe::core {
+
+std::uint64_t RegistryCodec::binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  unsigned __int128 result = 1;
+  for (std::size_t j = 1; j <= k; ++j) {
+    result = result * (n - k + j) / j;  // exact at each step (product of j consecutive)
+    if (result > static_cast<unsigned __int128>(UINT64_MAX >> 1)) {
+      throw std::overflow_error("RegistryCodec::binomial: value exceeds 2^63");
+    }
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+RegistryCodec::RegistryCodec(std::size_t num_classes, std::vector<std::size_t> reference_set)
+    : C_(num_classes), G_(std::move(reference_set)) {
+  if (C_ == 0) throw std::invalid_argument("RegistryCodec: C == 0");
+  if (G_.empty()) throw std::invalid_argument("RegistryCodec: empty reference set");
+  for (std::size_t i = 0; i < G_.size(); ++i) {
+    if (G_[i] == 0 || G_[i] > C_) {
+      throw std::invalid_argument("RegistryCodec: G element out of [1, C]");
+    }
+    if (i > 0 && G_[i] <= G_[i - 1]) {
+      throw std::invalid_argument("RegistryCodec: G must be strictly increasing");
+    }
+  }
+  if (G_.back() != C_) {
+    throw std::invalid_argument("RegistryCodec: G must contain C as its last element");
+  }
+  offsets_.resize(G_.size() + 1);
+  offsets_[0] = 0;
+  for (std::size_t gi = 0; gi < G_.size(); ++gi) {
+    offsets_[gi + 1] = offsets_[gi] + static_cast<std::size_t>(binomial(C_, G_[gi]));
+  }
+  length_ = offsets_.back();
+}
+
+std::size_t RegistryCodec::subvector_offset(std::size_t gi) const {
+  if (gi >= G_.size()) throw std::out_of_range("subvector_offset");
+  return offsets_[gi];
+}
+
+std::size_t RegistryCodec::subvector_length(std::size_t gi) const {
+  if (gi >= G_.size()) throw std::out_of_range("subvector_length");
+  return offsets_[gi + 1] - offsets_[gi];
+}
+
+std::size_t RegistryCodec::group_of_index(std::size_t index) const {
+  if (index >= length_) throw std::out_of_range("group_of_index");
+  for (std::size_t gi = 0; gi < G_.size(); ++gi) {
+    if (index < offsets_[gi + 1]) return gi;
+  }
+  throw std::out_of_range("group_of_index");  // unreachable
+}
+
+std::size_t RegistryCodec::index_of(std::span<const std::size_t> category) const {
+  const auto it = std::find(G_.begin(), G_.end(), category.size());
+  if (it == G_.end()) {
+    throw std::invalid_argument("index_of: category size not in reference set");
+  }
+  std::uint64_t rank = 0;
+  for (std::size_t j = 0; j < category.size(); ++j) {
+    if (category[j] >= C_ || (j > 0 && category[j] <= category[j - 1])) {
+      throw std::invalid_argument("index_of: category must be increasing class ids");
+    }
+    rank += binomial(category[j], j + 1);
+  }
+  const auto gi = static_cast<std::size_t>(it - G_.begin());
+  return offsets_[gi] + static_cast<std::size_t>(rank);
+}
+
+std::vector<std::size_t> RegistryCodec::category_at(std::size_t index) const {
+  const std::size_t gi = group_of_index(index);
+  std::uint64_t rank = index - offsets_[gi];
+  const std::size_t i = G_[gi];
+  std::vector<std::size_t> category(i);
+  // Greedy combinadic decoding from the largest coordinate down.
+  for (std::size_t j = i; j-- > 0;) {
+    // Largest c with binomial(c, j+1) <= rank.
+    std::size_t c = j;  // binomial(j, j+1) == 0 <= rank always holds
+    while (c + 1 < C_ && binomial(c + 1, j + 1) <= rank) ++c;
+    category[j] = c;
+    rank -= binomial(c, j + 1);
+  }
+  return category;
+}
+
+}  // namespace dubhe::core

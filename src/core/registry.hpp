@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dubhe::core {
+
+/// The registry codebook (paper §5.1, Eq. 5): a one-hot vector concatenated
+/// from one sub-vector per candidate dominating-class count i in the
+/// reference set G ⊂ [C]. Sub-vector i has one slot per i-subset of classes
+/// (length C(C, i)); a client with dominating classes u = {c_1 < ... < c_i}
+/// flips exactly the slot indexing u.
+///
+/// Subset <-> slot mapping uses the combinatorial number system
+/// (rank(u) = Σ_j C(c_j, j)), so encode/decode are O(i log C) with no
+/// materialized codebook. The paper's configurations are G = {1, 2, 10} for
+/// C = 10 (length 56) and G = {1, 52} for C = 52 (length 53).
+class RegistryCodec {
+ public:
+  /// `reference_set` must be strictly increasing, non-empty, each element in
+  /// [1, C], and end with C (the "no dominating class" fallback — paper
+  /// §5.3.2 fixes sigma_C = 0). Throws std::invalid_argument otherwise, and
+  /// std::overflow_error if any C(C, i) exceeds 2^63 (choose smaller i).
+  RegistryCodec(std::size_t num_classes, std::vector<std::size_t> reference_set);
+
+  [[nodiscard]] std::size_t num_classes() const { return C_; }
+  [[nodiscard]] const std::vector<std::size_t>& reference_set() const { return G_; }
+  /// Total registry length l = Σ_{i in G} C(C, i).
+  [[nodiscard]] std::size_t length() const { return length_; }
+  /// Offset of sub-vector `gi` (index into reference_set) in the registry.
+  [[nodiscard]] std::size_t subvector_offset(std::size_t gi) const;
+  [[nodiscard]] std::size_t subvector_length(std::size_t gi) const;
+  /// Which sub-vector a global slot index falls in.
+  [[nodiscard]] std::size_t group_of_index(std::size_t index) const;
+
+  /// Global slot index of a category (strictly increasing class ids whose
+  /// size must be an element of G). Throws std::invalid_argument otherwise.
+  [[nodiscard]] std::size_t index_of(std::span<const std::size_t> category) const;
+  /// Inverse of index_of.
+  [[nodiscard]] std::vector<std::size_t> category_at(std::size_t index) const;
+
+  /// Overflow-checked binomial coefficient.
+  [[nodiscard]] static std::uint64_t binomial(std::size_t n, std::size_t k);
+
+ private:
+  std::size_t C_;
+  std::vector<std::size_t> G_;
+  std::vector<std::size_t> offsets_;  // per group, plus total at the end
+  std::size_t length_;
+};
+
+}  // namespace dubhe::core

@@ -1,0 +1,240 @@
+#include "core/secure.hpp"
+
+#include <chrono>
+#include <string>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+#include "tensor/threadpool.hpp"
+
+namespace dubhe::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Bits needed to hold `v` without overflow during homomorphic summation.
+std::size_t bits_for(std::uint64_t v) {
+  std::size_t bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+void require_slot_capacity(std::size_t slot_bits, std::uint64_t max_slot_sum,
+                           const char* what) {
+  if (slot_bits < bits_for(max_slot_sum)) {
+    throw std::invalid_argument(
+        std::string("SecureSelectionSession: packing_slot_bits too small for ") + what);
+  }
+}
+
+}  // namespace
+
+SecureSelectionSession::SecureSelectionSession(const RegistryCodec& codec,
+                                               std::vector<double> sigma, SecureConfig cfg,
+                                               std::size_t num_clients,
+                                               bigint::EntropySource& rng,
+                                               fl::ChannelAccountant* channel)
+    : codec_(codec),
+      sigma_(std::move(sigma)),
+      cfg_(cfg),
+      num_clients_(num_clients),
+      rng_(rng),
+      channel_(channel) {
+  if (sigma_.size() != codec_.reference_set().size()) {
+    throw std::invalid_argument("SecureSelectionSession: sigma size must match |G|");
+  }
+  const auto t0 = Clock::now();
+  keypair_ = he::Keypair::generate(rng_, cfg_.key_bits);
+  timings_.keygen_seconds += seconds_since(t0);
+  session_seed_ = rng_.next_u64();
+  if (channel_ != nullptr) {
+    // The agent dispatches the keypair to every other client (paper §5.1).
+    // pk is n; sk is (p, q): ~3 plaintext widths per recipient.
+    const std::size_t key_bytes = 3 * keypair_.pub.plaintext_bytes();
+    channel_->record(fl::MessageKind::kKeyMaterial, fl::Direction::kServerToClient,
+                     key_bytes * num_clients_, num_clients_);
+  }
+}
+
+std::size_t SecureSelectionSession::encrypted_registry_bytes() const {
+  if (cfg_.use_packing) {
+    const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
+    return packed.plaintexts_for(codec_.length()) * (4 + keypair_.pub.ciphertext_bytes());
+  }
+  return codec_.length() * (4 + keypair_.pub.ciphertext_bytes());
+}
+
+std::size_t SecureSelectionSession::encrypted_distribution_bytes() const {
+  if (cfg_.use_packing) {
+    const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
+    return packed.plaintexts_for(codec_.num_classes()) *
+           (4 + keypair_.pub.ciphertext_bytes());
+  }
+  return codec_.num_classes() * (4 + keypair_.pub.ciphertext_bytes());
+}
+
+SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registration(
+    std::span<const stats::Distribution> dists) {
+  if (dists.size() != num_clients_) {
+    throw std::invalid_argument("run_registration: cohort size mismatch");
+  }
+  RegistrationOutcome out;
+  out.registrations.reserve(dists.size());
+  for (const auto& d : dists) {
+    out.registrations.push_back(register_client(codec_, d, sigma_));
+  }
+
+  const std::size_t N = dists.size();
+  const std::size_t wire_bytes = encrypted_registry_bytes();
+
+  // Client-side encryption. Every client uses its own seed-derived
+  // randomness, so running this serially or across threads (the deployment
+  // reality: clients are separate machines) yields identical ciphertexts.
+  // encrypt_seconds accumulates the *summed client-side* cost.
+  std::vector<double> durations(N, 0.0);
+  if (cfg_.use_packing) {
+    require_slot_capacity(cfg_.packing_slot_bits, num_clients_, "registry counts");
+    const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
+    std::vector<he::PackedEncryptedVector> cts(N);
+    const auto encrypt_one = [&](std::size_t k) {
+      bigint::Xoshiro256ss client_rng(stats::derive_seed(session_seed_, k));
+      const auto t0 = Clock::now();
+      cts[k] = he::PackedEncryptedVector::encrypt(
+          keypair_.pub, packed, to_onehot(codec_, out.registrations[k]), client_rng);
+      durations[k] = seconds_since(t0);
+    };
+    if (cfg_.encrypt_threads > 1) {
+      tensor::ThreadPool pool(cfg_.encrypt_threads);
+      pool.parallel_for(N, encrypt_one);
+    } else {
+      for (std::size_t k = 0; k < N; ++k) encrypt_one(k);
+    }
+    he::PackedEncryptedVector sum = std::move(cts[0]);
+    for (std::size_t k = 1; k < N; ++k) sum += cts[k];  // server side
+    const auto t0 = Clock::now();
+    out.overall_registry = sum.decrypt(keypair_.prv);
+    timings_.decrypt_seconds += seconds_since(t0);
+    ++timings_.vectors_decrypted;
+  } else {
+    std::vector<he::EncryptedVector> cts(N);
+    const auto encrypt_one = [&](std::size_t k) {
+      bigint::Xoshiro256ss client_rng(stats::derive_seed(session_seed_, k));
+      const auto t0 = Clock::now();
+      cts[k] = he::EncryptedVector::encrypt(
+          keypair_.pub, to_onehot(codec_, out.registrations[k]), client_rng);
+      durations[k] = seconds_since(t0);
+    };
+    if (cfg_.encrypt_threads > 1) {
+      tensor::ThreadPool pool(cfg_.encrypt_threads);
+      pool.parallel_for(N, encrypt_one);
+    } else {
+      for (std::size_t k = 0; k < N; ++k) encrypt_one(k);
+    }
+    he::EncryptedVector sum = std::move(cts[0]);
+    for (std::size_t k = 1; k < N; ++k) sum += cts[k];  // server side
+    const auto t0 = Clock::now();
+    out.overall_registry = sum.decrypt(keypair_.prv);
+    timings_.decrypt_seconds += seconds_since(t0);
+    ++timings_.vectors_decrypted;
+  }
+
+  for (const double d : durations) timings_.encrypt_seconds += d;
+  timings_.vectors_encrypted += N;
+  if (channel_ != nullptr) {
+    channel_->record(fl::MessageKind::kRegistry, fl::Direction::kClientToServer,
+                     wire_bytes * N, N);
+    channel_->record(fl::MessageKind::kRegistry, fl::Direction::kServerToClient,
+                     wire_bytes * N, N);
+  }
+  return out;
+}
+
+stats::Distribution SecureSelectionSession::aggregate_population(
+    std::span<const stats::Distribution> dists, std::span<const std::size_t> selected) {
+  if (selected.empty()) throw std::invalid_argument("aggregate_population: empty set");
+  const std::size_t C = codec_.num_classes();
+  const std::size_t wire_bytes = encrypted_distribution_bytes();
+
+  // Clients quantize p_l to fixed point and encrypt; the server adds
+  // ciphertexts; the agent decrypts the aggregate.
+  auto quantize = [&](const stats::Distribution& d) {
+    std::vector<std::uint64_t> q(C);
+    for (std::size_t c = 0; c < C; ++c) {
+      q[c] = static_cast<std::uint64_t>(d[c] * static_cast<double>(cfg_.fixed_point_scale) +
+                                        0.5);
+    }
+    return q;
+  };
+
+  std::vector<std::uint64_t> total;
+  if (cfg_.use_packing) {
+    // Each slot accumulates up to scale per client across |selected| adds.
+    require_slot_capacity(cfg_.packing_slot_bits,
+                          cfg_.fixed_point_scale * selected.size(),
+                          "fixed-point distribution sums");
+    const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
+    he::PackedEncryptedVector sum;
+    bool first = true;
+    for (const std::size_t k : selected) {
+      const auto t0 = Clock::now();
+      auto ct = he::PackedEncryptedVector::encrypt(keypair_.pub, packed,
+                                                   quantize(dists[k]), rng_);
+      timings_.encrypt_seconds += seconds_since(t0);
+      ++timings_.vectors_encrypted;
+      if (channel_ != nullptr) {
+        channel_->record(fl::MessageKind::kDistribution, fl::Direction::kClientToServer,
+                         wire_bytes);
+      }
+      if (first) {
+        sum = std::move(ct);
+        first = false;
+      } else {
+        sum += ct;
+      }
+    }
+    if (channel_ != nullptr) {  // server -> agent
+      channel_->record(fl::MessageKind::kDistribution, fl::Direction::kServerToClient,
+                       wire_bytes);
+    }
+    const auto t0 = Clock::now();
+    total = sum.decrypt(keypair_.prv);
+    timings_.decrypt_seconds += seconds_since(t0);
+    ++timings_.vectors_decrypted;
+  } else {
+    he::EncryptedVector sum = he::EncryptedVector::zeros(keypair_.pub, C);
+    for (const std::size_t k : selected) {
+      const auto t0 = Clock::now();
+      const auto ct = he::EncryptedVector::encrypt(keypair_.pub, quantize(dists[k]), rng_);
+      timings_.encrypt_seconds += seconds_since(t0);
+      ++timings_.vectors_encrypted;
+      if (channel_ != nullptr) {
+        channel_->record(fl::MessageKind::kDistribution, fl::Direction::kClientToServer,
+                         wire_bytes);
+      }
+      sum += ct;
+    }
+    if (channel_ != nullptr) {
+      channel_->record(fl::MessageKind::kDistribution, fl::Direction::kServerToClient,
+                       wire_bytes);
+    }
+    const auto t0 = Clock::now();
+    total = sum.decrypt(keypair_.prv);
+    timings_.decrypt_seconds += seconds_since(t0);
+    ++timings_.vectors_decrypted;
+  }
+
+  stats::Distribution po(C);
+  for (std::size_t c = 0; c < C; ++c) po[c] = static_cast<double>(total[c]);
+  stats::normalize(po);
+  return po;
+}
+
+}  // namespace dubhe::core

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/registration.hpp"
+#include "core/registry.hpp"
+#include "fl/channel.hpp"
+#include "paillier/encrypted_vector.hpp"
+#include "paillier/packing.hpp"
+#include "stats/distribution.hpp"
+
+namespace dubhe::core {
+
+/// Cryptosystem parameters for the secure flows. The paper's deployment is
+/// key_bits = 2048, one ciphertext per registry slot (python-paillier); the
+/// packing option is the BatchCrypt-style extension quantified in
+/// bench/micro_crypto.
+struct SecureConfig {
+  std::size_t key_bits = 2048;
+  bool use_packing = false;
+  /// Slot width when packing. 20 bits admits > 10^6 one-hot additions per
+  /// slot, far beyond any realistic client population.
+  std::size_t packing_slot_bits = 20;
+  /// Fixed-point scale for encrypting real-valued label distributions.
+  std::uint64_t fixed_point_scale = 1'000'000;
+  /// Worker threads for the registration encryption. Encryption happens on
+  /// the clients, which are independent machines in deployment (paper §6.4:
+  /// "the encryption is operated in parallel on clients"); > 1 simulates
+  /// that. Results are identical for any thread count: every client
+  /// encrypts under its own seed-derived randomness.
+  std::size_t encrypt_threads = 1;
+};
+
+/// Accumulated wall-clock spent inside cryptographic primitives.
+struct CryptoTimings {
+  double keygen_seconds = 0;
+  double encrypt_seconds = 0;
+  double decrypt_seconds = 0;
+  std::size_t vectors_encrypted = 0;
+  std::size_t vectors_decrypted = 0;
+};
+
+/// The secure counterpart of the plaintext selection pipeline: a full
+/// Paillier session implementing the paper's §5.1 registration round-trip
+/// and §5.3 encrypted population aggregation, with every transfer accounted
+/// on the FL channel. The agent role (keygen, final decryption on behalf of
+/// the cohort) is played inside this class; the "server" only ever touches
+/// ciphertexts — tests assert that the plaintext never appears server-side.
+class SecureSelectionSession {
+ public:
+  /// Generates the session keypair (timed into timings().keygen_seconds)
+  /// and accounts its dispatch to `num_clients` clients.
+  SecureSelectionSession(const RegistryCodec& codec, std::vector<double> sigma,
+                         SecureConfig cfg, std::size_t num_clients,
+                         bigint::EntropySource& rng,
+                         fl::ChannelAccountant* channel = nullptr);
+
+  struct RegistrationOutcome {
+    std::vector<std::uint64_t> overall_registry;  // R_A, decrypted
+    std::vector<Registration> registrations;      // per client (stays client-side)
+  };
+
+  /// §5.1 end-to-end: every client registers (Algorithm 1), encrypts its
+  /// one-hot registry, the server adds ciphertexts, and the encrypted sum is
+  /// broadcast and decrypted client-side. Returns R_A plus the per-client
+  /// registrations for DubheSelector::load_overall_registry.
+  RegistrationOutcome run_registration(std::span<const stats::Distribution> dists);
+
+  /// §5.3 tentative-try aggregation: the selected clients encrypt their
+  /// fixed-point label distributions, the server adds ciphertexts, the agent
+  /// decrypts and normalizes p_o.
+  stats::Distribution aggregate_population(std::span<const stats::Distribution> dists,
+                                           std::span<const std::size_t> selected);
+
+  [[nodiscard]] const CryptoTimings& timings() const { return timings_; }
+  [[nodiscard]] const he::PublicKey& public_key() const { return keypair_.pub; }
+  /// Wire size of one client's encrypted registry under the configured mode.
+  [[nodiscard]] std::size_t encrypted_registry_bytes() const;
+  /// Wire size of one client's encrypted label distribution.
+  [[nodiscard]] std::size_t encrypted_distribution_bytes() const;
+
+ private:
+  const RegistryCodec& codec_;
+  std::vector<double> sigma_;
+  SecureConfig cfg_;
+  std::size_t num_clients_;
+  bigint::EntropySource& rng_;
+  fl::ChannelAccountant* channel_;
+  he::Keypair keypair_;
+  CryptoTimings timings_;
+  /// Per-client encryption randomness derives from this, so serial and
+  /// parallel registration produce identical ciphertexts.
+  std::uint64_t session_seed_ = 0;
+};
+
+}  // namespace dubhe::core

@@ -1,0 +1,43 @@
+#include "data/drift.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::data {
+
+Partition drift_partition(const Partition& part, const PartitionConfig& cfg,
+                          double fraction, std::uint64_t seed) {
+  if (fraction < 0 || fraction > 1) {
+    throw std::invalid_argument("drift_partition: fraction must be in [0, 1]");
+  }
+  if (part.num_clients() != cfg.num_clients || part.num_classes() != cfg.num_classes) {
+    throw std::invalid_argument("drift_partition: partition/config mismatch");
+  }
+  const std::size_t N = part.num_clients(), C = part.num_classes();
+  const auto drifters = static_cast<std::size_t>(fraction * static_cast<double>(N) + 0.5);
+
+  // Fresh donor partition under the same statistical regime but a new seed.
+  PartitionConfig donor_cfg = cfg;
+  donor_cfg.seed = stats::derive_seed(seed, 0xd21f7);
+  const Partition donor = make_partition(donor_cfg);
+
+  Partition out = part;
+  stats::Rng rng(stats::derive_seed(seed, 0x5eed));
+  for (const std::size_t k : rng.choose_k_of_n(drifters, N)) {
+    out.client_counts[k] = donor.client_counts[k];
+    out.client_dists[k] = donor.client_dists[k];
+  }
+
+  std::vector<std::size_t> global_counts(C, 0);
+  for (const auto& row : out.client_counts) {
+    for (std::size_t c = 0; c < C; ++c) global_counts[c] += row[c];
+  }
+  out.global_realized = stats::from_counts(global_counts);
+  double emd_sum = 0;
+  for (std::size_t k = 0; k < N; ++k) {
+    emd_sum += stats::l1_distance(out.client_dists[k], out.global_realized);
+  }
+  out.realized_emd_avg = emd_sum / static_cast<double>(N);
+  return out;
+}
+
+}  // namespace dubhe::data

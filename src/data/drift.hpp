@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/partition.hpp"
+
+namespace dubhe::data {
+
+/// Simulates data drift in a live FL system (paper §5.1: "the registration
+/// process is performed periodically in order to follow up on the states of
+/// clients"; §5.3.2: parameter search re-runs when the system changes).
+/// A `fraction` of clients is chosen uniformly and their label counts are
+/// replaced by freshly generated ones under the same PartitionConfig (new
+/// dominating classes, same global profile), then the realized global
+/// distribution and EMD are recomputed.
+///
+/// Returned partitions are valid inputs for registration; the
+/// ablation_robustness bench uses this to show that a *stale* registry
+/// degrades data unbiasedness while periodic re-registration holds it.
+Partition drift_partition(const Partition& part, const PartitionConfig& cfg,
+                          double fraction, std::uint64_t seed);
+
+}  // namespace dubhe::data

@@ -1,0 +1,65 @@
+#include "data/federated.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::data {
+
+namespace {
+/// Test instances use a disjoint id range so they never collide with any
+/// training instance of the same class.
+constexpr std::uint64_t kTestInstanceBase = std::uint64_t{1} << 60;
+}  // namespace
+
+FederatedDataset::FederatedDataset(DatasetSpec spec, PartitionConfig pcfg,
+                                   std::size_t test_per_class)
+    : gen_(std::move(spec)), partition_(make_partition(pcfg)) {
+  if (gen_.num_classes() != pcfg.num_classes) {
+    throw std::invalid_argument("FederatedDataset: spec/partition class mismatch");
+  }
+  const std::size_t N = partition_.num_clients();
+  const std::size_t C = partition_.num_classes();
+
+  // Assign every client's samples fresh instance ids per class, so every
+  // training sample in the federation is a distinct draw.
+  std::vector<std::uint64_t> next_instance(C, 0);
+  clients_.resize(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    auto& list = clients_[k];
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t j = 0; j < partition_.client_counts[k][c]; ++j) {
+        list.push_back(Sample{c, next_instance[c]++});
+      }
+    }
+  }
+
+  test_.reserve(C * test_per_class);
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t j = 0; j < test_per_class; ++j) {
+      test_.push_back(Sample{c, kTestInstanceBase + j});
+    }
+  }
+}
+
+std::span<const Sample> FederatedDataset::client_samples(std::size_t k) const {
+  if (k >= clients_.size()) throw std::out_of_range("client_samples: bad client");
+  return clients_[k];
+}
+
+const stats::Distribution& FederatedDataset::client_distribution(std::size_t k) const {
+  if (k >= clients_.size()) throw std::out_of_range("client_distribution: bad client");
+  return partition_.client_dists[k];
+}
+
+void FederatedDataset::materialize(std::span<const Sample> batch, std::span<float> X,
+                                   std::span<std::size_t> y) const {
+  const std::size_t F = gen_.feature_dim();
+  if (X.size() != batch.size() * F || y.size() != batch.size()) {
+    throw std::invalid_argument("materialize: output size mismatch");
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    gen_.features_into(batch[i].cls, batch[i].instance, X.subspan(i * F, F));
+    y[i] = gen_.observed_label(batch[i].cls, batch[i].instance);
+  }
+}
+
+}  // namespace dubhe::data

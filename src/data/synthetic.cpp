@@ -1,0 +1,89 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace dubhe::data {
+
+DatasetSpec mnist_like() {
+  return DatasetSpec{.name = "mnist-like",
+                     .num_classes = 10,
+                     .feature_dim = 32,
+                     .noise_sigma = 0.25,
+                     .label_noise = 0.0,
+                     .proto_seed = 0xA11CE};
+}
+
+DatasetSpec cifar_like() {
+  return DatasetSpec{.name = "cifar10-like",
+                     .num_classes = 10,
+                     .feature_dim = 32,
+                     .noise_sigma = 0.55,
+                     .label_noise = 0.08,
+                     .proto_seed = 0xBEEF};
+}
+
+DatasetSpec femnist_like() {
+  return DatasetSpec{.name = "femnist-like",
+                     .num_classes = 52,
+                     .feature_dim = 64,
+                     .noise_sigma = 0.35,
+                     .label_noise = 0.03,
+                     .proto_seed = 0xFE3757};
+}
+
+SyntheticGenerator::SyntheticGenerator(DatasetSpec spec) : spec_(std::move(spec)) {
+  if (spec_.num_classes == 0 || spec_.feature_dim == 0) {
+    throw std::invalid_argument("SyntheticGenerator: empty spec");
+  }
+  // Unit-norm Gaussian prototypes; with F >> log C they are near-orthogonal,
+  // so pairwise separation is uniform and difficulty is set by noise_sigma.
+  prototypes_.resize(spec_.num_classes * spec_.feature_dim);
+  stats::Rng rng(spec_.proto_seed);
+  for (std::size_t c = 0; c < spec_.num_classes; ++c) {
+    float* row = prototypes_.data() + c * spec_.feature_dim;
+    double norm_sq = 0;
+    for (std::size_t f = 0; f < spec_.feature_dim; ++f) {
+      row[f] = static_cast<float>(rng.normal());
+      norm_sq += static_cast<double>(row[f]) * row[f];
+    }
+    const auto inv_norm = static_cast<float>(1.0 / std::sqrt(std::max(norm_sq, 1e-12)));
+    for (std::size_t f = 0; f < spec_.feature_dim; ++f) row[f] *= inv_norm;
+  }
+}
+
+std::span<const float> SyntheticGenerator::prototype(std::size_t cls) const {
+  if (cls >= spec_.num_classes) throw std::out_of_range("prototype: bad class");
+  return {prototypes_.data() + cls * spec_.feature_dim, spec_.feature_dim};
+}
+
+void SyntheticGenerator::features_into(std::size_t cls, std::uint64_t index,
+                                       std::span<float> out) const {
+  if (cls >= spec_.num_classes) throw std::out_of_range("features_into: bad class");
+  if (out.size() != spec_.feature_dim) {
+    throw std::invalid_argument("features_into: wrong output size");
+  }
+  const std::uint64_t seed =
+      stats::derive_seed(spec_.proto_seed, (static_cast<std::uint64_t>(cls) << 40) ^ index);
+  stats::Rng rng(seed);
+  const float* proto = prototypes_.data() + cls * spec_.feature_dim;
+  const auto sigma = static_cast<float>(spec_.noise_sigma);
+  for (std::size_t f = 0; f < spec_.feature_dim; ++f) {
+    out[f] = proto[f] + sigma * static_cast<float>(rng.normal());
+  }
+}
+
+std::size_t SyntheticGenerator::observed_label(std::size_t cls, std::uint64_t index) const {
+  if (spec_.label_noise <= 0) return cls;
+  const std::uint64_t seed = stats::derive_seed(
+      spec_.proto_seed ^ 0x17ab3u, (static_cast<std::uint64_t>(cls) << 40) ^ index);
+  stats::Rng rng(seed);
+  if (!rng.bernoulli(spec_.label_noise)) return cls;
+  // Deterministic corrupted label, never equal to the true class.
+  const std::size_t other = rng.below(spec_.num_classes - 1);
+  return other >= cls ? other + 1 : other;
+}
+
+}  // namespace dubhe::data

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dubhe::data {
+
+/// Specification of a synthetic classification dataset. Real MNIST / CIFAR10
+/// / FEMNIST files are not available offline, so we substitute Gaussian
+/// class-prototype data calibrated to the same class count and a comparable
+/// difficulty (see DESIGN.md §2): a sample of class c is
+///   x = prototype_c + noise_sigma * N(0, I),
+/// with an optional `label_noise` fraction of corrupted labels to cap the
+/// achievable accuracy the way natural-image ambiguity does.
+struct DatasetSpec {
+  std::string name;
+  std::size_t num_classes = 10;
+  std::size_t feature_dim = 32;
+  /// Within-class isotropic noise relative to unit-norm prototypes.
+  double noise_sigma = 1.0;
+  /// Probability a sample's label is resampled uniformly (difficulty knob).
+  double label_noise = 0.0;
+  /// Seed of the prototype matrix (fixed per dataset, not per run).
+  std::uint64_t proto_seed = 7;
+};
+
+/// MNIST-like: 10 well-separated classes, ~97% linear-probe ceiling.
+DatasetSpec mnist_like();
+/// CIFAR10-like: 10 overlapping classes + label noise, ~60% ceiling.
+DatasetSpec cifar_like();
+/// FEMNIST-letters-like: 52 classes, moderate overlap, ~40-60% ceiling.
+DatasetSpec femnist_like();
+
+/// Deterministic sample generator: features depend only on
+/// (spec.proto_seed, class, instance index), so any client — and the test
+/// harness — can rematerialize a sample from its (label, instance) key
+/// without storing the pool.
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(DatasetSpec spec);
+
+  [[nodiscard]] const DatasetSpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t feature_dim() const { return spec_.feature_dim; }
+  [[nodiscard]] std::size_t num_classes() const { return spec_.num_classes; }
+
+  /// Writes the feature vector of instance (cls, index) into `out`
+  /// (out.size() must equal feature_dim()).
+  void features_into(std::size_t cls, std::uint64_t index, std::span<float> out) const;
+  /// Observed label for the instance — equals `cls` except with probability
+  /// label_noise, when it is a deterministic pseudo-random other class.
+  [[nodiscard]] std::size_t observed_label(std::size_t cls, std::uint64_t index) const;
+  /// Prototype of a class (unit norm), mostly for tests/diagnostics.
+  [[nodiscard]] std::span<const float> prototype(std::size_t cls) const;
+
+ private:
+  DatasetSpec spec_;
+  std::vector<float> prototypes_;  // num_classes x feature_dim, row-major
+};
+
+}  // namespace dubhe::data

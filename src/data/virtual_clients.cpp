@@ -1,0 +1,33 @@
+#include "data/virtual_clients.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::data {
+
+VirtualSplit split_virtual_clients(const std::vector<std::vector<Sample>>& real_clients,
+                                   std::size_t nvc, stats::Rng& rng) {
+  if (nvc == 0) throw std::invalid_argument("split_virtual_clients: nvc == 0");
+  VirtualSplit out;
+  for (std::size_t k = 0; k < real_clients.size(); ++k) {
+    const auto& samples = real_clients[k];
+    if (samples.empty()) continue;  // a client with no data contributes nothing
+    // Shuffle a copy so splits are not biased by generation order.
+    std::vector<Sample> pool = samples;
+    rng.shuffle(pool);
+    const std::size_t pieces = (pool.size() + nvc - 1) / nvc;
+    for (std::size_t piece = 0; piece < pieces; ++piece) {
+      std::vector<Sample> vc;
+      vc.reserve(nvc);
+      for (std::size_t j = 0; j < nvc; ++j) {
+        // Wrap around: small tails duplicate samples until the virtual
+        // client is full, exactly as FedVC prescribes for small clients.
+        vc.push_back(pool[(piece * nvc + j) % pool.size()]);
+      }
+      out.virtual_clients.push_back(std::move(vc));
+      out.origin.push_back(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace dubhe::data

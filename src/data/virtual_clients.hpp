@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "data/federated.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe::data {
+
+/// FedVC-style virtual client splitting (paper §4.1, borrowed from Hsu et
+/// al.): clients with more than `nvc` samples are split into several virtual
+/// clients and clients with fewer duplicate samples, so every virtual client
+/// holds exactly `nvc` samples and plain (unweighted) averaging is unbiased.
+///
+/// Returns the virtual clients' sample lists plus a map from virtual client
+/// to originating real client.
+struct VirtualSplit {
+  std::vector<std::vector<Sample>> virtual_clients;
+  std::vector<std::size_t> origin;  // virtual index -> real client index
+};
+
+VirtualSplit split_virtual_clients(const std::vector<std::vector<Sample>>& real_clients,
+                                   std::size_t nvc, stats::Rng& rng);
+
+}  // namespace dubhe::data

@@ -1,0 +1,68 @@
+#include "fl/channel.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::fl {
+
+std::string to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kModelWeights: return "model-weights";
+    case MessageKind::kRegistry: return "registry";
+    case MessageKind::kDistribution: return "distribution";
+    case MessageKind::kKeyMaterial: return "key-material";
+    case MessageKind::kControl: return "control";
+    case MessageKind::kCount_: break;
+  }
+  throw std::invalid_argument("to_string: bad MessageKind");
+}
+
+void ChannelAccountant::record(MessageKind kind, Direction dir, std::size_t bytes,
+                               std::size_t count) {
+  auto& cell = cells_.at(static_cast<std::size_t>(kind)).at(static_cast<std::size_t>(dir));
+  cell.messages.fetch_add(count, std::memory_order_relaxed);
+  cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t ChannelAccountant::messages(MessageKind kind, Direction dir) const {
+  return cells_.at(static_cast<std::size_t>(kind))
+      .at(static_cast<std::size_t>(dir))
+      .messages.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ChannelAccountant::bytes(MessageKind kind, Direction dir) const {
+  return cells_.at(static_cast<std::size_t>(kind))
+      .at(static_cast<std::size_t>(dir))
+      .bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ChannelAccountant::messages(MessageKind kind) const {
+  return messages(kind, Direction::kClientToServer) +
+         messages(kind, Direction::kServerToClient);
+}
+
+std::uint64_t ChannelAccountant::bytes(MessageKind kind) const {
+  return bytes(kind, Direction::kClientToServer) + bytes(kind, Direction::kServerToClient);
+}
+
+std::uint64_t ChannelAccountant::total_messages() const {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) total += messages(static_cast<MessageKind>(k));
+  return total;
+}
+
+std::uint64_t ChannelAccountant::total_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) total += bytes(static_cast<MessageKind>(k));
+  return total;
+}
+
+void ChannelAccountant::reset() {
+  for (auto& kind_row : cells_) {
+    for (auto& cell : kind_row) {
+      cell.messages.store(0, std::memory_order_relaxed);
+      cell.bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace dubhe::fl

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dubhe::fl {
+
+/// What a message carries — the categories §6.4 of the paper accounts for.
+enum class MessageKind : std::size_t {
+  kModelWeights = 0,  // global model down / local update up
+  kRegistry,          // encrypted registry (registration)
+  kDistribution,      // encrypted p_l (multi-time selection)
+  kKeyMaterial,       // HE key dispatch by the agent
+  kControl,           // selection decisions, parameters, acks
+  kCount_,
+};
+
+enum class Direction : std::size_t { kClientToServer = 0, kServerToClient, kCount_ };
+
+[[nodiscard]] std::string to_string(MessageKind kind);
+
+/// Thread-safe accounting of everything that crosses the (simulated)
+/// network. The FL loop and Dubhe's secure flows record every transfer here,
+/// so the §6.4 communication-overhead table is measured, not estimated.
+class ChannelAccountant {
+ public:
+  void record(MessageKind kind, Direction dir, std::size_t bytes, std::size_t count = 1);
+
+  [[nodiscard]] std::uint64_t messages(MessageKind kind) const;
+  [[nodiscard]] std::uint64_t bytes(MessageKind kind) const;
+  [[nodiscard]] std::uint64_t messages(MessageKind kind, Direction dir) const;
+  [[nodiscard]] std::uint64_t bytes(MessageKind kind, Direction dir) const;
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  void reset();
+
+ private:
+  static constexpr std::size_t kKinds = static_cast<std::size_t>(MessageKind::kCount_);
+  static constexpr std::size_t kDirs = static_cast<std::size_t>(Direction::kCount_);
+  struct Cell {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  std::array<std::array<Cell, kDirs>, kKinds> cells_;
+};
+
+}  // namespace dubhe::fl

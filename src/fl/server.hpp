@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/federated.hpp"
+#include "nn/sequential.hpp"
+
+namespace dubhe::fl {
+
+/// The aggregation server: holds the global model and implements the
+/// equal-weight FedAvg of Eq. (1) — every participant is a virtual client
+/// with the same dataset size N_VC, so the aggregate is the plain mean of
+/// the returned weight vectors.
+class Server {
+ public:
+  explicit Server(nn::Sequential prototype);
+
+  [[nodiscard]] const std::vector<float>& global_weights() const { return weights_; }
+  void set_global_weights(std::vector<float> w);
+  [[nodiscard]] const nn::Sequential& prototype() const { return model_; }
+
+  /// Mean of the client updates; throws std::invalid_argument on an empty
+  /// list or mismatched sizes. Installs the result as the new global model.
+  void aggregate(std::span<const std::vector<float>> updates);
+
+  /// Balanced-test-set top-1 accuracy of the current global model.
+  [[nodiscard]] double evaluate(const data::FederatedDataset& dataset,
+                                std::size_t batch_size = 256);
+
+  /// Per-class recall on the balanced test set — the lens that shows *where*
+  /// biased participation hurts (minority classes collapse under random
+  /// selection with skewed data; see bench/analysis_perclass).
+  [[nodiscard]] std::vector<double> evaluate_per_class(
+      const data::FederatedDataset& dataset, std::size_t batch_size = 256);
+
+ private:
+  nn::Sequential model_;
+  std::vector<float> weights_;
+};
+
+}  // namespace dubhe::fl

@@ -1,0 +1,60 @@
+#include "fl/trainer.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::fl {
+
+FederatedTrainer::FederatedTrainer(const data::FederatedDataset& dataset,
+                                   nn::Sequential prototype, TrainConfig cfg,
+                                   std::size_t threads, ChannelAccountant* channel)
+    : dataset_(dataset),
+      cfg_(cfg),
+      server_(std::move(prototype)),
+      pool_(threads),
+      channel_(channel) {
+  clients_.reserve(dataset.num_clients());
+  for (std::size_t k = 0; k < dataset.num_clients(); ++k) {
+    const auto samples = dataset.client_samples(k);
+    clients_.emplace_back(k, std::vector<data::Sample>(samples.begin(), samples.end()),
+                          &dataset);
+  }
+}
+
+RoundResult FederatedTrainer::run_round(std::span<const std::size_t> selected,
+                                        std::uint64_t round_seed, bool evaluate) {
+  if (selected.empty()) throw std::invalid_argument("run_round: empty selection");
+  const std::size_t K = selected.size();
+  std::vector<std::vector<float>> updates(K);
+  const std::vector<float>& global = server_.global_weights();
+  const nn::Sequential& proto = server_.prototype();
+
+  pool_.parallel_for(K, [&](std::size_t i) {
+    const Client& c = clients_.at(selected[i]);
+    updates[i] =
+        c.train(proto, global, cfg_, stats::derive_seed(round_seed, c.id() + 1));
+  });
+  server_.aggregate(updates);
+
+  if (channel_ != nullptr) {
+    // One model down + one update up per participant.
+    const std::size_t model_bytes = global.size() * sizeof(float);
+    channel_->record(MessageKind::kModelWeights, Direction::kServerToClient,
+                     model_bytes * K, K);
+    channel_->record(MessageKind::kModelWeights, Direction::kClientToServer,
+                     model_bytes * K, K);
+  }
+
+  RoundResult result;
+  result.population.assign(dataset_.num_classes(), 0.0);
+  for (const std::size_t k : selected) {
+    const auto& d = clients_.at(k).label_distribution();
+    for (std::size_t c = 0; c < d.size(); ++c) result.population[c] += d[c];
+  }
+  stats::normalize(result.population);
+  result.population_l1_to_uniform =
+      stats::l1_distance(result.population, stats::uniform(dataset_.num_classes()));
+  if (evaluate) result.test_accuracy = server_.evaluate(dataset_);
+  return result;
+}
+
+}  // namespace dubhe::fl

@@ -1,0 +1,17 @@
+#include "nn/activations.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace dubhe::nn {
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor y = x;
+  mask_ = tensor::relu_inplace(y);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  return tensor::relu_backward(grad_out, mask_);
+}
+
+}  // namespace dubhe::nn

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dubhe::nn {
+
+/// Rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
+
+ private:
+  Tensor mask_;
+};
+
+}  // namespace dubhe::nn

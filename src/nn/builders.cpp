@@ -1,0 +1,38 @@
+#include "nn/builders.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe::nn {
+
+Sequential make_mlp(std::size_t feature_dim, std::size_t hidden, std::size_t num_classes,
+                    std::uint64_t seed) {
+  Sequential m;
+  m.add(std::make_unique<Linear>(feature_dim, hidden, stats::derive_seed(seed, 1)));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(hidden, num_classes, stats::derive_seed(seed, 2)));
+  return m;
+}
+
+Sequential make_cnn(std::size_t side, std::size_t num_classes, std::uint64_t seed) {
+  if (side % 4 != 0) throw std::invalid_argument("make_cnn: side must be divisible by 4");
+  Sequential m;
+  m.add(std::make_unique<Conv2d>(1, 8, 3, 1, stats::derive_seed(seed, 1)));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool2d>());
+  m.add(std::make_unique<Conv2d>(8, 16, 3, 1, stats::derive_seed(seed, 2)));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool2d>());
+  m.add(std::make_unique<Flatten>());
+  const std::size_t flat = 16 * (side / 4) * (side / 4);
+  m.add(std::make_unique<Linear>(flat, 64, stats::derive_seed(seed, 3)));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(64, num_classes, stats::derive_seed(seed, 4)));
+  return m;
+}
+
+}  // namespace dubhe::nn

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstdint>
+
+#include "nn/sequential.hpp"
+
+namespace dubhe::nn {
+
+/// Two-layer MLP head used for the MNIST/CIFAR-like experiments:
+/// Linear(F, hidden) -> ReLU -> Linear(hidden, C).
+Sequential make_mlp(std::size_t feature_dim, std::size_t hidden, std::size_t num_classes,
+                    std::uint64_t seed);
+
+/// Small CNN in the spirit of the paper's MNIST model (Reddi et al.):
+/// Conv(1->8, 3x3, pad 1) -> ReLU -> MaxPool2 -> Conv(8->16, 3x3, pad 1) ->
+/// ReLU -> MaxPool2 -> Flatten -> Linear -> ReLU -> Linear(C).
+/// Input is [batch, 1, side, side]; side must be divisible by 4.
+Sequential make_cnn(std::size_t side, std::size_t num_classes, std::uint64_t seed);
+
+}  // namespace dubhe::nn

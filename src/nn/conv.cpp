@@ -1,0 +1,218 @@
+#include "nn/conv.hpp"
+#include <algorithm>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace dubhe::nn {
+
+namespace {
+
+/// im2col for stride-1 convolution: returns [B*OH*OW, C*K*K].
+Tensor im2col(const Tensor& x, std::size_t k, std::size_t pad) {
+  const std::size_t B = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  const std::size_t OH = H + 2 * pad - k + 1, OW = W + 2 * pad - k + 1;
+  Tensor cols{{B * OH * OW, C * k * k}};
+  const float* in = x.data();
+  float* out = cols.data();
+  const std::size_t row_len = C * k * k;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t oh = 0; oh < OH; ++oh) {
+      for (std::size_t ow = 0; ow < OW; ++ow) {
+        float* row = out + ((b * OH + oh) * OW + ow) * row_len;
+        for (std::size_t ci = 0; ci < C; ++ci) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            const std::ptrdiff_t ih =
+                static_cast<std::ptrdiff_t>(oh + kh) - static_cast<std::ptrdiff_t>(pad);
+            for (std::size_t kw = 0; kw < k; ++kw) {
+              const std::ptrdiff_t iw =
+                  static_cast<std::ptrdiff_t>(ow + kw) - static_cast<std::ptrdiff_t>(pad);
+              float v = 0;
+              if (ih >= 0 && iw >= 0 && ih < static_cast<std::ptrdiff_t>(H) &&
+                  iw < static_cast<std::ptrdiff_t>(W)) {
+                v = in[((b * C + ci) * H + static_cast<std::size_t>(ih)) * W +
+                       static_cast<std::size_t>(iw)];
+              }
+              row[(ci * k + kh) * k + kw] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+/// Scatter-accumulate of column gradients back to the input layout.
+Tensor col2im(const Tensor& dcols, const std::vector<std::size_t>& x_shape,
+              std::size_t k, std::size_t pad) {
+  const std::size_t B = x_shape[0], C = x_shape[1], H = x_shape[2], W = x_shape[3];
+  const std::size_t OH = H + 2 * pad - k + 1, OW = W + 2 * pad - k + 1;
+  Tensor dx{{B, C, H, W}};
+  float* out = dx.data();
+  const float* in = dcols.data();
+  const std::size_t row_len = C * k * k;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t oh = 0; oh < OH; ++oh) {
+      for (std::size_t ow = 0; ow < OW; ++ow) {
+        const float* row = in + ((b * OH + oh) * OW + ow) * row_len;
+        for (std::size_t ci = 0; ci < C; ++ci) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            const std::ptrdiff_t ih =
+                static_cast<std::ptrdiff_t>(oh + kh) - static_cast<std::ptrdiff_t>(pad);
+            if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(H)) continue;
+            for (std::size_t kw = 0; kw < k; ++kw) {
+              const std::ptrdiff_t iw =
+                  static_cast<std::ptrdiff_t>(ow + kw) - static_cast<std::ptrdiff_t>(pad);
+              if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(W)) continue;
+              out[((b * C + ci) * H + static_cast<std::size_t>(ih)) * W +
+                  static_cast<std::size_t>(iw)] += row[(ci * k + kh) * k + kw];
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+/// [B*OH*OW, cout] -> [B, cout, OH, OW].
+Tensor rows_to_nchw(const Tensor& mat, std::size_t B, std::size_t cout, std::size_t OH,
+                    std::size_t OW) {
+  Tensor out{{B, cout, OH, OW}};
+  const float* in = mat.data();
+  float* o = out.data();
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t oh = 0; oh < OH; ++oh) {
+      for (std::size_t ow = 0; ow < OW; ++ow) {
+        const float* row = in + ((b * OH + oh) * OW + ow) * cout;
+        for (std::size_t co = 0; co < cout; ++co) {
+          o[((b * cout + co) * OH + oh) * OW + ow] = row[co];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// [B, cout, OH, OW] -> [B*OH*OW, cout].
+Tensor nchw_to_rows(const Tensor& x) {
+  const std::size_t B = x.dim(0), cout = x.dim(1), OH = x.dim(2), OW = x.dim(3);
+  Tensor out{{B * OH * OW, cout}};
+  const float* in = x.data();
+  float* o = out.data();
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t co = 0; co < cout; ++co) {
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow) {
+          o[((b * OH + oh) * OW + ow) * cout + co] =
+              in[((b * cout + co) * OH + oh) * OW + ow];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t padding, std::uint64_t init_seed)
+    : cin_(in_channels), cout_(out_channels), k_(kernel), pad_(padding) {
+  if (cin_ == 0 || cout_ == 0 || k_ == 0) throw std::invalid_argument("Conv2d: zero dim");
+  const std::size_t wsize = cout_ * cin_ * k_ * k_;
+  params_.assign(wsize + cout_, 0.0f);
+  grads_.assign(params_.size(), 0.0f);
+  stats::Rng rng(init_seed);
+  const auto limit =
+      static_cast<float>(std::sqrt(6.0 / static_cast<double>(cin_ * k_ * k_)));
+  for (std::size_t i = 0; i < wsize; ++i) {
+    params_[i] = limit * (2.0f * static_cast<float>(rng.uniform()) - 1.0f);
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != cin_) throw std::invalid_argument("Conv2d: bad input");
+  const std::size_t B = x.dim(0), OH = out_spatial(x.dim(2)), OW = out_spatial(x.dim(3));
+  last_shape_ = x.shape();
+  last_cols_ = im2col(x, k_, pad_);
+
+  Tensor w_mat{{cout_, cin_ * k_ * k_}};
+  std::copy_n(params_.data(), w_mat.size(), w_mat.data());
+  Tensor out_mat = tensor::matmul(last_cols_, w_mat, false, /*transpose_b=*/true);
+  tensor::add_bias_rows(out_mat, {params_.data() + w_mat.size(), cout_});
+  return rows_to_nchw(out_mat, B, cout_, OH, OW);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor g = nchw_to_rows(grad_out);  // [B*OH*OW, cout]
+  const std::size_t wsize = cout_ * cin_ * k_ * k_;
+
+  const Tensor dw = tensor::matmul(g, last_cols_, /*transpose_a=*/true);  // [cout, cin k k]
+  std::copy_n(dw.data(), wsize, grads_.data());
+  tensor::sum_rows(g, {grads_.data() + wsize, cout_});
+
+  Tensor w_mat{{cout_, cin_ * k_ * k_}};
+  std::copy_n(params_.data(), wsize, w_mat.data());
+  const Tensor dcols = tensor::matmul(g, w_mat);  // [B*OH*OW, cin k k]
+  return col2im(dcols, last_shape_, k_, pad_);
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(2) % 2 != 0 || x.dim(3) % 2 != 0) {
+    throw std::invalid_argument("MaxPool2d: needs [B,C,even,even]");
+  }
+  const std::size_t B = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+  in_shape_ = x.shape();
+  Tensor y{{B, C, H / 2, W / 2}};
+  argmax_.assign(y.size(), 0);
+  const float* in = x.data();
+  float* out = y.data();
+  std::size_t oi = 0;
+  for (std::size_t b = 0; b < B; ++b) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float* plane = in + (b * C + c) * H * W;
+      for (std::size_t oh = 0; oh < H / 2; ++oh) {
+        for (std::size_t ow = 0; ow < W / 2; ++ow, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dh = 0; dh < 2; ++dh) {
+            for (std::size_t dw = 0; dw < 2; ++dw) {
+              const std::size_t idx = (oh * 2 + dh) * W + (ow * 2 + dw);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = (b * C + c) * H * W + idx;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor dx{in_shape_};
+  const float* g = grad_out.data();
+  float* out = dx.data();
+  for (std::size_t i = 0; i < grad_out.size(); ++i) out[argmax_[i]] += g[i];
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace dubhe::nn

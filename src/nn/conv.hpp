@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dubhe::nn {
+
+/// 2-D convolution via im2col + GEMM. Input [batch, C_in, H, W], kernel
+/// [C_out, C_in, K, K], stride 1, symmetric zero padding. Small and direct —
+/// the paper's CNN models are tiny by modern standards and this runs them on
+/// CPU comfortably.
+class Conv2d final : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t padding, std::uint64_t init_seed);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::span<float> params() override { return params_; }
+  std::span<float> grads() override { return grads_; }
+  [[nodiscard]] std::string name() const override { return "Conv2d"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
+
+ private:
+  [[nodiscard]] std::size_t out_spatial(std::size_t in) const {
+    return in + 2 * pad_ - k_ + 1;
+  }
+
+  std::size_t cin_, cout_, k_, pad_;
+  std::vector<float> params_, grads_;  // kernel then bias(cout)
+  Tensor last_cols_;                   // im2col matrix cached for backward
+  std::vector<std::size_t> last_shape_;
+};
+
+/// 2x2 max pooling, stride 2. Input [batch, C, H, W] with even H and W.
+class MaxPool2d final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2d"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(*this);
+  }
+
+ private:
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Collapses [batch, ...] to [batch, features].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace dubhe::nn

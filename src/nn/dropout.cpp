@@ -1,0 +1,46 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::nn {
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training_ || rate_ == 0.0) {
+    mask_ = Tensor{};
+    return x;
+  }
+  mask_ = Tensor::zeros_like(x);
+  Tensor y = x;
+  const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+  float* yd = y.data();
+  float* md = mask_.data();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (rng_.uniform() < rate_) {
+      yd[i] = 0.0f;
+    } else {
+      yd[i] *= keep_scale;
+      md[i] = keep_scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (mask_.empty()) return grad_out;  // eval mode or rate 0
+  if (grad_out.size() != mask_.size()) {
+    throw std::invalid_argument("Dropout: grad shape mismatch");
+  }
+  Tensor g = grad_out;
+  float* gd = g.data();
+  const float* md = mask_.data();
+  for (std::size_t i = 0; i < g.size(); ++i) gd[i] *= md[i];
+  return g;
+}
+
+}  // namespace dubhe::nn

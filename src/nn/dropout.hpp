@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe::nn {
+
+/// Inverted dropout (the regularizer in the paper's reference CNNs, Reddi et
+/// al.): during training each activation is zeroed with probability `rate`
+/// and survivors are scaled by 1/(1-rate); during evaluation the layer is
+/// the identity. The mask stream is seeded, so runs are reproducible, and
+/// clone() copies the generator state so client model replicas draw
+/// independent-but-deterministic masks.
+class Dropout final : public Layer {
+ public:
+  /// rate in [0, 1). Throws std::invalid_argument otherwise.
+  Dropout(double rate, std::uint64_t seed);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void set_training(bool training) override { training_ = training; }
+  [[nodiscard]] std::string name() const override { return "Dropout"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  bool training_ = true;
+  stats::Rng rng_;
+  Tensor mask_;
+};
+
+}  // namespace dubhe::nn

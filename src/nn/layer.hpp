@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dubhe::nn {
+
+using tensor::Tensor;
+
+/// A differentiable layer. `forward` may cache activations for the
+/// subsequent `backward` (layers are stateful within one forward/backward
+/// pair, which is all mini-batch SGD needs). Parameters and their gradients
+/// are exposed as flat spans so optimizers and FedAvg aggregation can treat
+/// every model as one float vector.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x) = 0;
+  /// Gradient wrt input, given gradient wrt output. Also accumulates
+  /// parameter gradients (overwriting, not summing — one step per batch).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Flat parameter / gradient views; empty for parameterless layers.
+  virtual std::span<float> params() { return {}; }
+  virtual std::span<float> grads() { return {}; }
+
+  /// Train/eval mode toggle. Only stochastic layers (Dropout) care; the
+  /// default is a no-op so deterministic layers stay oblivious.
+  virtual void set_training(bool /*training*/) {}
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Deep copy (used to clone the global model into per-client replicas).
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+}  // namespace dubhe::nn

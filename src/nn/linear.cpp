@@ -1,0 +1,50 @@
+#include "nn/linear.hpp"
+#include <algorithm>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace dubhe::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, std::uint64_t init_seed)
+    : in_(in_features), out_(out_features) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("Linear: zero dimension");
+  params_.assign(in_ * out_ + out_, 0.0f);
+  grads_.assign(params_.size(), 0.0f);
+  // He-uniform: U(-limit, limit) with limit = sqrt(6 / fan_in).
+  stats::Rng rng(init_seed);
+  const auto limit = static_cast<float>(std::sqrt(6.0 / static_cast<double>(in_)));
+  for (std::size_t i = 0; i < in_ * out_; ++i) {
+    params_[i] = limit * (2.0f * static_cast<float>(rng.uniform()) - 1.0f);
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_) throw std::invalid_argument("Linear: bad input");
+  last_input_ = x;
+  Tensor w_view{{in_, out_}};
+  std::copy_n(params_.data(), in_ * out_, w_view.data());
+  Tensor y = tensor::matmul(x, w_view);
+  tensor::add_bias_rows(y, {params_.data() + in_ * out_, out_});
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  if (grad_out.rank() != 2 || grad_out.dim(1) != out_ ||
+      grad_out.dim(0) != last_input_.dim(0)) {
+    throw std::invalid_argument("Linear: bad grad shape");
+  }
+  // dW = x^T grad_out; db = column sums; dx = grad_out W^T.
+  const Tensor dw = tensor::matmul(last_input_, grad_out, /*transpose_a=*/true);
+  std::copy_n(dw.data(), in_ * out_, grads_.data());
+  tensor::sum_rows(grad_out, {grads_.data() + in_ * out_, out_});
+
+  Tensor w_view{{in_, out_}};
+  std::copy_n(params_.data(), in_ * out_, w_view.data());
+  return tensor::matmul(grad_out, w_view, /*transpose_a=*/false, /*transpose_b=*/true);
+}
+
+}  // namespace dubhe::nn

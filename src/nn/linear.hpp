@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dubhe::nn {
+
+/// Fully connected layer: y = x W + b, x is [batch, in], W is [in, out].
+/// He-uniform initialization (suits the ReLU nets used throughout).
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, std::uint64_t init_seed);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::span<float> params() override { return params_; }
+  std::span<float> grads() override { return grads_; }
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Linear>(*this);
+  }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+
+ private:
+  // params_ layout: W (in*out, row-major [in][out]) followed by b (out).
+  [[nodiscard]] std::span<float> weight() { return {params_.data(), in_ * out_}; }
+  [[nodiscard]] std::span<float> bias() { return {params_.data() + in_ * out_, out_}; }
+
+  std::size_t in_, out_;
+  std::vector<float> params_, grads_;
+  Tensor last_input_;
+};
+
+}  // namespace dubhe::nn

@@ -1,0 +1,72 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dubhe::nn {
+
+namespace {
+void check(const tensor::Tensor& logits, std::span<const std::size_t> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_ce: shape mismatch");
+  }
+  for (const std::size_t y : labels) {
+    if (y >= logits.dim(1)) throw std::invalid_argument("softmax_ce: label out of range");
+  }
+}
+}  // namespace
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::size_t> labels) {
+  check(logits, labels);
+  const std::size_t B = logits.dim(0), C = logits.dim(1);
+  LossResult r;
+  r.grad = tensor::Tensor{{B, C}};
+  const float* in = logits.data();
+  float* g = r.grad.data();
+  std::size_t correct = 0;
+  double loss_sum = 0;
+  const auto inv_b = static_cast<float>(1.0 / static_cast<double>(B));
+  for (std::size_t i = 0; i < B; ++i) {
+    const float* row = in + i * C;
+    float mx = row[0];
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < C; ++c) {
+      if (row[c] > mx) {
+        mx = row[c];
+        argmax = c;
+      }
+    }
+    double denom = 0;
+    for (std::size_t c = 0; c < C; ++c) denom += std::exp(static_cast<double>(row[c] - mx));
+    const double log_denom = std::log(denom);
+    const std::size_t y = labels[i];
+    loss_sum += log_denom - static_cast<double>(row[y] - mx);
+    if (argmax == y) ++correct;
+    for (std::size_t c = 0; c < C; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - mx)) / denom;
+      g[i * C + c] = static_cast<float>(p - (c == y ? 1.0 : 0.0)) * inv_b;
+    }
+  }
+  r.loss = loss_sum / static_cast<double>(B);
+  r.accuracy = static_cast<double>(correct) / static_cast<double>(B);
+  return r;
+}
+
+double top1_accuracy(const tensor::Tensor& logits, std::span<const std::size_t> labels) {
+  check(logits, labels);
+  const std::size_t B = logits.dim(0), C = logits.dim(1);
+  const float* in = logits.data();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < B; ++i) {
+    const float* row = in + i * C;
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < C; ++c) {
+      if (row[c] > row[argmax]) argmax = c;
+    }
+    if (argmax == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(B);
+}
+
+}  // namespace dubhe::nn

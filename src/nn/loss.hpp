@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace dubhe::nn {
+
+/// Softmax cross-entropy over a batch of logits [batch, C] against integer
+/// labels (the paper's loss for all three classification tasks).
+struct LossResult {
+  double loss = 0;            // mean over the batch
+  double accuracy = 0;        // top-1
+  tensor::Tensor grad;        // d(mean loss)/d(logits), [batch, C]
+};
+
+/// Computes loss, accuracy and the logits gradient in one pass. Throws
+/// std::invalid_argument on shape mismatch or a label >= C.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::size_t> labels);
+
+/// Accuracy only (evaluation path, no gradient allocation).
+double top1_accuracy(const tensor::Tensor& logits, std::span<const std::size_t> labels);
+
+}  // namespace dubhe::nn

@@ -1,0 +1,54 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dubhe::nn {
+
+void Sgd::step(const std::vector<std::span<float>>& params,
+               const std::vector<std::span<float>>& grads) {
+  if (params.size() != grads.size()) throw std::invalid_argument("Sgd: view mismatch");
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i];
+    auto g = grads[i];
+    if (p.size() != g.size()) throw std::invalid_argument("Sgd: span size mismatch");
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      p[j] -= static_cast<float>(lr_ * (g[j] + wd_ * p[j]));
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+void Adam::step(const std::vector<std::span<float>>& params,
+                const std::vector<std::span<float>>& grads) {
+  if (params.size() != grads.size()) throw std::invalid_argument("Adam: view mismatch");
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i].assign(params[i].size(), 0.0f);
+      v_[i].assign(params[i].size(), 0.0f);
+    }
+  }
+  if (m_.size() != params.size()) throw std::invalid_argument("Adam: model changed");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto p = params[i];
+    auto g = grads[i];
+    if (p.size() != m_[i].size()) throw std::invalid_argument("Adam: span size changed");
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double gj = g[j];
+      m_[i][j] = static_cast<float>(beta1_ * m_[i][j] + (1 - beta1_) * gj);
+      v_[i][j] = static_cast<float>(beta2_ * v_[i][j] + (1 - beta2_) * gj * gj);
+      const double mhat = m_[i][j] / bc1;
+      const double vhat = v_[i][j] / bc2;
+      p[j] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+  }
+}
+
+}  // namespace dubhe::nn

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dubhe::nn {
+
+/// Optimizer over a model's parameter/gradient span lists (as produced by
+/// Sequential::param_views / grad_views). State (e.g. Adam moments) is keyed
+/// by position, so the same optimizer must always be stepped with the same
+/// model.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<std::span<float>>& params,
+                    const std::vector<std::span<float>>& grads) = 0;
+};
+
+/// Plain SGD with optional weight decay.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double weight_decay = 0.0) : lr_(lr), wd_(weight_decay) {}
+  void step(const std::vector<std::span<float>>& params,
+            const std::vector<std::span<float>>& grads) override;
+
+ private:
+  double lr_, wd_;
+};
+
+/// Adam (Kingma & Ba). The paper's local optimizer: lr = 1e-4, no weight
+/// decay, default betas.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  void step(const std::vector<std::span<float>>& params,
+            const std::vector<std::span<float>>& grads) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace dubhe::nn

@@ -1,0 +1,41 @@
+#include "nn/persistence.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace dubhe::nn {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'U', 'B', 'H', 'E', 'W', 'T', '1'};
+}  // namespace
+
+bool save_weights(const std::string& path, const Sequential& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  const std::vector<float> w = model.get_weights();
+  const std::uint64_t count = w.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(w.data()),
+            static_cast<std::streamsize>(w.size() * sizeof(float)));
+  return out.good();
+}
+
+bool load_weights(const std::string& path, Sequential& model) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != model.num_params()) return false;
+  std::vector<float> w(count);
+  in.read(reinterpret_cast<char*>(w.data()),
+          static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) return false;
+  model.set_weights(w);
+  return true;
+}
+
+}  // namespace dubhe::nn

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace dubhe::nn {
+
+/// Saves a model's flat weights to a binary file: an 8-byte magic
+/// ("DUBHEWT1"), an 8-byte little-endian parameter count, then raw floats.
+/// Returns false on I/O error (nothing or a partial file may remain).
+bool save_weights(const std::string& path, const Sequential& model);
+
+/// Loads weights saved by save_weights into `model`. Fails (returns false)
+/// on missing file, bad magic, or a parameter-count mismatch with the model
+/// architecture — a mismatch never partially mutates the model.
+bool load_weights(const std::string& path, Sequential& model);
+
+}  // namespace dubhe::nn

@@ -1,0 +1,62 @@
+#include "paillier/encrypted_vector.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::he {
+
+EncryptedVector::EncryptedVector(PublicKey pk, std::vector<Ciphertext> slots)
+    : pk_(std::move(pk)), slots_(std::move(slots)) {}
+
+EncryptedVector EncryptedVector::encrypt(const PublicKey& pk,
+                                         std::span<const std::uint64_t> values,
+                                         bigint::EntropySource& rng) {
+  std::vector<Ciphertext> slots;
+  slots.reserve(values.size());
+  for (const std::uint64_t v : values) {
+    slots.push_back(pk.encrypt(BigUint{v}, rng));
+  }
+  return EncryptedVector(pk, std::move(slots));
+}
+
+EncryptedVector EncryptedVector::zeros(const PublicKey& pk, std::size_t size) {
+  std::vector<Ciphertext> slots(size, pk.encrypt_deterministic(BigUint{}));
+  return EncryptedVector(pk, std::move(slots));
+}
+
+EncryptedVector& EncryptedVector::operator+=(const EncryptedVector& o) {
+  if (slots_.size() != o.slots_.size()) {
+    throw std::invalid_argument("EncryptedVector: size mismatch");
+  }
+  if (!(pk_ == o.pk_)) {
+    throw std::invalid_argument("EncryptedVector: key mismatch");
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i] = pk_.add(slots_[i], o.slots_[i]);
+  }
+  return *this;
+}
+
+std::vector<std::uint64_t> EncryptedVector::decrypt(const PrivateKey& prv) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(slots_.size());
+  for (const Ciphertext& ct : slots_) {
+    out.push_back(prv.decrypt(ct).to_u64());
+  }
+  return out;
+}
+
+std::size_t EncryptedVector::byte_size() const {
+  return slots_.size() * (4 + pk_.ciphertext_bytes());
+}
+
+std::vector<std::uint8_t> EncryptedVector::serialize_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(byte_size());
+  for (const Ciphertext& ct : slots_) {
+    const auto bytes = serialize(ct, pk_);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  return out;
+}
+
+}  // namespace dubhe::he

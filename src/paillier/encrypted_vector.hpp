@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "paillier/paillier.hpp"
+
+namespace dubhe::he {
+
+/// A vector of Paillier ciphertexts with slot-wise homomorphic addition.
+/// This is the wire format of Dubhe's *registry* and of the encrypted label
+/// distributions exchanged during multi-time selection: each slot holds one
+/// counter (registry category count, or a fixed-point label share).
+class EncryptedVector {
+ public:
+  EncryptedVector() = default;
+  EncryptedVector(PublicKey pk, std::vector<Ciphertext> slots);
+
+  /// Encrypts each value into its own ciphertext slot.
+  static EncryptedVector encrypt(const PublicKey& pk,
+                                 std::span<const std::uint64_t> values,
+                                 bigint::EntropySource& rng);
+  /// All-zeros encrypted vector (deterministic encryptions of 0, suitable
+  /// as the identity for += aggregation on the server).
+  static EncryptedVector zeros(const PublicKey& pk, std::size_t size);
+
+  /// Slot-wise homomorphic addition. Throws std::invalid_argument on size or
+  /// key mismatch.
+  EncryptedVector& operator+=(const EncryptedVector& o);
+  friend EncryptedVector operator+(EncryptedVector a, const EncryptedVector& b) {
+    a += b;
+    return a;
+  }
+
+  /// Decrypts every slot. Slot sums must stay below n (always true for the
+  /// counters Dubhe transports).
+  [[nodiscard]] std::vector<std::uint64_t> decrypt(const PrivateKey& prv) const;
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] const PublicKey& public_key() const { return pk_; }
+  [[nodiscard]] const std::vector<Ciphertext>& slots() const { return slots_; }
+
+  /// Exact serialized size in bytes (what the FL channel counts).
+  [[nodiscard]] std::size_t byte_size() const;
+  [[nodiscard]] std::vector<std::uint8_t> serialize_bytes() const;
+
+ private:
+  PublicKey pk_;
+  std::vector<Ciphertext> slots_;
+};
+
+}  // namespace dubhe::he

@@ -1,0 +1,94 @@
+#include "paillier/packing.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::he {
+
+PackedCodec::PackedCodec(std::size_t capacity_bits, std::size_t slot_bits)
+    : slot_bits_(slot_bits), slots_per_pt_(0) {
+  if (slot_bits == 0 || slot_bits > 64) {
+    throw std::invalid_argument("PackedCodec: slot_bits must be in [1, 64]");
+  }
+  slots_per_pt_ = capacity_bits / slot_bits;
+  if (slots_per_pt_ == 0) {
+    throw std::invalid_argument("PackedCodec: capacity too small for one slot");
+  }
+}
+
+std::size_t PackedCodec::plaintexts_for(std::size_t count) const {
+  return (count + slots_per_pt_ - 1) / slots_per_pt_;
+}
+
+std::uint64_t PackedCodec::max_additions(std::uint64_t max_value) const {
+  if (max_value == 0) return UINT64_MAX;
+  const std::uint64_t slot_cap =
+      slot_bits_ >= 64 ? UINT64_MAX : (std::uint64_t{1} << slot_bits_) - 1;
+  return slot_cap / max_value;
+}
+
+std::vector<BigUint> PackedCodec::encode(std::span<const std::uint64_t> values) const {
+  const std::uint64_t slot_cap =
+      slot_bits_ >= 64 ? UINT64_MAX : (std::uint64_t{1} << slot_bits_) - 1;
+  std::vector<BigUint> out(plaintexts_for(values.size()));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] > slot_cap) {
+      throw std::out_of_range("PackedCodec: value exceeds slot width");
+    }
+    const std::size_t pt = i / slots_per_pt_;
+    const std::size_t slot = i % slots_per_pt_;
+    out[pt] += BigUint{values[i]} << (slot * slot_bits_);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> PackedCodec::decode(std::span<const BigUint> plaintexts,
+                                               std::size_t count) const {
+  std::vector<std::uint64_t> out(count, 0);
+  const std::uint64_t mask =
+      slot_bits_ >= 64 ? UINT64_MAX : (std::uint64_t{1} << slot_bits_) - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pt = i / slots_per_pt_;
+    if (pt >= plaintexts.size()) {
+      throw std::out_of_range("PackedCodec: not enough plaintexts");
+    }
+    const BigUint shifted = plaintexts[pt] >> (i % slots_per_pt_ * slot_bits_);
+    out[i] = shifted.to_u64() & mask;
+  }
+  return out;
+}
+
+PackedEncryptedVector PackedEncryptedVector::encrypt(
+    const PublicKey& pk, const PackedCodec& codec,
+    std::span<const std::uint64_t> values, bigint::EntropySource& rng) {
+  PackedEncryptedVector v;
+  v.pk_ = pk;
+  v.codec_ = codec;
+  v.count_ = values.size();
+  for (const BigUint& pt : codec.encode(values)) {
+    v.cts_.push_back(pk.encrypt(pt, rng));
+  }
+  return v;
+}
+
+PackedEncryptedVector& PackedEncryptedVector::operator+=(const PackedEncryptedVector& o) {
+  if (count_ != o.count_ || cts_.size() != o.cts_.size()) {
+    throw std::invalid_argument("PackedEncryptedVector: size mismatch");
+  }
+  for (std::size_t i = 0; i < cts_.size(); ++i) {
+    cts_[i] = pk_.add(cts_[i], o.cts_[i]);
+  }
+  return *this;
+}
+
+std::vector<std::uint64_t> PackedEncryptedVector::decrypt(const PrivateKey& prv) const {
+  std::vector<BigUint> pts;
+  pts.reserve(cts_.size());
+  for (const Ciphertext& ct : cts_) pts.push_back(prv.decrypt(ct));
+  return codec_.decode(pts, count_);
+}
+
+std::size_t PackedEncryptedVector::byte_size() const {
+  return cts_.size() * (4 + pk_.ciphertext_bytes());
+}
+
+}  // namespace dubhe::he

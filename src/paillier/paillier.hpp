@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+#include "bigint/montgomery.hpp"
+#include "bigint/random.hpp"
+
+namespace dubhe::he {
+
+using bigint::BigUint;
+
+/// A Paillier ciphertext: an element of Z*_{n^2}. Value semantics; the
+/// ciphertext carries no key material, so all homomorphic operations live on
+/// PublicKey, which owns the cached Montgomery context for n^2.
+struct Ciphertext {
+  BigUint c;
+
+  bool operator==(const Ciphertext&) const = default;
+};
+
+/// Paillier public key with g = n + 1 (the standard "simple variant", also
+/// what python-paillier uses). With this generator, encryption needs no
+/// exponentiation for the message part: g^m = 1 + m*n (mod n^2).
+class PublicKey {
+ public:
+  PublicKey() = default;
+  explicit PublicKey(BigUint n);
+
+  [[nodiscard]] const BigUint& n() const { return n_; }
+  [[nodiscard]] const BigUint& n_squared() const { return n_sq_; }
+  /// Modulus size in bits (the "key size": 2048 in the paper's setup).
+  [[nodiscard]] std::size_t key_bits() const { return n_.bit_length(); }
+  /// Exact serialized size of one ciphertext in bytes: ceil(2*key_bits/8).
+  [[nodiscard]] std::size_t ciphertext_bytes() const;
+  /// Exact serialized size of one plaintext in bytes: ceil(key_bits/8).
+  [[nodiscard]] std::size_t plaintext_bytes() const;
+
+  /// Encrypts m in [0, n). Throws std::out_of_range otherwise.
+  /// c = (1 + m*n) * r^n mod n^2 with r uniform in Z*_n.
+  [[nodiscard]] Ciphertext encrypt(const BigUint& m, bigint::EntropySource& rng) const;
+  /// Deterministic "encryption" with r = 1 — NOT semantically secure; used
+  /// only in tests and to build homomorphic constants cheaply.
+  [[nodiscard]] Ciphertext encrypt_deterministic(const BigUint& m) const;
+
+  /// Homomorphic addition: Dec(add(a, b)) = Dec(a) + Dec(b) mod n.
+  [[nodiscard]] Ciphertext add(const Ciphertext& a, const Ciphertext& b) const;
+  /// Adds a plaintext constant: Dec(add_plain(a, m)) = Dec(a) + m mod n.
+  [[nodiscard]] Ciphertext add_plain(const Ciphertext& a, const BigUint& m) const;
+  /// Scalar multiplication: Dec(mul_plain(a, k)) = k * Dec(a) mod n.
+  [[nodiscard]] Ciphertext mul_plain(const Ciphertext& a, const BigUint& k) const;
+  /// Re-randomizes a ciphertext (multiplies by a fresh encryption of zero),
+  /// unlinking it from its origin without changing the plaintext.
+  [[nodiscard]] Ciphertext rerandomize(const Ciphertext& a, bigint::EntropySource& rng) const;
+
+  bool operator==(const PublicKey& o) const { return n_ == o.n_; }
+
+ private:
+  BigUint n_;
+  BigUint n_sq_;
+  std::shared_ptr<const bigint::Montgomery> mont_n2_;
+};
+
+/// Paillier private key. Decryption uses the CRT over p^2 and q^2, which is
+/// ~4x faster than the textbook lambda/mu route; the textbook route is kept
+/// as decrypt_textbook() and cross-checked in tests.
+class PrivateKey {
+ public:
+  PrivateKey() = default;
+  /// Builds the key from the two primes. Throws std::invalid_argument if
+  /// p == q or either is not odd.
+  PrivateKey(const BigUint& p, const BigUint& q);
+
+  [[nodiscard]] const PublicKey& public_key() const { return pub_; }
+  [[nodiscard]] const BigUint& p() const { return p_; }
+  [[nodiscard]] const BigUint& q() const { return q_; }
+
+  /// CRT decryption.
+  [[nodiscard]] BigUint decrypt(const Ciphertext& ct) const;
+  /// Textbook decryption: L(c^lambda mod n^2) * mu mod n.
+  [[nodiscard]] BigUint decrypt_textbook(const Ciphertext& ct) const;
+
+ private:
+  [[nodiscard]] static BigUint l_function(const BigUint& x, const BigUint& d);
+
+  PublicKey pub_;
+  BigUint p_, q_;
+  BigUint p_sq_, q_sq_;
+  BigUint hp_, hq_;      // CRT decryption helpers
+  BigUint q_inv_p_;      // q^{-1} mod p, for CRT recombination
+  BigUint lambda_, mu_;  // textbook route
+  std::shared_ptr<const bigint::Montgomery> mont_p2_, mont_q2_;
+};
+
+/// Key pair generation parameters and result.
+struct Keypair {
+  PublicKey pub;
+  PrivateKey prv;
+
+  /// Generates a key with an exactly `key_bits`-bit modulus n = p*q
+  /// (p, q random primes of key_bits/2 bits). The paper's configuration is
+  /// key_bits = 2048.
+  static Keypair generate(bigint::EntropySource& rng, std::size_t key_bits);
+};
+
+/// Serialization — length-prefixed big-endian magnitudes. These byte layouts
+/// are what the FL channel layer counts when reporting communication volume.
+/// Key material framing: a 1-byte tag ('P' public / 'S' secret) followed by
+/// length-prefixed components (n for public keys; p then q for private
+/// keys — everything else is recomputed on load).
+std::vector<std::uint8_t> serialize(const Ciphertext& ct, const PublicKey& pk);
+Ciphertext deserialize_ciphertext(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> serialize(const PublicKey& pk);
+PublicKey deserialize_public_key(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> serialize(const PrivateKey& prv);
+PrivateKey deserialize_private_key(std::span<const std::uint8_t> bytes);
+
+}  // namespace dubhe::he

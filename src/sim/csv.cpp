@@ -1,0 +1,35 @@
+#include "sim/csv.hpp"
+
+#include <fstream>
+
+namespace dubhe::sim {
+
+bool write_curve_csv(const std::string& path, const ExperimentResult& result) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool has_emd_star = !result.emd_star.empty();
+  out << "round,test_accuracy,po_pu_l1" << (has_emd_star ? ",emd_star" : "") << "\n";
+  std::size_t eval_idx = 0;
+  for (std::size_t round = 0; round < result.po_pu_l1.size(); ++round) {
+    out << round << ",";
+    if (eval_idx < result.accuracy_curve.size() &&
+        result.accuracy_curve[eval_idx].first == round) {
+      out << result.accuracy_curve[eval_idx].second;
+      ++eval_idx;
+    }
+    out << "," << result.po_pu_l1[round];
+    if (has_emd_star) out << "," << result.emd_star[round];
+    out << "\n";
+  }
+  return out.good();
+}
+
+bool write_distribution_csv(const std::string& path, const stats::Distribution& d) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "class,value\n";
+  for (std::size_t c = 0; c < d.size(); ++c) out << c << "," << d[c] << "\n";
+  return out.good();
+}
+
+}  // namespace dubhe::sim

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace dubhe::sim {
+
+/// Writes an experiment's curves as CSV with header
+/// `round,test_accuracy,po_pu_l1[,emd_star]` — one row per round; accuracy
+/// cells are empty on rounds that were not evaluation points. Returns false
+/// (and writes nothing) if the file cannot be opened.
+bool write_curve_csv(const std::string& path, const ExperimentResult& result);
+
+/// Writes a distribution as `class,value` rows. Returns false on I/O error.
+bool write_distribution_csv(const std::string& path, const stats::Distribution& d);
+
+}  // namespace dubhe::sim

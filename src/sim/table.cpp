@@ -1,0 +1,72 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dubhe::sim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table: no headers");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+std::string fmt_pct(double v, int precision) {
+  return fmt(v * 100.0, precision) + "%";
+}
+
+std::string fmt_bytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0) return fmt(bytes / (1024.0 * 1024.0), 2) + " MB";
+  if (bytes >= 1024.0) return fmt(bytes / 1024.0, 2) + " KB";
+  return fmt(bytes, 0) + " B";
+}
+
+std::string fmt_distribution(const std::vector<double>& d, int precision) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i) out += ' ';
+    out += fmt(d[i], precision);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace dubhe::sim

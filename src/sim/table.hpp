@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dubhe::sim {
+
+/// Fixed-width console table used by every bench binary to print the
+/// paper-shaped rows. Columns are sized to the widest cell; numeric
+/// formatting is the caller's job (pass preformatted strings or use the
+/// fmt helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a header separator to the stream.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+/// Formats a percentage (0.123 -> "12.3%").
+[[nodiscard]] std::string fmt_pct(double v, int precision = 1);
+/// Formats a byte count with KB/MB units, paper style.
+[[nodiscard]] std::string fmt_bytes(double bytes);
+
+/// Compact inline rendering of a distribution: "[0.21 0.18 ...]".
+[[nodiscard]] std::string fmt_distribution(const std::vector<double>& d, int precision = 3);
+
+}  // namespace dubhe::sim

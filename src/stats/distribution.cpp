@@ -1,0 +1,71 @@
+#include "stats/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dubhe::stats {
+
+Distribution uniform(std::size_t C) {
+  return Distribution(C, C == 0 ? 0.0 : 1.0 / static_cast<double>(C));
+}
+
+void normalize(Distribution& d) {
+  double sum = 0;
+  for (const double v : d) sum += v;
+  if (sum <= 0) return;
+  for (double& v : d) v /= sum;
+}
+
+Distribution from_counts(std::span<const std::size_t> counts) {
+  Distribution d(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) d[i] = static_cast<double>(counts[i]);
+  normalize(d);
+  return d;
+}
+
+double l1_distance(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) throw std::invalid_argument("l1_distance: length mismatch");
+  double acc = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - q[i]);
+  return acc;
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) throw std::invalid_argument("kl_divergence: length mismatch");
+  constexpr double kEps = 1e-12;
+  double acc = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0) continue;
+    // The epsilon guard only kicks in for absent support in q, so
+    // D(p || p) is exactly 0.
+    acc += p[i] * std::log(p[i] / (q[i] > 0 ? q[i] : kEps));
+  }
+  return acc;
+}
+
+double imbalance_ratio(std::span<const double> p) {
+  double lo = std::numeric_limits<double>::infinity(), hi = 0;
+  for (const double v : p) {
+    if (v > hi) hi = v;
+    if (v < lo) lo = v;
+  }
+  if (hi == 0) return 1.0;
+  if (lo <= 0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+Distribution add(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("add: length mismatch");
+  Distribution out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Distribution scaled(std::span<const double> a, double s) {
+  Distribution out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+}  // namespace dubhe::stats

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dubhe::stats {
+
+/// A discrete distribution over classes, stored densely. Most call sites
+/// keep these normalized (summing to 1), but the helpers below do not
+/// require it unless documented.
+using Distribution = std::vector<double>;
+
+/// Uniform distribution over `C` classes (p_u in the paper).
+Distribution uniform(std::size_t C);
+
+/// Normalizes in place to sum 1. A zero vector is left unchanged.
+void normalize(Distribution& d);
+
+/// Distribution from integer class counts (normalized; all-zero counts give
+/// the zero vector).
+Distribution from_counts(std::span<const std::size_t> counts);
+
+/// L1 distance || p - q ||_1 between two same-length vectors. For label
+/// distributions this is exactly the paper's "EMD" (Earth Mover's Distance
+/// as used in Zhao et al. and Dubhe). Throws std::invalid_argument on
+/// length mismatch.
+double l1_distance(std::span<const double> p, std::span<const double> q);
+
+/// KL divergence D(p || q) with an epsilon guard on q (used by the greedy
+/// Astraea-style baseline). Terms with p_i == 0 contribute 0.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+/// max(p) / min(p) over strictly positive entries; the paper's class
+/// imbalance ratio rho. Entries equal to 0 are treated as absent classes and
+/// make the ratio infinite. Returns 1 for empty input.
+double imbalance_ratio(std::span<const double> p);
+
+/// Elementwise sum of two same-length distributions (not normalized).
+Distribution add(std::span<const double> a, std::span<const double> b);
+
+/// Scales a copy by `s`.
+Distribution scaled(std::span<const double> a, double s);
+
+}  // namespace dubhe::stats

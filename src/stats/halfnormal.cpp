@@ -1,0 +1,23 @@
+#include "stats/halfnormal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dubhe::stats {
+
+Distribution half_normal_profile(std::size_t C, double rho) {
+  if (C == 0) throw std::invalid_argument("half_normal_profile: C == 0");
+  if (rho < 1.0) throw std::invalid_argument("half_normal_profile: rho < 1");
+  Distribution d(C, 1.0);
+  if (C > 1 && rho > 1.0) {
+    const double x_max = std::sqrt(2.0 * std::log(rho));
+    for (std::size_t c = 0; c < C; ++c) {
+      const double x = x_max * static_cast<double>(c) / static_cast<double>(C - 1);
+      d[c] = std::exp(-0.5 * x * x);
+    }
+  }
+  normalize(d);
+  return d;
+}
+
+}  // namespace dubhe::stats

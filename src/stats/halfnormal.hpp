@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+
+#include "stats/distribution.hpp"
+
+namespace dubhe::stats {
+
+/// Global class-proportion profile with a half-normal shape (paper §6.1.1:
+/// "we simulate the imbalanced property of data by sampling datasets with
+/// half-normal distributions").
+///
+/// Class c in [0, C) gets weight phi(x_c) where phi is the standard normal
+/// density and the x_c are equally spaced on [0, x_max] with
+/// x_max = sqrt(2 ln rho), so that the most frequent / least frequent ratio
+/// is exactly `rho`. rho = 1 yields the uniform distribution. The profile is
+/// returned sorted most-frequent-first (class 0 largest), matching the
+/// paper's Fig. 2/Fig. 10 global proportions. Throws std::invalid_argument
+/// for rho < 1 or C == 0.
+Distribution half_normal_profile(std::size_t C, double rho);
+
+}  // namespace dubhe::stats

@@ -1,0 +1,65 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dubhe::stats {
+
+double Rng::normal() {
+  // Box–Muller; u1 is bounded away from 0 to keep log finite.
+  const double u1 = std::max(uniform(), 1e-300);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0;
+  for (const double w : weights) total += w;
+  if (weights.empty() || total <= 0) {
+    throw std::invalid_argument("categorical: no positive weight");
+  }
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  // Floating point slack: return the last positive-weight index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(
+    std::span<const double> weights, std::size_t k) {
+  std::vector<double> w(weights.begin(), weights.end());
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t idx = categorical(w);
+    out.push_back(idx);
+    w[idx] = 0;
+  }
+  return out;
+}
+
+std::vector<std::size_t> Rng::choose_k_of_n(std::size_t k, std::size_t n) {
+  if (k > n) throw std::invalid_argument("choose_k_of_n: k > n");
+  // Partial Fisher–Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  bigint::SplitMix64 sm(master ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return sm.next_u64();
+}
+
+}  // namespace dubhe::stats

@@ -1,0 +1,104 @@
+#include "tensor/ops.hpp"
+
+#include <stdexcept>
+
+namespace dubhe::tensor {
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b) {
+  if (a.rank() != 2 || b.rank() != 2) throw std::invalid_argument("matmul: rank != 2");
+  const std::size_t m = transpose_a ? a.dim(1) : a.dim(0);
+  const std::size_t k = transpose_a ? a.dim(0) : a.dim(1);
+  const std::size_t kb = transpose_b ? b.dim(1) : b.dim(0);
+  const std::size_t n = transpose_b ? b.dim(0) : b.dim(1);
+  if (k != kb) throw std::invalid_argument("matmul: inner dimension mismatch");
+
+  Tensor c{{m, n}};
+  const float* A = a.data();
+  const float* B = b.data();
+  float* C = c.data();
+  const std::size_t lda = a.dim(1), ldb = b.dim(1);
+
+  // i-k-j loop order keeps the innermost loop contiguous over B and C for
+  // the common non-transposed case.
+  if (!transpose_a && !transpose_b) {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = A[i * lda + kk];
+        if (aik == 0.0f) continue;
+        const float* Brow = B + kk * ldb;
+        float* Crow = C + i * n;
+        for (std::size_t j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float aik = transpose_a ? A[kk * lda + i] : A[i * lda + kk];
+        if (aik == 0.0f) continue;
+        float* Crow = C + i * n;
+        if (transpose_b) {
+          for (std::size_t j = 0; j < n; ++j) Crow[j] += aik * B[j * ldb + kk];
+        } else {
+          const float* Brow = B + kk * ldb;
+          for (std::size_t j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void add_bias_rows(Tensor& x, std::span<const float> bias) {
+  if (x.rank() != 2 || x.dim(1) != bias.size()) {
+    throw std::invalid_argument("add_bias_rows: shape mismatch");
+  }
+  float* data = x.data();
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    for (std::size_t j = 0; j < bias.size(); ++j) data[i * bias.size() + j] += bias[j];
+  }
+}
+
+void sum_rows(const Tensor& x, std::span<float> out) {
+  if (x.rank() != 2 || x.dim(1) != out.size()) {
+    throw std::invalid_argument("sum_rows: shape mismatch");
+  }
+  for (float& v : out) v = 0;
+  const float* data = x.data();
+  for (std::size_t i = 0; i < x.dim(0); ++i) {
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += data[i * out.size() + j];
+  }
+}
+
+Tensor relu_inplace(Tensor& x) {
+  Tensor mask = Tensor::zeros_like(x);
+  float* d = x.data();
+  float* m = mask.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (d[i] > 0) {
+      m[i] = 1.0f;
+    } else {
+      d[i] = 0.0f;
+    }
+  }
+  return mask;
+}
+
+Tensor relu_backward(const Tensor& grad_out, const Tensor& mask) {
+  if (grad_out.size() != mask.size()) {
+    throw std::invalid_argument("relu_backward: size mismatch");
+  }
+  Tensor g = grad_out;
+  float* d = g.data();
+  const float* m = mask.data();
+  for (std::size_t i = 0; i < g.size(); ++i) d[i] *= m[i];
+  return g;
+}
+
+void axpy(Tensor& a, float s, const Tensor& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("axpy: size mismatch");
+  float* ad = a.data();
+  const float* bd = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) ad[i] += s * bd[i];
+}
+
+}  // namespace dubhe::tensor

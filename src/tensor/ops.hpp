@@ -1,0 +1,31 @@
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace dubhe::tensor {
+
+/// C = A @ B with optional transposes. A is [m, k] (or [k, m] when
+/// transpose_a), B is [k, n] (or [n, k] when transpose_b), C is [m, n].
+/// Blocked inner loops; single-threaded by design — the FL layer
+/// parallelizes across clients, which scales better than intra-GEMM threads
+/// at these model sizes. Throws std::invalid_argument on shape mismatch.
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a = false,
+              bool transpose_b = false);
+
+/// y += row broadcast over the batch dimension: x is [batch, n], bias is n.
+void add_bias_rows(Tensor& x, std::span<const float> bias);
+
+/// Column sums of a [batch, n] tensor into `out` (size n) — the bias grad.
+void sum_rows(const Tensor& x, std::span<float> out);
+
+/// In-place ReLU; returns a 0/1 mask tensor for the backward pass.
+Tensor relu_inplace(Tensor& x);
+/// grad_in = grad_out * mask (elementwise).
+Tensor relu_backward(const Tensor& grad_out, const Tensor& mask);
+
+/// a += s * b (elementwise, flattened). Sizes must match.
+void axpy(Tensor& a, float s, const Tensor& b);
+
+}  // namespace dubhe::tensor

@@ -1,0 +1,45 @@
+#include "tensor/tensor.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dubhe::tensor {
+
+namespace {
+std::size_t product(const std::vector<std::size_t>& dims) {
+  std::size_t p = 1;
+  for (const std::size_t d : dims) p *= d;
+  return p;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(product(shape_), 0.0f) {
+  if (shape_.empty()) throw std::invalid_argument("Tensor: empty shape");
+}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  if (rank() != 2 || r >= shape_[0] || c >= shape_[1]) {
+    throw std::out_of_range("Tensor::at");
+  }
+  return (*this)(r, c);
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  if (product(new_shape) != size()) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+}  // namespace dubhe::tensor

@@ -1,0 +1,160 @@
+#include "bigint/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/random.hpp"
+
+namespace dubhe::bigint {
+namespace {
+
+TEST(BigInt, ConstructionAndSign) {
+  EXPECT_TRUE(BigInt{}.is_zero());
+  EXPECT_FALSE(BigInt{}.is_negative());
+  EXPECT_FALSE(BigInt{5}.is_negative());
+  EXPECT_TRUE(BigInt{-5}.is_negative());
+  EXPECT_EQ(BigInt{-5}.magnitude().to_u64(), 5u);
+  // No negative zero.
+  EXPECT_FALSE(BigInt(BigUint{}, true).is_negative());
+  EXPECT_EQ(BigInt{INT64_MIN}.to_dec(), "-9223372036854775808");
+}
+
+TEST(BigInt, DecRoundTrip) {
+  for (const char* s : {"0", "1", "-1", "123456789012345678901234567890",
+                        "-987654321098765432109876543210"}) {
+    EXPECT_EQ(BigInt::from_dec(s).to_dec(), s);
+  }
+}
+
+TEST(BigInt, ToI64) {
+  EXPECT_EQ(BigInt{42}.to_i64(), 42);
+  EXPECT_EQ(BigInt{-42}.to_i64(), -42);
+  EXPECT_EQ(BigInt{0}.to_i64(), 0);
+}
+
+TEST(BigInt, AdditionSignCases) {
+  EXPECT_EQ((BigInt{5} + BigInt{3}).to_i64(), 8);
+  EXPECT_EQ((BigInt{5} + BigInt{-3}).to_i64(), 2);
+  EXPECT_EQ((BigInt{3} + BigInt{-5}).to_i64(), -2);
+  EXPECT_EQ((BigInt{-5} + BigInt{-3}).to_i64(), -8);
+  EXPECT_TRUE((BigInt{5} + BigInt{-5}).is_zero());
+}
+
+TEST(BigInt, SubtractionSignCases) {
+  EXPECT_EQ((BigInt{5} - BigInt{3}).to_i64(), 2);
+  EXPECT_EQ((BigInt{3} - BigInt{5}).to_i64(), -2);
+  EXPECT_EQ((BigInt{-3} - BigInt{5}).to_i64(), -8);
+  EXPECT_EQ((BigInt{-3} - BigInt{-5}).to_i64(), 2);
+}
+
+TEST(BigInt, MultiplicationSignCases) {
+  EXPECT_EQ((BigInt{4} * BigInt{3}).to_i64(), 12);
+  EXPECT_EQ((BigInt{4} * BigInt{-3}).to_i64(), -12);
+  EXPECT_EQ((BigInt{-4} * BigInt{-3}).to_i64(), 12);
+  EXPECT_TRUE((BigInt{-4} * BigInt{0}).is_zero());
+  EXPECT_FALSE((BigInt{-4} * BigInt{0}).is_negative());
+}
+
+TEST(BigInt, TruncatedDivisionMatchesCpp) {
+  // C++ semantics: quotient toward zero, remainder takes dividend's sign.
+  const int cases[][2] = {{7, 3}, {-7, 3}, {7, -3}, {-7, -3}, {6, 3}, {-6, 3}};
+  for (const auto& c : cases) {
+    BigInt q, r;
+    BigInt::divmod(BigInt{c[0]}, BigInt{c[1]}, q, r);
+    EXPECT_EQ(q.to_i64(), c[0] / c[1]) << c[0] << "/" << c[1];
+    EXPECT_EQ(r.to_i64(), c[0] % c[1]) << c[0] << "%" << c[1];
+  }
+}
+
+TEST(BigInt, DivmodRecombinesRandomized) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const BigInt a(random_bits(rng, 256), (rng.next_u64() & 1) != 0);
+    const BigInt b(random_bits(rng, 100) + BigUint{1}, (rng.next_u64() & 1) != 0);
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.magnitude(), b.magnitude());
+    if (!r.is_zero()) EXPECT_EQ(r.is_negative(), a.is_negative());
+  }
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  BigInt q, r;
+  EXPECT_THROW(BigInt::divmod(BigInt{5}, BigInt{}, q, r), std::domain_error);
+}
+
+TEST(BigInt, ModFloorAlwaysNonNegative) {
+  const BigUint m{7};
+  EXPECT_EQ(BigInt{10}.mod_floor(m).to_u64(), 3u);
+  EXPECT_EQ(BigInt{-10}.mod_floor(m).to_u64(), 4u);  // -10 mod 7 = 4
+  EXPECT_EQ(BigInt{-7}.mod_floor(m).to_u64(), 0u);
+  EXPECT_EQ(BigInt{0}.mod_floor(m).to_u64(), 0u);
+  EXPECT_THROW(BigInt{1}.mod_floor(BigUint{}), std::domain_error);
+}
+
+TEST(BigInt, ComparisonOrdering) {
+  EXPECT_LT(BigInt{-5}, BigInt{-3});
+  EXPECT_LT(BigInt{-3}, BigInt{0});
+  EXPECT_LT(BigInt{0}, BigInt{2});
+  EXPECT_GT(BigInt{2}, BigInt{-100});
+  EXPECT_EQ(BigInt{7}, BigInt::from_dec("7"));
+}
+
+TEST(BigInt, RingAxiomsRandomized) {
+  Xoshiro256ss rng(6);
+  for (int i = 0; i < 25; ++i) {
+    const BigInt a(random_bits(rng, 200), (rng.next_u64() & 1) != 0);
+    const BigInt b(random_bits(rng, 200), (rng.next_u64() & 1) != 0);
+    const BigInt c(random_bits(rng, 200), (rng.next_u64() & 1) != 0);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt{});
+    EXPECT_EQ(a + (-a), BigInt{});
+  }
+}
+
+TEST(ExtendedGcdTest, KnownValues) {
+  const ExtendedGcd r = extended_gcd(BigUint{240}, BigUint{46});
+  EXPECT_EQ(r.g.to_u64(), 2u);
+  // Bezout: 240x + 46y = 2.
+  EXPECT_EQ(BigInt{240} * r.x + BigInt{46} * r.y, BigInt{2});
+}
+
+TEST(ExtendedGcdTest, EdgeCases) {
+  const ExtendedGcd zero = extended_gcd(BigUint{}, BigUint{});
+  EXPECT_TRUE(zero.g.is_zero());
+  const ExtendedGcd left = extended_gcd(BigUint{12}, BigUint{});
+  EXPECT_EQ(left.g.to_u64(), 12u);
+  EXPECT_EQ(left.x, BigInt{1});
+  const ExtendedGcd right = extended_gcd(BigUint{}, BigUint{9});
+  EXPECT_EQ(right.g.to_u64(), 9u);
+  EXPECT_EQ(right.y, BigInt{1});
+}
+
+TEST(ExtendedGcdTest, BezoutPropertyRandomized) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const BigUint a = random_bits(rng, 300) + BigUint{1};
+    const BigUint b = random_bits(rng, 300) + BigUint{1};
+    const ExtendedGcd r = extended_gcd(a, b);
+    EXPECT_EQ(r.g, BigUint::gcd(a, b));
+    EXPECT_EQ(BigInt{a} * r.x + BigInt{b} * r.y, BigInt{r.g});
+  }
+}
+
+TEST(ExtendedGcdTest, YieldsModularInverse) {
+  // The x coefficient mod m is the modular inverse when gcd = 1 — must
+  // agree with BigUint::mod_inverse.
+  Xoshiro256ss rng(8);
+  const BigUint m = BigUint::from_dec("1000000007");
+  for (int i = 0; i < 20; ++i) {
+    const BigUint a = random_below(rng, m - BigUint{1}) + BigUint{1};
+    const ExtendedGcd r = extended_gcd(a, m);
+    ASSERT_TRUE(r.g.is_one());
+    EXPECT_EQ(r.x.mod_floor(m), BigUint::mod_inverse(a, m));
+  }
+}
+
+}  // namespace
+}  // namespace dubhe::bigint

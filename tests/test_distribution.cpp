@@ -1,0 +1,135 @@
+#include "stats/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/halfnormal.hpp"
+
+namespace dubhe::stats {
+namespace {
+
+TEST(Distribution, UniformSumsToOne) {
+  for (const std::size_t C : {1u, 2u, 10u, 52u}) {
+    const Distribution u = uniform(C);
+    ASSERT_EQ(u.size(), C);
+    double sum = 0;
+    for (const double v : u) {
+      EXPECT_DOUBLE_EQ(v, 1.0 / C);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Distribution, NormalizeBasics) {
+  Distribution d{2, 3, 5};
+  normalize(d);
+  EXPECT_DOUBLE_EQ(d[0], 0.2);
+  EXPECT_DOUBLE_EQ(d[1], 0.3);
+  EXPECT_DOUBLE_EQ(d[2], 0.5);
+  Distribution zero{0, 0};
+  normalize(zero);  // stays zero, no NaN
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+}
+
+TEST(Distribution, FromCounts) {
+  const std::vector<std::size_t> counts{1, 0, 3};
+  const Distribution d = from_counts(counts);
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.75);
+}
+
+TEST(L1Distance, KnownValuesAndBounds) {
+  const Distribution a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 2.0);  // disjoint one-hots: max distance
+  EXPECT_DOUBLE_EQ(l1_distance(a, a), 0.0);
+  const Distribution u = uniform(10);
+  Distribution spike(10, 0.0);
+  spike[0] = 1.0;
+  EXPECT_DOUBLE_EQ(l1_distance(spike, u), 2.0 * (1.0 - 0.1));
+}
+
+TEST(L1Distance, SymmetryAndTriangleProperty) {
+  const Distribution a{0.5, 0.3, 0.2}, b{0.2, 0.2, 0.6}, c{0.1, 0.8, 0.1};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), l1_distance(b, a));
+  EXPECT_LE(l1_distance(a, c), l1_distance(a, b) + l1_distance(b, c) + 1e-12);
+}
+
+TEST(L1Distance, LengthMismatchThrows) {
+  EXPECT_THROW(l1_distance(Distribution{1}, Distribution{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(KlDivergence, KnownValuesAndProperties) {
+  const Distribution u = uniform(2);
+  const Distribution p{0.75, 0.25};
+  const double expected = 0.75 * std::log(0.75 / 0.5) + 0.25 * std::log(0.25 / 0.5);
+  EXPECT_NEAR(kl_divergence(p, u), expected, 1e-9);
+  EXPECT_NEAR(kl_divergence(u, u), 0.0, 1e-12);
+  EXPECT_GE(kl_divergence(p, u), 0.0);  // Gibbs' inequality
+}
+
+TEST(KlDivergence, ZeroEntriesHandled) {
+  const Distribution p{1.0, 0.0};
+  const Distribution q{0.5, 0.5};
+  EXPECT_NEAR(kl_divergence(p, q), std::log(2.0), 1e-9);  // 0 log 0 term dropped
+}
+
+TEST(ImbalanceRatio, Basics) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio(Distribution{0.5, 0.25, 0.25}), 2.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio(uniform(5)), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio(Distribution{}), 1.0);
+  EXPECT_TRUE(std::isinf(imbalance_ratio(Distribution{0.5, 0.0, 0.5})));
+}
+
+TEST(AddScaled, Elementwise) {
+  const Distribution a{1, 2}, b{3, 4};
+  const Distribution s = add(a, b);
+  EXPECT_DOUBLE_EQ(s[0], 4.0);
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  const Distribution sc = scaled(a, 2.5);
+  EXPECT_DOUBLE_EQ(sc[0], 2.5);
+  EXPECT_DOUBLE_EQ(sc[1], 5.0);
+  EXPECT_THROW(add(Distribution{1}, Distribution{1, 2}), std::invalid_argument);
+}
+
+class HalfNormalProfile : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(HalfNormalProfile, HitsExactImbalanceRatio) {
+  const auto [C, rho] = GetParam();
+  const Distribution d = half_normal_profile(C, rho);
+  ASSERT_EQ(d.size(), C);
+  double sum = 0;
+  for (const double v : d) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(imbalance_ratio(d), rho, rho * 1e-9);
+  // Monotone decreasing: class 0 is the most frequent.
+  for (std::size_t c = 1; c < C; ++c) EXPECT_LE(d[c], d[c - 1] + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, HalfNormalProfile,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 10, 52),
+                       ::testing::Values(1.0, 2.0, 5.0, 10.0, 13.64)));
+
+TEST(HalfNormalProfileEdge, RhoOneIsUniform) {
+  const Distribution d = half_normal_profile(10, 1.0);
+  for (const double v : d) EXPECT_NEAR(v, 0.1, 1e-12);
+}
+
+TEST(HalfNormalProfileEdge, InvalidArgsThrow) {
+  EXPECT_THROW(half_normal_profile(0, 2.0), std::invalid_argument);
+  EXPECT_THROW(half_normal_profile(10, 0.5), std::invalid_argument);
+}
+
+TEST(HalfNormalProfileEdge, SingleClass) {
+  const Distribution d = half_normal_profile(1, 10.0);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+}
+
+}  // namespace
+}  // namespace dubhe::stats

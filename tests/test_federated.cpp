@@ -1,0 +1,159 @@
+#include "data/federated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/virtual_clients.hpp"
+
+namespace dubhe::data {
+namespace {
+
+PartitionConfig small_config() {
+  PartitionConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_clients = 40;
+  cfg.samples_per_client = 64;
+  cfg.rho = 5;
+  cfg.emd_avg = 1.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(FederatedDataset, RejectsSpecPartitionMismatch) {
+  PartitionConfig cfg = small_config();
+  cfg.num_classes = 52;  // femnist partition with a 10-class spec
+  EXPECT_THROW(FederatedDataset(mnist_like(), cfg), std::invalid_argument);
+}
+
+TEST(FederatedDataset, ClientSamplesMatchPartitionCounts) {
+  const FederatedDataset ds(mnist_like(), small_config());
+  for (std::size_t k = 0; k < ds.num_clients(); ++k) {
+    const auto samples = ds.client_samples(k);
+    std::vector<std::size_t> counts(ds.num_classes(), 0);
+    for (const Sample& s : samples) ++counts[s.cls];
+    EXPECT_EQ(counts, ds.partition().client_counts[k]) << k;
+  }
+  EXPECT_THROW((void)ds.client_samples(1000), std::out_of_range);
+}
+
+TEST(FederatedDataset, TrainingInstancesAreGloballyUnique) {
+  const FederatedDataset ds(mnist_like(), small_config());
+  std::set<std::pair<std::size_t, std::uint64_t>> seen;
+  for (std::size_t k = 0; k < ds.num_clients(); ++k) {
+    for (const Sample& s : ds.client_samples(k)) {
+      EXPECT_TRUE(seen.emplace(s.cls, s.instance).second)
+          << "duplicate sample " << s.cls << "/" << s.instance;
+    }
+  }
+}
+
+TEST(FederatedDataset, TestSetIsBalancedAndDisjointFromTraining) {
+  const FederatedDataset ds(mnist_like(), small_config(), /*test_per_class=*/32);
+  std::vector<std::size_t> counts(ds.num_classes(), 0);
+  for (const Sample& s : ds.test_samples()) {
+    ++counts[s.cls];
+    EXPECT_GE(s.instance, std::uint64_t{1} << 60);  // disjoint id range
+  }
+  for (const std::size_t c : counts) EXPECT_EQ(c, 32u);
+}
+
+TEST(FederatedDataset, MaterializeShapesAndLabels) {
+  const FederatedDataset ds(mnist_like(), small_config());
+  const auto samples = ds.client_samples(0);
+  const std::size_t B = 8, F = ds.feature_dim();
+  std::vector<float> X(B * F);
+  std::vector<std::size_t> y(B);
+  ds.materialize({samples.data(), B}, X, y);
+  for (std::size_t i = 0; i < B; ++i) {
+    EXPECT_EQ(y[i], samples[i].cls);  // mnist-like has zero label noise
+    // Features must match a direct generator call.
+    std::vector<float> direct(F);
+    ds.generator().features_into(samples[i].cls, samples[i].instance, direct);
+    for (std::size_t f = 0; f < F; ++f) EXPECT_EQ(X[i * F + f], direct[f]);
+  }
+  std::vector<float> bad(B * F - 1);
+  EXPECT_THROW(ds.materialize({samples.data(), B}, bad, y), std::invalid_argument);
+}
+
+TEST(FederatedDataset, ClientDistributionAccessor) {
+  const FederatedDataset ds(mnist_like(), small_config());
+  for (std::size_t k = 0; k < ds.num_clients(); ++k) {
+    EXPECT_EQ(ds.client_distribution(k), ds.partition().client_dists[k]);
+  }
+  EXPECT_THROW((void)ds.client_distribution(999), std::out_of_range);
+}
+
+// ---------------------------------------------------------------------------
+// FedVC virtual client splitting
+// ---------------------------------------------------------------------------
+
+std::vector<Sample> make_samples(std::size_t cls, std::size_t n) {
+  std::vector<Sample> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(Sample{cls, i});
+  return v;
+}
+
+TEST(VirtualClients, LargeClientIsSplit) {
+  stats::Rng rng(3);
+  const std::vector<std::vector<Sample>> clients{make_samples(0, 100)};
+  const VirtualSplit split = split_virtual_clients(clients, 32, rng);
+  EXPECT_EQ(split.virtual_clients.size(), 4u);  // ceil(100/32)
+  for (const auto& vc : split.virtual_clients) EXPECT_EQ(vc.size(), 32u);
+  for (const std::size_t o : split.origin) EXPECT_EQ(o, 0u);
+}
+
+TEST(VirtualClients, SmallClientDuplicatesSamples) {
+  stats::Rng rng(4);
+  const std::vector<std::vector<Sample>> clients{make_samples(1, 10)};
+  const VirtualSplit split = split_virtual_clients(clients, 32, rng);
+  ASSERT_EQ(split.virtual_clients.size(), 1u);
+  EXPECT_EQ(split.virtual_clients[0].size(), 32u);
+  // Every sample must come from the client's own pool.
+  for (const Sample& s : split.virtual_clients[0]) {
+    EXPECT_EQ(s.cls, 1u);
+    EXPECT_LT(s.instance, 10u);
+  }
+}
+
+TEST(VirtualClients, ExactMultipleNoDuplicates) {
+  stats::Rng rng(5);
+  const std::vector<std::vector<Sample>> clients{make_samples(2, 64)};
+  const VirtualSplit split = split_virtual_clients(clients, 32, rng);
+  ASSERT_EQ(split.virtual_clients.size(), 2u);
+  std::set<std::uint64_t> seen;
+  for (const auto& vc : split.virtual_clients) {
+    for (const Sample& s : vc) seen.insert(s.instance);
+  }
+  EXPECT_EQ(seen.size(), 64u);  // a clean split covers every sample once
+}
+
+TEST(VirtualClients, EmptyClientContributesNothing) {
+  stats::Rng rng(6);
+  const std::vector<std::vector<Sample>> clients{{}, make_samples(0, 5)};
+  const VirtualSplit split = split_virtual_clients(clients, 8, rng);
+  ASSERT_EQ(split.virtual_clients.size(), 1u);
+  EXPECT_EQ(split.origin[0], 1u);
+}
+
+TEST(VirtualClients, ZeroNvcThrows) {
+  stats::Rng rng(7);
+  EXPECT_THROW(split_virtual_clients({}, 0, rng), std::invalid_argument);
+}
+
+TEST(VirtualClients, MixedPopulationOriginTracking) {
+  stats::Rng rng(8);
+  const std::vector<std::vector<Sample>> clients{
+      make_samples(0, 70), make_samples(1, 16), make_samples(2, 33)};
+  const VirtualSplit split = split_virtual_clients(clients, 32, rng);
+  // 70 -> 3 pieces, 16 -> 1, 33 -> 2.
+  EXPECT_EQ(split.virtual_clients.size(), 6u);
+  std::vector<std::size_t> per_origin(3, 0);
+  for (const std::size_t o : split.origin) ++per_origin[o];
+  EXPECT_EQ(per_origin[0], 3u);
+  EXPECT_EQ(per_origin[1], 1u);
+  EXPECT_EQ(per_origin[2], 2u);
+}
+
+}  // namespace
+}  // namespace dubhe::data

@@ -1,0 +1,161 @@
+// Cross-module integration tests: the full experiment pipeline at reduced
+// scale, checking the paper's qualitative claims hold end to end.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/table.hpp"
+
+#include <sstream>
+
+namespace dubhe::sim {
+namespace {
+
+ExperimentConfig small_experiment(Method m) {
+  ExperimentConfig cfg;
+  cfg.spec = data::mnist_like();
+  cfg.part.num_classes = 10;
+  cfg.part.num_clients = 120;
+  cfg.part.samples_per_client = 64;
+  cfg.part.rho = 10;
+  cfg.part.emd_avg = 1.5;
+  cfg.part.seed = 4;
+  cfg.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  cfg.K = 12;
+  cfg.rounds = 25;
+  cfg.eval_every = 5;
+  cfg.seed = 9;
+  cfg.method = m;
+  return cfg;
+}
+
+TEST(Integration, ExperimentProducesWellFormedCurves) {
+  const ExperimentResult r = run_experiment(small_experiment(Method::kRandom));
+  EXPECT_EQ(r.po_pu_l1.size(), 25u);
+  EXPECT_FALSE(r.accuracy_curve.empty());
+  EXPECT_GT(r.final_accuracy, 0.0);
+  EXPECT_LE(r.final_accuracy, 1.0);
+  EXPECT_EQ(r.mean_population.size(), 10u);
+  double sum = 0;
+  for (const double v : r.mean_population) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(r.realized_emd_avg, 1.5, 0.1);
+}
+
+TEST(Integration, ExperimentIsDeterministic) {
+  const ExperimentResult a = run_experiment(small_experiment(Method::kDubhe));
+  const ExperimentResult b = run_experiment(small_experiment(Method::kDubhe));
+  EXPECT_EQ(a.accuracy_curve, b.accuracy_curve);
+  EXPECT_EQ(a.po_pu_l1, b.po_pu_l1);
+}
+
+TEST(Integration, DubheImprovesUnbiasednessOverRandom) {
+  const ExperimentResult rnd = run_experiment(small_experiment(Method::kRandom));
+  const ExperimentResult dub = run_experiment(small_experiment(Method::kDubhe));
+  double rnd_mean = 0, dub_mean = 0;
+  for (const double v : rnd.po_pu_l1) rnd_mean += v;
+  for (const double v : dub.po_pu_l1) dub_mean += v;
+  EXPECT_LT(dub_mean, rnd_mean);
+}
+
+TEST(Integration, GreedyIsTheOptimalBoundOnUnbiasedness) {
+  const ExperimentResult dub = run_experiment(small_experiment(Method::kDubhe));
+  const ExperimentResult grd = run_experiment(small_experiment(Method::kGreedy));
+  double dub_mean = 0, grd_mean = 0;
+  for (const double v : dub.po_pu_l1) dub_mean += v;
+  for (const double v : grd.po_pu_l1) grd_mean += v;
+  EXPECT_LT(grd_mean, dub_mean);
+}
+
+TEST(Integration, MultiTimeSelectionRecordsEmdStar) {
+  ExperimentConfig cfg = small_experiment(Method::kDubhe);
+  cfg.multi_time_h = 5;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.emd_star.size(), cfg.rounds);
+  // EMD* with H=5 should beat the one-off per-round l1 on average.
+  const ExperimentResult one = run_experiment(small_experiment(Method::kDubhe));
+  double h5 = 0, h1 = 0;
+  for (const double v : r.emd_star) h5 += v;
+  for (const double v : one.po_pu_l1) h1 += v;
+  EXPECT_LT(h5, h1);
+}
+
+TEST(Integration, AutoParamSearchRunsAndRecordsSigma) {
+  ExperimentConfig cfg = small_experiment(Method::kDubhe);
+  cfg.rounds = 5;
+  cfg.auto_param_search = true;
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_EQ(r.sigma_used.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.sigma_used.back(), 0.0);
+  EXPECT_GT(r.sigma_used[0], 0.0);
+}
+
+TEST(Integration, SelectionStudyMatchesPaperOrdering) {
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = 500;
+  pc.samples_per_client = 128;
+  pc.rho = 10;
+  pc.emd_avg = 1.5;
+  pc.seed = 3;
+  const data::Partition part = data::make_partition(pc);
+  const SelectionStudy rnd = selection_study(Method::kRandom, part, 20, 60, 7);
+  const SelectionStudy dub = selection_study(Method::kDubhe, part, 20, 60, 7);
+  const SelectionStudy grd = selection_study(Method::kGreedy, part, 20, 60, 7);
+  EXPECT_LT(grd.mean_l1, dub.mean_l1);
+  EXPECT_LT(dub.mean_l1, rnd.mean_l1);
+  EXPECT_EQ(rnd.mean_population.size(), 10u);
+}
+
+TEST(Integration, SelectionStudyMultiTimeImproves) {
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = 400;
+  pc.samples_per_client = 128;
+  pc.rho = 10;
+  pc.emd_avg = 1.5;
+  pc.seed = 6;
+  const data::Partition part = data::make_partition(pc);
+  const SelectionStudy h1 = selection_study(Method::kDubhe, part, 20, 60, 7, {}, {}, 1);
+  const SelectionStudy h10 = selection_study(Method::kDubhe, part, 20, 60, 7, {}, {}, 10);
+  EXPECT_LT(h10.mean_l1, h1.mean_l1);
+}
+
+TEST(Integration, MethodNames) {
+  EXPECT_EQ(to_string(Method::kRandom), "random");
+  EXPECT_EQ(to_string(Method::kGreedy), "greedy");
+  EXPECT_EQ(to_string(Method::kDubhe), "dubhe");
+}
+
+TEST(Integration, DefaultSigmaShapes) {
+  EXPECT_EQ(default_sigma({1, 2, 10}), (std::vector<double>{0.7, 0.1, 0.0}));
+  EXPECT_EQ(default_sigma({1, 52}), (std::vector<double>{0.7, 0.0}));
+  EXPECT_EQ(default_sigma({10}), (std::vector<double>{0.0}));
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"method", "acc"});
+  t.add_row({"random", "0.31"});
+  t.add_row({"dubhe", "0.364"});
+  std::ostringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("dubhe"), std::string::npos);
+  EXPECT_NE(out.find("0.364"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.123, 1), "12.3%");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024), "3.50 MB");
+  EXPECT_EQ(fmt_distribution({0.5, 0.25}, 2), "[0.50 0.25]");
+}
+
+}  // namespace
+}  // namespace dubhe::sim

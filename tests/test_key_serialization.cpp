@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "paillier/paillier.hpp"
+
+namespace dubhe::he {
+namespace {
+
+Keypair test_keypair() {
+  bigint::Xoshiro256ss rng(77);
+  return Keypair::generate(rng, 256);
+}
+
+TEST(KeySerialization, PublicKeyRoundTrip) {
+  const Keypair kp = test_keypair();
+  const auto bytes = serialize(kp.pub);
+  EXPECT_EQ(bytes[0], 'P');
+  const PublicKey restored = deserialize_public_key(bytes);
+  EXPECT_EQ(restored, kp.pub);
+  EXPECT_EQ(restored.n_squared(), kp.pub.n_squared());
+}
+
+TEST(KeySerialization, RestoredPublicKeyEncrypts) {
+  const Keypair kp = test_keypair();
+  const PublicKey restored = deserialize_public_key(serialize(kp.pub));
+  bigint::Xoshiro256ss rng(3);
+  const Ciphertext ct = restored.encrypt(BigUint{909}, rng);
+  EXPECT_EQ(kp.prv.decrypt(ct).to_u64(), 909u);
+}
+
+TEST(KeySerialization, PrivateKeyRoundTrip) {
+  const Keypair kp = test_keypair();
+  const auto bytes = serialize(kp.prv);
+  EXPECT_EQ(bytes[0], 'S');
+  const PrivateKey restored = deserialize_private_key(bytes);
+  EXPECT_EQ(restored.p(), kp.prv.p());
+  EXPECT_EQ(restored.q(), kp.prv.q());
+  bigint::Xoshiro256ss rng(4);
+  const Ciphertext ct = kp.pub.encrypt(BigUint{31337}, rng);
+  EXPECT_EQ(restored.decrypt(ct).to_u64(), 31337u);
+  EXPECT_EQ(restored.decrypt_textbook(ct).to_u64(), 31337u);
+}
+
+TEST(KeySerialization, RejectsWrongTag) {
+  const Keypair kp = test_keypair();
+  auto pub_bytes = serialize(kp.pub);
+  EXPECT_THROW(deserialize_private_key(pub_bytes), std::invalid_argument);
+  auto prv_bytes = serialize(kp.prv);
+  EXPECT_THROW(deserialize_public_key(prv_bytes), std::invalid_argument);
+}
+
+TEST(KeySerialization, RejectsTruncated) {
+  const Keypair kp = test_keypair();
+  auto bytes = serialize(kp.prv);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(deserialize_private_key(bytes), std::invalid_argument);
+  EXPECT_THROW(deserialize_public_key(std::vector<std::uint8_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(deserialize_public_key(std::vector<std::uint8_t>{'P', 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(KeySerialization, AgentDispatchScenario) {
+  // The §5.1 flow in bytes: the agent serializes the keypair, every client
+  // deserializes it, encrypts its registry slot, and the sum decrypts
+  // correctly with an independently restored private key.
+  const Keypair kp = test_keypair();
+  const auto pub_wire = serialize(kp.pub);
+  const auto prv_wire = serialize(kp.prv);
+
+  bigint::Xoshiro256ss rng(5);
+  Ciphertext sum = deserialize_public_key(pub_wire).encrypt_deterministic(BigUint{});
+  for (int client = 0; client < 10; ++client) {
+    const PublicKey pk = deserialize_public_key(pub_wire);
+    sum = pk.add(sum, pk.encrypt(BigUint{1}, rng));
+  }
+  EXPECT_EQ(deserialize_private_key(prv_wire).decrypt(sum).to_u64(), 10u);
+}
+
+}  // namespace
+}  // namespace dubhe::he

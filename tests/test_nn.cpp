@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/builders.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe::nn {
+namespace {
+
+Tensor random_input(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Tensor t{std::move(shape)};
+  stats::Rng rng(seed);
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+/// Finite-difference gradient check of d(sum of outputs)/d(inputs and
+/// params) for an arbitrary layer stack. The loss is sum(output * probe)
+/// with a fixed random probe so every output coordinate participates.
+void gradient_check(Sequential& model, const Tensor& x, double tol = 2e-2) {
+  const Tensor probe = random_input(model.forward(x).shape(), 1234);
+  const auto loss_of = [&](const Tensor& input) {
+    const Tensor out = model.forward(input);
+    double acc = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      acc += static_cast<double>(out.flat()[i]) * probe.flat()[i];
+    }
+    return acc;
+  };
+
+  // Analytic gradients.
+  (void)loss_of(x);
+  model.backward(probe);
+  std::vector<float> analytic_param_grads;
+  for (const auto g : model.grad_views()) {
+    analytic_param_grads.insert(analytic_param_grads.end(), g.begin(), g.end());
+  }
+
+  // Numeric gradients over a subsample of parameters (full sweep is slow).
+  const double eps = 1e-3;
+  auto params = model.param_views();
+  std::size_t flat_index = 0;
+  stats::Rng pick(99);
+  for (auto p : params) {
+    for (std::size_t j = 0; j < p.size(); ++j, ++flat_index) {
+      if (pick.uniform() > 40.0 / static_cast<double>(analytic_param_grads.size())) {
+        continue;  // check ~40 random parameters
+      }
+      const float saved = p[j];
+      p[j] = static_cast<float>(saved + eps);
+      const double up = loss_of(x);
+      p[j] = static_cast<float>(saved - eps);
+      const double down = loss_of(x);
+      p[j] = saved;
+      const double numeric = (up - down) / (2 * eps);
+      const double analytic = analytic_param_grads[flat_index];
+      EXPECT_NEAR(analytic, numeric, tol * std::max(1.0, std::abs(numeric)))
+          << "param " << flat_index;
+    }
+  }
+}
+
+TEST(Linear, ForwardMatchesManualComputation) {
+  Linear lin(2, 2, 5);
+  auto p = lin.params();
+  // W = [[1, 2], [3, 4]], b = [10, 20].
+  p[0] = 1;
+  p[1] = 2;
+  p[2] = 3;
+  p[3] = 4;
+  p[4] = 10;
+  p[5] = 20;
+  Tensor x{{1, 2}};
+  x(0, 0) = 1;
+  x(0, 1) = 1;
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y(0, 0), 14.0f);  // 1*1 + 1*3 + 10
+  EXPECT_EQ(y(0, 1), 26.0f);  // 1*2 + 1*4 + 20
+}
+
+TEST(Linear, BadShapesThrow) {
+  Linear lin(3, 2, 5);
+  EXPECT_THROW(lin.forward(Tensor{{1, 4}}), std::invalid_argument);
+  EXPECT_THROW(Linear(0, 2, 1), std::invalid_argument);
+}
+
+TEST(Linear, GradientCheck) {
+  Sequential m;
+  m.add(std::make_unique<Linear>(4, 3, 7));
+  const Tensor x = random_input({5, 4}, 2);
+  gradient_check(m, x);
+}
+
+TEST(ReLULayer, GradientCheck) {
+  Sequential m;
+  m.add(std::make_unique<Linear>(4, 6, 3));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Linear>(6, 2, 4));
+  const Tensor x = random_input({3, 4}, 5);
+  gradient_check(m, x);
+}
+
+TEST(Conv2d, ForwardKnownKernel) {
+  // 1x1 input channel, 3x3 image, identity-ish kernel: center tap only.
+  Conv2d conv(1, 1, 3, 1, 11);
+  auto p = conv.params();
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] = 0.0f;
+  p[4] = 1.0f;  // center of the 3x3 kernel
+  Tensor x{{1, 1, 3, 3}};
+  for (std::size_t i = 0; i < 9; ++i) x.flat()[i] = static_cast<float>(i);
+  const Tensor y = conv.forward(x);
+  ASSERT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 3, 3}));
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(y.flat()[i], x.flat()[i]);
+}
+
+TEST(Conv2d, ForwardEdgePadding) {
+  // Sum kernel over a constant image: interior sees 9, corner sees 4.
+  Conv2d conv(1, 1, 3, 1, 11);
+  auto p = conv.params();
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) p[i] = 1.0f;
+  p[p.size() - 1] = 0.0f;  // bias
+  Tensor x{{1, 1, 4, 4}};
+  x.fill(1.0f);
+  const Tensor y = conv.forward(x);
+  EXPECT_EQ(y.flat()[0], 4.0f);                    // corner
+  EXPECT_EQ(y.flat()[5], 9.0f);                    // interior
+  EXPECT_EQ(y.flat()[1], 6.0f);                    // edge
+}
+
+TEST(Conv2d, GradientCheck) {
+  Sequential m;
+  m.add(std::make_unique<Conv2d>(2, 3, 3, 1, 21));
+  const Tensor x = random_input({2, 2, 4, 4}, 6);
+  gradient_check(m, x);
+}
+
+TEST(MaxPool, ForwardAndRouting) {
+  MaxPool2d pool;
+  Tensor x{{1, 1, 2, 2}};
+  x.flat()[0] = 1;
+  x.flat()[1] = 5;
+  x.flat()[2] = 3;
+  x.flat()[3] = 2;
+  const Tensor y = pool.forward(x);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y.flat()[0], 5.0f);
+  Tensor g{{1, 1, 1, 1}};
+  g.flat()[0] = 7.0f;
+  const Tensor gin = pool.backward(g);
+  EXPECT_EQ(gin.flat()[1], 7.0f);  // routed to the argmax
+  EXPECT_EQ(gin.flat()[0], 0.0f);
+}
+
+TEST(MaxPool, OddSizesRejected) {
+  MaxPool2d pool;
+  EXPECT_THROW(pool.forward(Tensor{{1, 1, 3, 4}}), std::invalid_argument);
+}
+
+TEST(CnnStack, GradientCheck) {
+  Sequential m;
+  m.add(std::make_unique<Conv2d>(1, 2, 3, 1, 31));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<MaxPool2d>());
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Linear>(2 * 2 * 2, 3, 32));
+  const Tensor x = random_input({2, 1, 4, 4}, 8);
+  gradient_check(m, x, 5e-2);
+}
+
+TEST(SoftmaxCE, KnownValues) {
+  Tensor logits{{1, 2}};
+  logits(0, 0) = 0.0f;
+  logits(0, 1) = 0.0f;
+  const std::vector<std::size_t> labels{0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(2.0), 1e-6);
+  EXPECT_NEAR(r.grad(0, 0), 0.5 - 1.0, 1e-6);
+  EXPECT_NEAR(r.grad(0, 1), 0.5, 1e-6);
+}
+
+TEST(SoftmaxCE, GradSumsToZeroPerRow) {
+  const Tensor logits = random_input({4, 5}, 9);
+  const std::vector<std::size_t> labels{0, 1, 2, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 4; ++i) {
+    double row = 0;
+    for (std::size_t c = 0; c < 5; ++c) row += r.grad(i, c);
+    EXPECT_NEAR(row, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCE, NumericallyStableWithHugeLogits) {
+  Tensor logits{{1, 3}};
+  logits(0, 0) = 10000.0f;
+  logits(0, 1) = -10000.0f;
+  logits(0, 2) = 0.0f;
+  const std::vector<std::size_t> labels{0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_NEAR(r.loss, 0.0, 1e-6);
+  EXPECT_DOUBLE_EQ(r.accuracy, 1.0);
+}
+
+TEST(SoftmaxCE, RejectsBadLabels) {
+  const Tensor logits = random_input({2, 3}, 10);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<std::size_t>{0, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(SoftmaxCE, FiniteDifferenceGradient) {
+  Tensor logits = random_input({3, 4}, 11);
+  const std::vector<std::size_t> labels{1, 3, 0};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-3;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits.flat()[i];
+    logits.flat()[i] = static_cast<float>(saved + eps);
+    const double up = softmax_cross_entropy(logits, labels).loss;
+    logits.flat()[i] = static_cast<float>(saved - eps);
+    const double down = softmax_cross_entropy(logits, labels).loss;
+    logits.flat()[i] = saved;
+    EXPECT_NEAR(r.grad.flat()[i], (up - down) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Accuracy, TopOne) {
+  Tensor logits{{2, 3}};
+  logits(0, 2) = 5.0f;  // predicts 2
+  logits(1, 0) = 5.0f;  // predicts 0
+  EXPECT_DOUBLE_EQ(top1_accuracy(logits, std::vector<std::size_t>{2, 1}), 0.5);
+}
+
+TEST(Sequential, CloneIsDeep) {
+  Sequential a = make_mlp(4, 8, 3, 1);
+  Sequential b = a;  // copy
+  const auto wa = a.get_weights();
+  auto pb = b.param_views();
+  pb[0][0] += 100.0f;
+  EXPECT_EQ(a.get_weights(), wa);  // a unaffected
+  EXPECT_NE(b.get_weights(), wa);
+}
+
+TEST(Sequential, GetSetWeightsRoundTrip) {
+  Sequential m = make_mlp(4, 8, 3, 2);
+  auto w = m.get_weights();
+  EXPECT_EQ(w.size(), m.num_params());
+  for (float& v : w) v = 0.125f;
+  m.set_weights(w);
+  EXPECT_EQ(m.get_weights(), w);
+  w.pop_back();
+  EXPECT_THROW(m.set_weights(w), std::invalid_argument);
+}
+
+TEST(Sequential, MlpParameterCount) {
+  const Sequential m = make_mlp(32, 64, 10, 3);
+  EXPECT_EQ(m.num_params(), 32u * 64 + 64 + 64 * 10 + 10);
+}
+
+TEST(Builders, CnnRunsForwardBackward) {
+  Sequential m = make_cnn(8, 10, 4);
+  const Tensor x = random_input({2, 1, 8, 8}, 12);
+  const Tensor y = m.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 10}));
+  const LossResult r = softmax_cross_entropy(y, std::vector<std::size_t>{0, 1});
+  m.backward(r.grad);
+  EXPECT_THROW(make_cnn(10, 10, 4), std::invalid_argument);  // side % 4 != 0
+}
+
+TEST(Sgd, StepIsExact) {
+  Sequential m;
+  m.add(std::make_unique<Linear>(1, 1, 5));
+  auto params = m.param_views();
+  params[0][0] = 1.0f;
+  params[0][1] = 2.0f;
+  std::vector<float> grad_store{0.5f, -1.0f};
+  const std::vector<std::span<float>> grads{std::span<float>(grad_store)};
+  Sgd opt(0.1);
+  opt.step(params, grads);
+  EXPECT_NEAR(params[0][0], 0.95f, 1e-6);
+  EXPECT_NEAR(params[0][1], 2.1f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Sequential m;
+  m.add(std::make_unique<Linear>(1, 1, 5));
+  auto params = m.param_views();
+  params[0][0] = 1.0f;
+  std::vector<float> grad_store{0.0f, 0.0f};
+  const std::vector<std::span<float>> grads{std::span<float>(grad_store)};
+  Sgd opt(0.1, 0.5);
+  opt.step(params, grads);
+  EXPECT_NEAR(params[0][0], 0.95f, 1e-6);  // 1 - 0.1*0.5*1
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, Adam's first step is lr * sign(grad).
+  Sequential m;
+  m.add(std::make_unique<Linear>(1, 1, 6));
+  auto params = m.param_views();
+  params[0][0] = 0.0f;
+  params[0][1] = 0.0f;
+  std::vector<float> grad_store{0.3f, -0.7f};
+  const std::vector<std::span<float>> grads{std::span<float>(grad_store)};
+  Adam opt(0.01);
+  opt.step(params, grads);
+  EXPECT_NEAR(params[0][0], -0.01f, 1e-5);
+  EXPECT_NEAR(params[0][1], 0.01f, 1e-5);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by feeding grad = 2(w - 3).
+  Sequential m;
+  m.add(std::make_unique<Linear>(1, 1, 7));
+  auto params = m.param_views();
+  params[0][0] = 0.0f;
+  params[0][1] = 0.0f;  // ignore bias by zero grad
+  std::vector<float> grad_store{0.0f, 0.0f};
+  const std::vector<std::span<float>> grads{std::span<float>(grad_store)};
+  Adam opt(0.05);
+  for (int i = 0; i < 2000; ++i) {
+    grad_store[0] = 2.0f * (params[0][0] - 3.0f);
+    opt.step(params, grads);
+  }
+  EXPECT_NEAR(params[0][0], 3.0f, 0.05f);
+}
+
+TEST(Training, LearnsLinearlySeparableBlobs) {
+  // End-to-end sanity: a tiny MLP must fit two Gaussian blobs.
+  Sequential m = make_mlp(2, 16, 2, 8);
+  Adam opt(0.01);
+  const auto params = m.param_views();
+  const auto grads = m.grad_views();
+  stats::Rng rng(77);
+  for (int step = 0; step < 300; ++step) {
+    Tensor x{{16, 2}};
+    std::vector<std::size_t> y(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      const std::size_t cls = rng.below(2);
+      y[i] = cls;
+      x(i, 0) = static_cast<float>(rng.normal() * 0.5 + (cls ? 2.0 : -2.0));
+      x(i, 1) = static_cast<float>(rng.normal() * 0.5);
+    }
+    const LossResult r = softmax_cross_entropy(m.forward(x), y);
+    m.backward(r.grad);
+    opt.step(params, grads);
+  }
+  // Evaluate.
+  Tensor x{{100, 2}};
+  std::vector<std::size_t> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const std::size_t cls = i % 2;
+    y[i] = cls;
+    x(i, 0) = static_cast<float>(rng.normal() * 0.5 + (cls ? 2.0 : -2.0));
+    x(i, 1) = static_cast<float>(rng.normal() * 0.5);
+  }
+  EXPECT_GT(top1_accuracy(m.forward(x), y), 0.95);
+}
+
+}  // namespace
+}  // namespace dubhe::nn

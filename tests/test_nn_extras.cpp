@@ -1,0 +1,153 @@
+// Tests for the NN extensions: Dropout (train/eval semantics, backward
+// masking, determinism) and model weight persistence.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/builders.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/persistence.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe::nn {
+namespace {
+
+Tensor ones(std::size_t r, std::size_t c) {
+  Tensor t{{r, c}};
+  t.fill(1.0f);
+  return t;
+}
+
+TEST(Dropout, RejectsBadRate) {
+  EXPECT_THROW(Dropout(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0, 1), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout(0.0, 1));
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout layer(0.5, 7);
+  layer.set_training(false);
+  const Tensor x = ones(4, 8);
+  const Tensor y = layer.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y.flat()[i], 1.0f);
+  // Backward is pass-through in eval mode.
+  const Tensor g = layer.backward(x);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g.flat()[i], 1.0f);
+}
+
+TEST(Dropout, ZeroRateIsIdentityInTraining) {
+  Dropout layer(0.0, 7);
+  const Tensor y = layer.forward(ones(2, 4));
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y.flat()[i], 1.0f);
+}
+
+TEST(Dropout, TrainingDropsAndRescales) {
+  Dropout layer(0.4, 11);
+  const Tensor y = layer.forward(ones(64, 64));
+  std::size_t zeros = 0;
+  const float keep_scale = 1.0f / 0.6f;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.flat()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.flat()[i], keep_scale, 1e-5);
+    }
+  }
+  const double drop_rate = static_cast<double>(zeros) / static_cast<double>(y.size());
+  EXPECT_NEAR(drop_rate, 0.4, 0.03);
+}
+
+TEST(Dropout, TrainingPreservesExpectation) {
+  // Inverted dropout: E[output] == input.
+  Dropout layer(0.3, 13);
+  double total = 0;
+  const int reps = 200;
+  for (int i = 0; i < reps; ++i) {
+    const Tensor y = layer.forward(ones(8, 8));
+    for (std::size_t j = 0; j < y.size(); ++j) total += y.flat()[j];
+  }
+  EXPECT_NEAR(total / (reps * 64.0), 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardRoutesThroughMask) {
+  Dropout layer(0.5, 17);
+  const Tensor y = layer.forward(ones(4, 4));
+  Tensor g{{4, 4}};
+  g.fill(2.0f);
+  const Tensor gin = layer.backward(g);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.flat()[i] == 0.0f) {
+      EXPECT_EQ(gin.flat()[i], 0.0f);  // dropped units pass no gradient
+    } else {
+      EXPECT_NEAR(gin.flat()[i], 2.0f * 2.0f, 1e-5);  // scale applied twice
+    }
+  }
+}
+
+TEST(Dropout, CloneDiverges) {
+  // Clones duplicate generator state, then draw independently.
+  Dropout a(0.5, 19);
+  auto b_ptr = a.clone();
+  const Tensor ya = a.forward(ones(8, 8));
+  const Tensor yb = b_ptr->forward(ones(8, 8));
+  // Same state at clone time -> identical first mask.
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya.flat()[i], yb.flat()[i]);
+}
+
+TEST(Dropout, SequentialPropagatesTrainingMode) {
+  Sequential m;
+  m.add(std::make_unique<Linear>(4, 4, 3));
+  m.add(std::make_unique<Dropout>(0.9, 5));
+  m.set_training(false);
+  const Tensor x = ones(2, 4);
+  const Tensor y1 = m.forward(x);
+  const Tensor y2 = m.forward(x);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_EQ(y1.flat()[i], y2.flat()[i]);  // eval mode: deterministic
+  }
+}
+
+TEST(Persistence, SaveLoadRoundTrip) {
+  Sequential a = make_mlp(8, 16, 4, 2);
+  const std::string path = "/tmp/dubhe_test_weights.bin";
+  ASSERT_TRUE(save_weights(path, a));
+  Sequential b = make_mlp(8, 16, 4, 99);  // different init
+  ASSERT_NE(a.get_weights(), b.get_weights());
+  ASSERT_TRUE(load_weights(path, b));
+  EXPECT_EQ(a.get_weights(), b.get_weights());
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, RejectsArchitectureMismatch) {
+  Sequential a = make_mlp(8, 16, 4, 2);
+  const std::string path = "/tmp/dubhe_test_weights2.bin";
+  ASSERT_TRUE(save_weights(path, a));
+  Sequential wrong = make_mlp(8, 32, 4, 2);
+  const auto before = wrong.get_weights();
+  EXPECT_FALSE(load_weights(path, wrong));
+  EXPECT_EQ(wrong.get_weights(), before);  // untouched on failure
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, RejectsGarbageFiles) {
+  Sequential m = make_mlp(4, 4, 2, 1);
+  EXPECT_FALSE(load_weights("/tmp/definitely-not-there.bin", m));
+  const std::string path = "/tmp/dubhe_test_garbage.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("not a weights file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_weights(path, m));
+  std::remove(path.c_str());
+}
+
+TEST(Persistence, BadPathFailsToSave) {
+  const Sequential m = make_mlp(4, 4, 2, 1);
+  EXPECT_FALSE(save_weights("/nonexistent-dir/w.bin", m));
+}
+
+}  // namespace
+}  // namespace dubhe::nn

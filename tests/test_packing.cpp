@@ -1,0 +1,125 @@
+#include "paillier/packing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dubhe::he {
+namespace {
+
+TEST(PackedCodec, SlotAccounting) {
+  const PackedCodec codec(255, 20);
+  EXPECT_EQ(codec.slots_per_plaintext(), 12u);
+  EXPECT_EQ(codec.plaintexts_for(0), 0u);
+  EXPECT_EQ(codec.plaintexts_for(1), 1u);
+  EXPECT_EQ(codec.plaintexts_for(12), 1u);
+  EXPECT_EQ(codec.plaintexts_for(13), 2u);
+  EXPECT_EQ(codec.plaintexts_for(56), 5u);
+}
+
+TEST(PackedCodec, RejectsBadConfigurations) {
+  EXPECT_THROW(PackedCodec(255, 0), std::invalid_argument);
+  EXPECT_THROW(PackedCodec(255, 65), std::invalid_argument);
+  EXPECT_THROW(PackedCodec(10, 20), std::invalid_argument);
+}
+
+TEST(PackedCodec, EncodeDecodeRoundTrip) {
+  const PackedCodec codec(2047, 20);
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 56; ++i) values.push_back(i * 37 % 1000);
+  const auto pts = codec.encode(values);
+  EXPECT_EQ(pts.size(), codec.plaintexts_for(56));
+  EXPECT_EQ(codec.decode(pts, 56), values);
+}
+
+TEST(PackedCodec, RejectsOversizedValue) {
+  const PackedCodec codec(255, 8);
+  EXPECT_THROW(codec.encode(std::vector<std::uint64_t>{256}), std::out_of_range);
+  EXPECT_NO_THROW(codec.encode(std::vector<std::uint64_t>{255}));
+}
+
+TEST(PackedCodec, DecodeRejectsShortInput) {
+  const PackedCodec codec(255, 8);
+  const auto pts = codec.encode(std::vector<std::uint64_t>{1, 2, 3});
+  EXPECT_THROW(codec.decode(pts, 1000), std::out_of_range);
+}
+
+TEST(PackedCodec, MaxAdditionsBudget) {
+  const PackedCodec codec(2047, 20);
+  // One-hot registries: max slot value 1, so up to 2^20 - 1 additions.
+  EXPECT_EQ(codec.max_additions(1), (1u << 20) - 1);
+  EXPECT_EQ(codec.max_additions(0), UINT64_MAX);
+  EXPECT_GE(codec.max_additions(1000), 1048u);
+}
+
+TEST(PackedCodec, AdditivityOfEncodings) {
+  // Packed plaintext addition == slot-wise addition while no slot overflows.
+  const PackedCodec codec(2047, 20);
+  const std::vector<std::uint64_t> a{5, 0, 99, 1000, 3};
+  const std::vector<std::uint64_t> b{7, 2, 1, 24, 0};
+  const auto pa = codec.encode(a), pb = codec.encode(b);
+  std::vector<bigint::BigUint> sum(pa.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) sum[i] = pa[i] + pb[i];
+  const auto decoded = codec.decode(sum, a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(decoded[i], a[i] + b[i]);
+}
+
+class PackedVectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<bigint::Xoshiro256ss>(71);
+    kp_ = std::make_unique<Keypair>(Keypair::generate(*rng_, 256));
+  }
+  std::unique_ptr<bigint::Xoshiro256ss> rng_;
+  std::unique_ptr<Keypair> kp_;
+};
+
+TEST_F(PackedVectorTest, EncryptAggregateDecrypt) {
+  const PackedCodec codec(kp_->pub.key_bits() - 1, 16);
+  const std::vector<std::uint64_t> a{1, 0, 5, 7, 9, 100}, b{2, 3, 0, 1, 1, 27};
+  auto ea = PackedEncryptedVector::encrypt(kp_->pub, codec, a, *rng_);
+  ea += PackedEncryptedVector::encrypt(kp_->pub, codec, b, *rng_);
+  const auto dec = ea.decrypt(kp_->prv);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(dec[i], a[i] + b[i]);
+}
+
+TEST_F(PackedVectorTest, CompressionVersusPerSlot) {
+  // 56-slot registry (the paper's G = {1,2,10} length) in one ciphertext.
+  const PackedCodec codec(kp_->pub.key_bits() - 1, 4);
+  std::vector<std::uint64_t> registry(56, 0);
+  registry[17] = 1;
+  const auto ev = PackedEncryptedVector::encrypt(kp_->pub, codec, registry, *rng_);
+  EXPECT_EQ(ev.ciphertext_count(), 1u);
+  EXPECT_EQ(ev.logical_size(), 56u);
+  EXPECT_LT(ev.byte_size(), 56 * (4 + kp_->pub.ciphertext_bytes()));
+}
+
+TEST_F(PackedVectorTest, SizeMismatchThrows) {
+  const PackedCodec codec(kp_->pub.key_bits() - 1, 16);
+  auto a = PackedEncryptedVector::encrypt(kp_->pub, codec,
+                                          std::vector<std::uint64_t>{1, 2}, *rng_);
+  const auto b = PackedEncryptedVector::encrypt(
+      kp_->pub, codec, std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                                  13, 14, 15, 16, 17},
+      *rng_);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST_F(PackedVectorTest, ManyOneHotAdditionsStayExact) {
+  const PackedCodec codec(kp_->pub.key_bits() - 1, 12);
+  const std::size_t len = 20;
+  std::vector<std::uint64_t> expected(len, 0);
+  std::vector<std::uint64_t> first(len, 0);
+  first[3] = 1;
+  expected[3] = 1;
+  auto sum = PackedEncryptedVector::encrypt(kp_->pub, codec, first, *rng_);
+  for (int k = 0; k < 40; ++k) {
+    std::vector<std::uint64_t> onehot(len, 0);
+    const std::size_t slot = rng_->next_below(len);
+    onehot[slot] = 1;
+    ++expected[slot];
+    sum += PackedEncryptedVector::encrypt(kp_->pub, codec, onehot, *rng_);
+  }
+  EXPECT_EQ(sum.decrypt(kp_->prv), expected);
+}
+
+}  // namespace
+}  // namespace dubhe::he

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bigint/prime.hpp"
+#include "bigint/random.hpp"
+
+namespace dubhe::bigint {
+namespace {
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values for seed 0 from the published splitmix64 algorithm.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next_u64(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next_u64(), 0x6e789e6aa1b965f4ULL);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256ss a(42), b(42), c(43);
+  for (int i = 0; i < 10; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+  }
+  bool differs = false;
+  Xoshiro256ss a2(42);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Xoshiro, DoubleInUnitInterval) {
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro, NextBelowRespectsBound) {
+  Xoshiro256ss rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Xoshiro, NextBelowCoversRange) {
+  Xoshiro256ss rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomBits, SizesAndDeterminism) {
+  Xoshiro256ss rng(9);
+  EXPECT_TRUE(random_bits(rng, 0).is_zero());
+  for (const std::size_t bits : {1u, 31u, 32u, 33u, 64u, 100u, 1000u}) {
+    const BigUint v = random_bits(rng, bits);
+    EXPECT_LE(v.bit_length(), bits);
+  }
+  Xoshiro256ss r1(77), r2(77);
+  EXPECT_EQ(random_bits(r1, 256), random_bits(r2, 256));
+}
+
+TEST(RandomExactBits, TopBitForced) {
+  Xoshiro256ss rng(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(random_exact_bits(rng, 128).bit_length(), 128u);
+  }
+}
+
+TEST(RandomBelow, UniformSupport) {
+  Xoshiro256ss rng(11);
+  const BigUint n{10};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const BigUint v = random_below(rng, n);
+    EXPECT_LT(v, n);
+    seen.insert(v.to_u64());
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_THROW(random_below(rng, BigUint{}), std::invalid_argument);
+}
+
+TEST(SmallPrimes, StartsCorrectly) {
+  const auto primes = small_primes();
+  ASSERT_GE(primes.size(), 5u);
+  EXPECT_EQ(primes[0], 2u);
+  EXPECT_EQ(primes[1], 3u);
+  EXPECT_EQ(primes[2], 5u);
+  EXPECT_EQ(primes[3], 7u);
+  EXPECT_EQ(primes[4], 11u);
+}
+
+TEST(MillerRabin, KnownPrimes) {
+  Xoshiro256ss rng(12);
+  for (const char* p : {"2", "3", "65537", "1000000007",
+                        "170141183460469231731687303715884105727" /* 2^127-1 */}) {
+    EXPECT_TRUE(is_probable_prime(BigUint::from_dec(p), rng)) << p;
+  }
+}
+
+TEST(MillerRabin, KnownComposites) {
+  Xoshiro256ss rng(13);
+  // Includes Carmichael numbers (561, 41041, 825265), which fool Fermat
+  // tests but not Miller-Rabin.
+  for (const char* c : {"0", "1", "4", "561", "41041", "825265",
+                        "1000000008", "340282366920938463463374607431768211457"}) {
+    EXPECT_FALSE(is_probable_prime(BigUint::from_dec(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabin, ProductOfTwoPrimes) {
+  Xoshiro256ss rng(14);
+  const BigUint p = random_prime(rng, 64);
+  const BigUint q = random_prime(rng, 64);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+class RandomPrimeBits : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomPrimeBits, ExactBitLengthAndPrimality) {
+  Xoshiro256ss rng(GetParam());
+  const BigUint p = random_prime(rng, GetParam());
+  EXPECT_EQ(p.bit_length(), GetParam());
+  EXPECT_TRUE(p.is_odd() || p.to_u64() == 2);
+  Xoshiro256ss check(999);
+  EXPECT_TRUE(is_probable_prime(p, check));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RandomPrimeBits,
+                         ::testing::Values(16, 24, 32, 48, 64, 128, 256, 512));
+
+TEST(RandomPrime, RejectsTinyRequest) {
+  Xoshiro256ss rng(15);
+  EXPECT_THROW(random_prime(rng, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dubhe::bigint

@@ -1,0 +1,221 @@
+// Cross-module parameterized property suites: invariants that must hold
+// over whole families of configurations, not just the paper's two setups.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/multitime.hpp"
+#include "core/registration.hpp"
+#include "data/partition.hpp"
+#include "paillier/paillier.hpp"
+#include "stats/halfnormal.hpp"
+
+namespace dubhe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry codec: bijection over arbitrary (C, G) families.
+// ---------------------------------------------------------------------------
+
+struct CodecCase {
+  std::size_t C;
+  std::vector<std::size_t> G;
+};
+
+class CodecSweep : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecSweep, LengthIsSumOfBinomials) {
+  const auto& [C, G] = GetParam();
+  const core::RegistryCodec codec(C, G);
+  std::size_t expect = 0;
+  for (const std::size_t i : G) {
+    expect += static_cast<std::size_t>(core::RegistryCodec::binomial(C, i));
+  }
+  EXPECT_EQ(codec.length(), expect);
+}
+
+TEST_P(CodecSweep, RankUnrankBijection) {
+  const auto& [C, G] = GetParam();
+  const core::RegistryCodec codec(C, G);
+  std::set<std::vector<std::size_t>> seen;
+  const std::size_t stride = std::max<std::size_t>(1, codec.length() / 600);
+  for (std::size_t idx = 0; idx < codec.length(); idx += stride) {
+    const auto cat = codec.category_at(idx);
+    EXPECT_EQ(codec.index_of(cat), idx);
+    EXPECT_TRUE(seen.insert(cat).second);
+    EXPECT_EQ(cat.size(), G[codec.group_of_index(idx)]);
+  }
+}
+
+TEST_P(CodecSweep, EveryDistributionRegistersSomewhere) {
+  const auto& [C, G] = GetParam();
+  const core::RegistryCodec codec(C, G);
+  std::vector<double> sigma(G.size(), 0.4);
+  sigma.back() = 0.0;  // fallback always open
+  stats::Rng rng(C * 31);
+  for (int trial = 0; trial < 50; ++trial) {
+    stats::Distribution p(C);
+    for (double& v : p) v = rng.uniform();
+    stats::normalize(p);
+    const auto reg = core::register_client(codec, p, sigma);
+    EXPECT_LT(reg.category_index, codec.length());
+    // The registered category must be among G's sizes and strictly sorted.
+    EXPECT_NE(std::find(G.begin(), G.end(), reg.category.size()), G.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, CodecSweep,
+    ::testing::Values(CodecCase{2, {1, 2}}, CodecCase{5, {1, 5}},
+                      CodecCase{5, {1, 2, 3, 4, 5}}, CodecCase{10, {1, 2, 10}},
+                      CodecCase{10, {3, 10}}, CodecCase{26, {1, 2, 26}},
+                      CodecCase{52, {1, 52}}, CodecCase{52, {1, 2, 52}}));
+
+// ---------------------------------------------------------------------------
+// Partition generator: invariants across the two_dominant_fraction knob.
+// ---------------------------------------------------------------------------
+
+class PartitionKnobSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PartitionKnobSweep, InvariantsHoldForAnyDominantMix) {
+  data::PartitionConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_clients = 400;
+  cfg.samples_per_client = 128;
+  cfg.rho = 10;
+  cfg.emd_avg = 1.2;
+  cfg.two_dominant_fraction = GetParam();
+  cfg.seed = 9;
+  const auto part = data::make_partition(cfg);
+  // Row sums exact.
+  for (const auto& row : part.client_counts) {
+    EXPECT_EQ(std::accumulate(row.begin(), row.end(), std::size_t{0}), 128u);
+  }
+  // Targets realized.
+  EXPECT_NEAR(part.realized_emd_avg, 1.2, 0.06);
+  EXPECT_NEAR(stats::imbalance_ratio(part.global_realized), 10.0, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, PartitionKnobSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------------------
+// Half-normal profile: exact rho across a dense grid.
+// ---------------------------------------------------------------------------
+
+TEST(HalfNormalDense, RatioExactAcrossGrid) {
+  for (double rho = 1.0; rho <= 40.0; rho += 1.3) {
+    for (const std::size_t C : {3u, 10u, 52u}) {
+      const auto d = stats::half_normal_profile(C, rho);
+      EXPECT_NEAR(stats::imbalance_ratio(d), rho, rho * 1e-9) << C << " " << rho;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paillier: homomorphic linear combinations (the exactness Dubhe rests on).
+// ---------------------------------------------------------------------------
+
+TEST(PaillierProperty, RandomLinearCombinations) {
+  bigint::Xoshiro256ss rng(1234);
+  const he::Keypair kp = he::Keypair::generate(rng, 256);
+  for (int trial = 0; trial < 15; ++trial) {
+    // sum of a_i * m_i over 4 terms, coefficients and messages random.
+    std::uint64_t expect = 0;
+    he::Ciphertext acc = kp.pub.encrypt_deterministic(bigint::BigUint{});
+    for (int t = 0; t < 4; ++t) {
+      const std::uint64_t m = rng.next_u64() % 10000;
+      const std::uint64_t a = rng.next_u64() % 100;
+      expect += a * m;
+      acc = kp.pub.add(acc,
+                       kp.pub.mul_plain(kp.pub.encrypt(bigint::BigUint{m}, rng),
+                                        bigint::BigUint{a}));
+    }
+    EXPECT_EQ(kp.prv.decrypt(acc).to_u64(), expect);
+  }
+}
+
+TEST(PaillierProperty, AdditionIsCommutativeAndAssociative) {
+  bigint::Xoshiro256ss rng(77);
+  const he::Keypair kp = he::Keypair::generate(rng, 256);
+  const auto a = kp.pub.encrypt(bigint::BigUint{11}, rng);
+  const auto b = kp.pub.encrypt(bigint::BigUint{22}, rng);
+  const auto c = kp.pub.encrypt(bigint::BigUint{33}, rng);
+  EXPECT_EQ(kp.prv.decrypt(kp.pub.add(a, b)), kp.prv.decrypt(kp.pub.add(b, a)));
+  EXPECT_EQ(kp.prv.decrypt(kp.pub.add(kp.pub.add(a, b), c)),
+            kp.prv.decrypt(kp.pub.add(a, kp.pub.add(b, c))));
+}
+
+// ---------------------------------------------------------------------------
+// Selection: Dubhe invariants across K and cohort shapes.
+// ---------------------------------------------------------------------------
+
+class DubheKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DubheKSweep, SelectionInvariants) {
+  const std::size_t K = GetParam();
+  data::PartitionConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_clients = 300;
+  cfg.samples_per_client = 128;
+  cfg.rho = 10;
+  cfg.emd_avg = 1.5;
+  cfg.seed = 4;
+  const auto part = data::make_partition(cfg);
+  const core::RegistryCodec codec(10, {1, 2, 10});
+  core::DubheSelector sel(&codec, {0.7, 0.1, 0.0});
+  sel.register_clients(part.client_dists);
+  stats::Rng rng(K);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto s = sel.select(K, rng);
+    EXPECT_EQ(s.size(), K);
+    EXPECT_EQ(std::set<std::size_t>(s.begin(), s.end()).size(), K);
+    for (const auto k : s) EXPECT_LT(k, 300u);
+  }
+  // Eq. 7 in expectation, as long as no probability saturates at 1.
+  double sum_p = 0;
+  bool saturated = false;
+  for (std::size_t k = 0; k < 300; ++k) {
+    const double p = sel.probability(k, K);
+    saturated |= (p >= 1.0);
+    sum_p += p;
+  }
+  if (!saturated) {
+    EXPECT_NEAR(sum_p, static_cast<double>(K), K * 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, DubheKSweep, ::testing::Values(1, 5, 20, 50, 150, 300));
+
+// ---------------------------------------------------------------------------
+// Multi-time selection: EMD* stochastically dominates under larger H.
+// ---------------------------------------------------------------------------
+
+TEST(MultiTimeSweep, MinOverTriesIsMonotoneInExpectation) {
+  data::PartitionConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_clients = 300;
+  cfg.samples_per_client = 128;
+  cfg.rho = 10;
+  cfg.emd_avg = 1.5;
+  cfg.seed = 8;
+  const auto part = data::make_partition(cfg);
+  core::RandomSelector sel(part.num_clients());
+  stats::Rng rng(3);
+  std::vector<double> means;
+  for (const std::size_t H : {1u, 2u, 4u, 8u, 16u}) {
+    double acc = 0;
+    for (int rep = 0; rep < 30; ++rep) {
+      acc += core::multi_time_select(sel, part.client_dists, 20, H, rng).emd_star;
+    }
+    means.push_back(acc / 30.0);
+  }
+  for (std::size_t i = 1; i < means.size(); ++i) {
+    EXPECT_LE(means[i], means[i - 1] + 0.02) << "H step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dubhe

@@ -1,0 +1,144 @@
+#include "core/registration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dubhe::core {
+namespace {
+
+const RegistryCodec& paper_codec() {
+  static const RegistryCodec codec(10, {1, 2, 10});
+  return codec;
+}
+
+/// sigma_1 = 0.7, sigma_2 = 0.1, sigma_C = 0 — the optimum the paper's
+/// parameter search finds (Fig. 10).
+std::vector<double> paper_sigma() { return {0.7, 0.1, 0.0}; }
+
+TEST(Registration, SingleDominatingClass) {
+  stats::Distribution p(10, 0.02);
+  p[4] = 0.82;  // one heavy class
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.group_index, 0u);
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{4}));
+  EXPECT_EQ(reg.category_index, 4u);
+}
+
+TEST(Registration, TwoDominatingClasses) {
+  stats::Distribution p(10, 0.0125);
+  p[2] = 0.45;
+  p[7] = 0.45;  // top-1 is 0.45 < 0.7, top-2 both 0.45 >= 0.1
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.group_index, 1u);
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{2, 7}));
+}
+
+TEST(Registration, BalancedClientFallsToNoDominatingClass) {
+  // sigma_2 above the uniform proportion, so neither i = 1 nor i = 2 match.
+  const stats::Distribution p = stats::uniform(10);
+  const Registration reg =
+      register_client(paper_codec(), p, std::vector<double>{0.7, 0.15, 0.0});
+  EXPECT_EQ(reg.group_index, 2u);
+  EXPECT_EQ(reg.category.size(), 10u);
+  EXPECT_EQ(reg.category_index, 55u);
+}
+
+TEST(Registration, UniformAtInclusiveSigmaTwoRegistersAsPair) {
+  // Algorithm 1 uses m_i >= sigma_i (inclusive): a perfectly uniform client
+  // meets sigma_2 = 0.1 exactly and registers with its top-2 classes.
+  const stats::Distribution p = stats::uniform(10);
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.group_index, 1u);
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Registration, ThresholdBoundaryIsInclusive) {
+  stats::Distribution p(10, 0.3 / 9);
+  p[0] = 0.7;  // exactly sigma_1
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.group_index, 0u);
+}
+
+TEST(Registration, JustBelowThresholdFallsThrough) {
+  stats::Distribution p(10, 0.0);
+  p[0] = 0.699;
+  p[1] = 0.2;
+  for (std::size_t c = 2; c < 10; ++c) p[c] = 0.101 / 8;
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.group_index, 1u);  // i=1 fails (0.699 < 0.7), i=2 passes (0.2 >= 0.1)
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Registration, TieBreaksTowardLowerClassId) {
+  stats::Distribution p(10, 0.0);
+  p[3] = 0.5;
+  p[6] = 0.5;  // exact tie; deterministic order must pick {3, 6} for i=2
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{3, 6}));
+}
+
+TEST(Registration, CategoryIsSortedEvenWhenProportionsAreNot) {
+  stats::Distribution p(10, 0.0125);
+  p[8] = 0.46;  // larger proportion but higher class id
+  p[1] = 0.44;
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{1, 8}));  // ascending ids
+}
+
+TEST(Registration, AlgorithmWalksGInAscendingOrder) {
+  // A client that satisfies both i=1 and i=2 must register with i=1.
+  stats::Distribution p(10, 0.0);
+  p[5] = 0.8;
+  p[6] = 0.15;
+  for (std::size_t c = 0; c < 10; ++c) {
+    if (c != 5 && c != 6) p[c] = 0.05 / 8;
+  }
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  EXPECT_EQ(reg.group_index, 0u);
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{5}));
+}
+
+TEST(Registration, ValidationErrors) {
+  const stats::Distribution wrong_size(5, 0.2);
+  EXPECT_THROW(register_client(paper_codec(), wrong_size, paper_sigma()),
+               std::invalid_argument);
+  const stats::Distribution ok = stats::uniform(10);
+  EXPECT_THROW(register_client(paper_codec(), ok, std::vector<double>{0.7, 0.1}),
+               std::invalid_argument);
+}
+
+TEST(Registration, NoMatchThrowsWhenFallbackBlocked) {
+  // sigma_C > uniform proportion: nothing matches, which is a config error.
+  const stats::Distribution p = stats::uniform(10);
+  EXPECT_THROW(register_client(paper_codec(), p, std::vector<double>{0.99, 0.99, 0.5}),
+               std::runtime_error);
+}
+
+TEST(Registration, FemnistStyleCodec) {
+  const RegistryCodec codec(52, {1, 52});
+  stats::Distribution p(52, 0.5 / 51);
+  p[30] = 0.5;
+  const Registration reg = register_client(codec, p, std::vector<double>{0.3, 0.0});
+  EXPECT_EQ(reg.group_index, 0u);
+  EXPECT_EQ(reg.category, (std::vector<std::size_t>{30}));
+  EXPECT_EQ(reg.category_index, 30u);
+}
+
+TEST(ToOnehot, ExactlyOneBit) {
+  const stats::Distribution p = stats::uniform(10);
+  const Registration reg = register_client(paper_codec(), p, paper_sigma());
+  const auto v = to_onehot(paper_codec(), reg);
+  EXPECT_EQ(v.size(), paper_codec().length());
+  std::size_t ones = 0, pos = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0) {
+      ++ones;
+      pos = i;
+      EXPECT_EQ(v[i], 1u);
+    }
+  }
+  EXPECT_EQ(ones, 1u);
+  EXPECT_EQ(pos, reg.category_index);
+}
+
+}  // namespace
+}  // namespace dubhe::core

@@ -1,0 +1,147 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dubhe::core {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(RegistryCodec::binomial(0, 0), 1u);
+  EXPECT_EQ(RegistryCodec::binomial(5, 0), 1u);
+  EXPECT_EQ(RegistryCodec::binomial(5, 5), 1u);
+  EXPECT_EQ(RegistryCodec::binomial(5, 2), 10u);
+  EXPECT_EQ(RegistryCodec::binomial(10, 2), 45u);
+  EXPECT_EQ(RegistryCodec::binomial(52, 1), 52u);
+  EXPECT_EQ(RegistryCodec::binomial(52, 5), 2598960u);  // poker hands
+  EXPECT_EQ(RegistryCodec::binomial(3, 7), 0u);         // k > n
+}
+
+TEST(Binomial, PascalIdentityProperty) {
+  for (std::size_t n = 1; n < 30; ++n) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(RegistryCodec::binomial(n, k),
+                RegistryCodec::binomial(n - 1, k - 1) + RegistryCodec::binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, OverflowThrows) {
+  EXPECT_THROW((void)RegistryCodec::binomial(128, 64), std::overflow_error);
+}
+
+TEST(RegistryCodec, PaperGroupOneLength) {
+  // G = {1, 2, 10} at C = 10: l = 10 + 45 + 1 = 56 (paper §6.1.2).
+  const RegistryCodec codec(10, {1, 2, 10});
+  EXPECT_EQ(codec.length(), 56u);
+  EXPECT_EQ(codec.subvector_length(0), 10u);
+  EXPECT_EQ(codec.subvector_length(1), 45u);
+  EXPECT_EQ(codec.subvector_length(2), 1u);
+  EXPECT_EQ(codec.subvector_offset(0), 0u);
+  EXPECT_EQ(codec.subvector_offset(1), 10u);
+  EXPECT_EQ(codec.subvector_offset(2), 55u);
+}
+
+TEST(RegistryCodec, PaperGroupTwoLength) {
+  // G = {1, 52} at C = 52: l = 52 + 1 = 53 (paper §6.1.2).
+  const RegistryCodec codec(52, {1, 52});
+  EXPECT_EQ(codec.length(), 53u);
+}
+
+TEST(RegistryCodec, ValidationErrors) {
+  EXPECT_THROW(RegistryCodec(0, {1}), std::invalid_argument);
+  EXPECT_THROW(RegistryCodec(10, {}), std::invalid_argument);
+  EXPECT_THROW(RegistryCodec(10, {1, 2}), std::invalid_argument);       // missing C
+  EXPECT_THROW(RegistryCodec(10, {2, 1, 10}), std::invalid_argument);   // not increasing
+  EXPECT_THROW(RegistryCodec(10, {0, 10}), std::invalid_argument);      // zero element
+  EXPECT_THROW(RegistryCodec(10, {1, 11}), std::invalid_argument);      // > C
+  EXPECT_NO_THROW(RegistryCodec(10, {10}));                             // minimal valid
+}
+
+TEST(RegistryCodec, IndexOfSingletons) {
+  const RegistryCodec codec(10, {1, 2, 10});
+  for (std::size_t c = 0; c < 10; ++c) {
+    const std::vector<std::size_t> cat{c};
+    EXPECT_EQ(codec.index_of(cat), c);
+  }
+}
+
+TEST(RegistryCodec, IndexOfPaperExample) {
+  // Dominating classes (0, 1) of an MNIST client (paper §5.1's example)
+  // land in the second sub-vector.
+  const RegistryCodec codec(10, {1, 2, 10});
+  const std::vector<std::size_t> cat{0, 1};
+  const std::size_t idx = codec.index_of(cat);
+  EXPECT_GE(idx, codec.subvector_offset(1));
+  EXPECT_LT(idx, codec.subvector_offset(1) + codec.subvector_length(1));
+  EXPECT_EQ(codec.category_at(idx), cat);
+}
+
+TEST(RegistryCodec, FullSetCategory) {
+  const RegistryCodec codec(10, {1, 2, 10});
+  std::vector<std::size_t> all(10);
+  for (std::size_t c = 0; c < 10; ++c) all[c] = c;
+  EXPECT_EQ(codec.index_of(all), 55u);  // the single "no dominating class" slot
+  EXPECT_EQ(codec.category_at(55), all);
+}
+
+TEST(RegistryCodec, RankUnrankRoundTripAllSlots) {
+  // Property: category_at(index_of(u)) == u over the whole codebook.
+  const RegistryCodec codec(10, {1, 2, 3, 10});
+  std::set<std::vector<std::size_t>> seen;
+  for (std::size_t idx = 0; idx < codec.length(); ++idx) {
+    const auto cat = codec.category_at(idx);
+    EXPECT_EQ(codec.index_of(cat), idx);
+    EXPECT_TRUE(seen.insert(cat).second) << "duplicate category at " << idx;
+    // Category sanity: strictly increasing, size in G.
+    for (std::size_t j = 1; j < cat.size(); ++j) EXPECT_LT(cat[j - 1], cat[j]);
+  }
+  EXPECT_EQ(seen.size(), codec.length());
+}
+
+TEST(RegistryCodec, RankUnrankLargeAlphabet) {
+  const RegistryCodec codec(52, {1, 2, 52});
+  for (std::size_t idx = 0; idx < codec.length(); idx += 7) {
+    EXPECT_EQ(codec.index_of(codec.category_at(idx)), idx);
+  }
+  EXPECT_EQ(codec.length(), 52u + 1326u + 1u);
+}
+
+TEST(RegistryCodec, GroupOfIndex) {
+  const RegistryCodec codec(10, {1, 2, 10});
+  EXPECT_EQ(codec.group_of_index(0), 0u);
+  EXPECT_EQ(codec.group_of_index(9), 0u);
+  EXPECT_EQ(codec.group_of_index(10), 1u);
+  EXPECT_EQ(codec.group_of_index(54), 1u);
+  EXPECT_EQ(codec.group_of_index(55), 2u);
+  EXPECT_THROW((void)codec.group_of_index(56), std::out_of_range);
+}
+
+TEST(RegistryCodec, IndexOfValidation) {
+  const RegistryCodec codec(10, {1, 2, 10});
+  EXPECT_THROW((void)codec.index_of(std::vector<std::size_t>{0, 1, 2}),
+               std::invalid_argument);                                      // size 3 not in G
+  EXPECT_THROW((void)codec.index_of(std::vector<std::size_t>{1, 0}),
+               std::invalid_argument);                                      // not increasing
+  EXPECT_THROW((void)codec.index_of(std::vector<std::size_t>{10}), std::invalid_argument);  // >= C
+  EXPECT_THROW((void)codec.index_of(std::vector<std::size_t>{3, 3}),
+               std::invalid_argument);                                      // duplicate
+}
+
+TEST(RegistryCodec, LexicographicNeighborsDiffer) {
+  const RegistryCodec codec(6, {2, 6});
+  // All 15 pairs of a 6-class problem occupy slots 0..14 bijectively.
+  std::set<std::size_t> indices;
+  for (std::size_t a = 0; a < 6; ++a) {
+    for (std::size_t b = a + 1; b < 6; ++b) {
+      indices.insert(codec.index_of(std::vector<std::size_t>{a, b}));
+    }
+  }
+  EXPECT_EQ(indices.size(), 15u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 14u);
+}
+
+}  // namespace
+}  // namespace dubhe::core

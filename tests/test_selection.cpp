@@ -1,0 +1,222 @@
+#include "core/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/partition.hpp"
+
+namespace dubhe::core {
+namespace {
+
+std::vector<stats::Distribution> make_cohort(std::size_t n, double rho, double emd,
+                                             std::uint64_t seed = 5) {
+  data::PartitionConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_clients = n;
+  cfg.samples_per_client = 128;
+  cfg.rho = rho;
+  cfg.emd_avg = emd;
+  cfg.seed = seed;
+  return data::make_partition(cfg).client_dists;
+}
+
+TEST(RandomSelector, KDistinctInRange) {
+  RandomSelector sel(100);
+  stats::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = sel.select(20, rng);
+    EXPECT_EQ(s.size(), 20u);
+    const std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (const auto k : s) EXPECT_LT(k, 100u);
+  }
+  EXPECT_THROW(sel.select(101, rng), std::invalid_argument);
+  EXPECT_THROW(RandomSelector(0), std::invalid_argument);
+  EXPECT_EQ(sel.name(), "random");
+}
+
+TEST(GreedySelector, SelectsKDistinct) {
+  const auto dists = make_cohort(50, 5, 1.0);
+  GreedySelector sel(dists);
+  stats::Rng rng(2);
+  const auto s = sel.select(10, rng);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(std::set<std::size_t>(s.begin(), s.end()).size(), 10u);
+  EXPECT_EQ(sel.name(), "greedy");
+}
+
+TEST(GreedySelector, EachStepIsLocallyOptimal) {
+  // Re-run the greedy recursion by brute force and verify that after the
+  // random first pick, every added client minimizes KL(aggregate || uniform).
+  const auto dists = make_cohort(30, 5, 1.2, 9);
+  GreedySelector sel(dists);
+  stats::Rng rng(3);
+  const auto s = sel.select(6, rng);
+
+  const stats::Distribution pu = stats::uniform(10);
+  stats::Distribution agg = dists[s[0]];
+  std::set<std::size_t> taken{s[0]};
+  for (std::size_t step = 1; step < s.size(); ++step) {
+    double best = 1e100;
+    std::size_t best_k = 30;
+    for (std::size_t k = 0; k < dists.size(); ++k) {
+      if (taken.count(k)) continue;
+      stats::Distribution cand = stats::add(agg, dists[k]);
+      stats::normalize(cand);
+      const double score = stats::kl_divergence(cand, pu);
+      if (score < best) {
+        best = score;
+        best_k = k;
+      }
+    }
+    EXPECT_EQ(s[step], best_k) << "step " << step;
+    taken.insert(s[step]);
+    agg = stats::add(agg, dists[s[step]]);
+  }
+}
+
+TEST(GreedySelector, BalancesBetterThanRandom) {
+  const auto dists = make_cohort(200, 10, 1.5);
+  GreedySelector greedy(dists);
+  RandomSelector random(200);
+  stats::Rng rng(4);
+  const stats::Distribution pu = stats::uniform(10);
+  double greedy_l1 = 0, random_l1 = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto po_of = [&](const std::vector<std::size_t>& s) {
+      stats::Distribution po(10, 0.0);
+      for (const auto k : s) po = stats::add(po, dists[k]);
+      stats::normalize(po);
+      return po;
+    };
+    greedy_l1 += stats::l1_distance(po_of(greedy.select(20, rng)), pu);
+    random_l1 += stats::l1_distance(po_of(random.select(20, rng)), pu);
+  }
+  EXPECT_LT(greedy_l1, random_l1 * 0.5);
+}
+
+class DubheSelectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dists_ = make_cohort(400, 10, 1.5, 21);
+    codec_ = std::make_unique<RegistryCodec>(10, std::vector<std::size_t>{1, 2, 10});
+    selector_ = std::make_unique<DubheSelector>(codec_.get(),
+                                                std::vector<double>{0.7, 0.1, 0.0});
+    selector_->register_clients(dists_);
+  }
+  std::vector<stats::Distribution> dists_;
+  std::unique_ptr<RegistryCodec> codec_;
+  std::unique_ptr<DubheSelector> selector_;
+};
+
+TEST_F(DubheSelectorTest, OverallRegistrySumsToN) {
+  std::uint64_t total = 0;
+  for (const auto v : selector_->overall_registry()) total += v;
+  EXPECT_EQ(total, 400u);
+  EXPECT_EQ(selector_->registrations().size(), 400u);
+  EXPECT_GT(selector_->nonzero_categories(), 0u);
+}
+
+TEST_F(DubheSelectorTest, ProbabilityMatchesEquationSix) {
+  const std::size_t K = 20;
+  const auto& overall = selector_->overall_registry();
+  const double nnz = static_cast<double>(selector_->nonzero_categories());
+  for (std::size_t k = 0; k < 50; ++k) {
+    const auto& reg = selector_->registrations()[k];
+    const double expect = std::min(
+        1.0, static_cast<double>(K) /
+                 (static_cast<double>(overall[reg.category_index]) * nnz));
+    EXPECT_DOUBLE_EQ(selector_->probability(k, K), expect);
+  }
+  EXPECT_THROW((void)selector_->probability(400, K), std::out_of_range);
+}
+
+TEST_F(DubheSelectorTest, ExpectedParticipationIsK) {
+  // Eq. 7: sum of probabilities equals K (when no probability saturates).
+  const std::size_t K = 20;
+  double sum = 0;
+  for (std::size_t k = 0; k < dists_.size(); ++k) sum += selector_->probability(k, K);
+  EXPECT_NEAR(sum, static_cast<double>(K), K * 0.05);
+}
+
+TEST_F(DubheSelectorTest, SelectsExactlyKDistinct) {
+  stats::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = selector_->select(20, rng);
+    EXPECT_EQ(s.size(), 20u);
+    EXPECT_EQ(std::set<std::size_t>(s.begin(), s.end()).size(), 20u);
+    for (const auto k : s) EXPECT_LT(k, 400u);
+  }
+}
+
+TEST_F(DubheSelectorTest, ExpectedCategoryCountsAreEqual) {
+  // Eq. 8: before replenish/remove, every nonzero category has the same
+  // expected participant count. Validate via Monte Carlo on the raw
+  // Bernoulli stage by selecting with K == expected joiners (minimal
+  // replenish interference), tallying categories.
+  stats::Rng rng(6);
+  const std::size_t K = 20;
+  std::map<std::size_t, double> category_counts;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto s = selector_->select(K, rng);
+    for (const auto k : s) {
+      ++category_counts[selector_->registrations()[k].category_index];
+    }
+  }
+  // Nonzero categories should have similar average counts (within 3x of
+  // each other — replenish noise allows some spread).
+  double lo = 1e100, hi = 0;
+  for (const auto& [cat, count] : category_counts) {
+    const double avg = count / trials;
+    lo = std::min(lo, avg);
+    hi = std::max(hi, avg);
+  }
+  EXPECT_LT(hi / lo, 4.0);
+}
+
+TEST_F(DubheSelectorTest, PopulationMoreUniformThanRandom) {
+  stats::Rng rng(7);
+  RandomSelector random(dists_.size());
+  const stats::Distribution pu = stats::uniform(10);
+  double dubhe_l1 = 0, random_l1 = 0;
+  auto po_of = [&](const std::vector<std::size_t>& s) {
+    stats::Distribution po(10, 0.0);
+    for (const auto k : s) po = stats::add(po, dists_[k]);
+    stats::normalize(po);
+    return po;
+  };
+  for (int i = 0; i < 50; ++i) {
+    dubhe_l1 += stats::l1_distance(po_of(selector_->select(20, rng)), pu);
+    random_l1 += stats::l1_distance(po_of(random.select(20, rng)), pu);
+  }
+  EXPECT_LT(dubhe_l1, random_l1 * 0.85);
+}
+
+TEST_F(DubheSelectorTest, LoadOverallRegistryPath) {
+  DubheSelector other(codec_.get(), std::vector<double>{0.7, 0.1, 0.0});
+  other.load_overall_registry(
+      std::vector<std::uint64_t>(selector_->overall_registry()),
+      std::vector<Registration>(selector_->registrations()));
+  EXPECT_EQ(other.nonzero_categories(), selector_->nonzero_categories());
+  EXPECT_DOUBLE_EQ(other.probability(3, 20), selector_->probability(3, 20));
+  EXPECT_THROW(other.load_overall_registry(std::vector<std::uint64_t>(3), {}),
+               std::invalid_argument);
+}
+
+TEST(DubheSelectorErrors, MisuseThrows) {
+  const RegistryCodec codec(10, {1, 2, 10});
+  EXPECT_THROW(DubheSelector(nullptr, std::vector<double>{0.7, 0.1, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DubheSelector(&codec, std::vector<double>{0.7}), std::invalid_argument);
+  DubheSelector sel(&codec, std::vector<double>{0.7, 0.1, 0.0});
+  stats::Rng rng(8);
+  EXPECT_THROW(sel.select(5, rng), std::logic_error);  // register first
+  const auto dists = make_cohort(10, 2, 0.5);
+  sel.register_clients(dists);
+  EXPECT_THROW(sel.select(11, rng), std::invalid_argument);  // K > N
+}
+
+}  // namespace
+}  // namespace dubhe::core

@@ -1,0 +1,130 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dubhe::data {
+namespace {
+
+TEST(Presets, MatchPaperClassCounts) {
+  EXPECT_EQ(mnist_like().num_classes, 10u);
+  EXPECT_EQ(cifar_like().num_classes, 10u);
+  EXPECT_EQ(femnist_like().num_classes, 52u);  // letters split of FEMNIST
+  EXPECT_DOUBLE_EQ(mnist_like().label_noise, 0.0);
+  EXPECT_GT(cifar_like().noise_sigma, mnist_like().noise_sigma);  // harder task
+}
+
+TEST(SyntheticGenerator, RejectsEmptySpec) {
+  DatasetSpec spec;
+  spec.num_classes = 0;
+  EXPECT_THROW(SyntheticGenerator{spec}, std::invalid_argument);
+}
+
+TEST(SyntheticGenerator, PrototypesAreUnitNorm) {
+  const SyntheticGenerator gen(mnist_like());
+  for (std::size_t c = 0; c < gen.num_classes(); ++c) {
+    const auto proto = gen.prototype(c);
+    double norm = 0;
+    for (const float v : proto) norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm, 1.0, 1e-5) << c;
+  }
+  EXPECT_THROW((void)gen.prototype(99), std::out_of_range);
+}
+
+TEST(SyntheticGenerator, FeaturesAreDeterministicPerKey) {
+  const SyntheticGenerator gen(cifar_like());
+  std::vector<float> a(gen.feature_dim()), b(gen.feature_dim());
+  gen.features_into(3, 12345, a);
+  gen.features_into(3, 12345, b);
+  EXPECT_EQ(a, b);
+  gen.features_into(3, 12346, b);
+  EXPECT_NE(a, b);
+  gen.features_into(4, 12345, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticGenerator, FeatureArgumentsValidated) {
+  const SyntheticGenerator gen(mnist_like());
+  std::vector<float> out(gen.feature_dim());
+  EXPECT_THROW(gen.features_into(99, 0, out), std::out_of_range);
+  std::vector<float> wrong(gen.feature_dim() + 1);
+  EXPECT_THROW(gen.features_into(0, 0, wrong), std::invalid_argument);
+}
+
+TEST(SyntheticGenerator, NoiseScaleIsRespected) {
+  // Mean squared distance from the prototype ~ sigma^2 * F.
+  const DatasetSpec spec = mnist_like();
+  const SyntheticGenerator gen(spec);
+  std::vector<float> x(gen.feature_dim());
+  double total_sq = 0;
+  const int samples = 500;
+  for (int i = 0; i < samples; ++i) {
+    gen.features_into(0, static_cast<std::uint64_t>(i), x);
+    const auto proto = gen.prototype(0);
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      const double d = static_cast<double>(x[f]) - proto[f];
+      total_sq += d * d;
+    }
+  }
+  const double mean_sq = total_sq / (samples * static_cast<double>(gen.feature_dim()));
+  EXPECT_NEAR(mean_sq, spec.noise_sigma * spec.noise_sigma,
+              0.2 * spec.noise_sigma * spec.noise_sigma);
+}
+
+TEST(SyntheticGenerator, LabelNoiseRateApproximatelyConfigured) {
+  DatasetSpec spec = cifar_like();  // label_noise = 0.08
+  const SyntheticGenerator gen(spec);
+  int flipped = 0;
+  const int samples = 5000;
+  for (int i = 0; i < samples; ++i) {
+    if (gen.observed_label(2, static_cast<std::uint64_t>(i)) != 2) ++flipped;
+  }
+  EXPECT_NEAR(flipped / static_cast<double>(samples), spec.label_noise, 0.02);
+}
+
+TEST(SyntheticGenerator, LabelNoiseNeverProducesSameClass) {
+  const SyntheticGenerator gen(cifar_like());
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t lab = gen.observed_label(5, static_cast<std::uint64_t>(i));
+    EXPECT_LT(lab, gen.num_classes());
+  }
+}
+
+TEST(SyntheticGenerator, ZeroLabelNoiseIsIdentity) {
+  const SyntheticGenerator gen(mnist_like());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.observed_label(7, static_cast<std::uint64_t>(i)), 7u);
+  }
+}
+
+TEST(SyntheticGenerator, ClassesAreLinearlySeparableAtLowNoise) {
+  // Nearest-prototype classification should be nearly perfect for the
+  // MNIST-like preset — that is what makes it "MNIST-difficulty".
+  const SyntheticGenerator gen(mnist_like());
+  std::vector<float> x(gen.feature_dim());
+  int correct = 0;
+  const int per_class = 50;
+  for (std::size_t c = 0; c < gen.num_classes(); ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      gen.features_into(c, 7000 + static_cast<std::uint64_t>(i), x);
+      double best = -1e30;
+      std::size_t arg = 0;
+      for (std::size_t c2 = 0; c2 < gen.num_classes(); ++c2) {
+        const auto proto = gen.prototype(c2);
+        double dot = 0;
+        for (std::size_t f = 0; f < x.size(); ++f) dot += static_cast<double>(x[f]) * proto[f];
+        if (dot > best) {
+          best = dot;
+          arg = c2;
+        }
+      }
+      if (arg == c) ++correct;
+    }
+  }
+  const double acc = correct / (10.0 * per_class);
+  EXPECT_GT(acc, 0.9);
+}
+
+}  // namespace
+}  // namespace dubhe::data
