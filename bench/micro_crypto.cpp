@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <map>
+#include <string_view>
 
 #include "bigint/montgomery.hpp"
 #include "bigint/prime.hpp"
@@ -167,6 +170,77 @@ void BM_MillerRabin(benchmark::State& state) {
 }
 BENCHMARK(BM_MillerRabin)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
+/// Times `fn` until ~0.5 s has elapsed and returns seconds per call.
+template <typename F>
+double time_op(F&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm-up
+  int iters = 0;
+  const auto t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < 0.5);
+  return elapsed / iters;
+}
+
+/// Headline per-operation throughput at the paper's deployment key size,
+/// printed before the google-benchmark suite. This is the table CHANGES.md
+/// records as the perf baseline across PRs.
+void print_ops_table() {
+  constexpr std::size_t kKeyBits = 2048;
+  const he::Keypair& kp = keypair(kKeyBits);
+  bigint::Xoshiro256ss rng(42);
+
+  const BigUint m = odd_random(rng, kKeyBits);
+  const bigint::Montgomery ctx(m);
+  const BigUint base = bigint::random_below(rng, m);
+  const BigUint exp = bigint::random_exact_bits(rng, kKeyBits);
+
+  const he::Ciphertext ct_a = kp.pub.encrypt(BigUint{123456}, rng);
+  const he::Ciphertext ct_b = kp.pub.encrypt(BigUint{654321}, rng);
+  const BigUint scalar{0x1234567890abcdefULL};
+
+  struct Row {
+    const char* op;
+    double sec;
+  };
+  const Row rows[] = {
+      {"pow (2048-bit mod, 2048-bit exp)",
+       time_op([&] { benchmark::DoNotOptimize(ctx.pow(base, exp)); })},
+      {"paillier encrypt",
+       time_op([&] { benchmark::DoNotOptimize(kp.pub.encrypt(BigUint{1}, rng)); })},
+      {"paillier decrypt (CRT)",
+       time_op([&] { benchmark::DoNotOptimize(kp.prv.decrypt(ct_a)); })},
+      {"homomorphic add",
+       time_op([&] { benchmark::DoNotOptimize(kp.pub.add(ct_a, ct_b)); })},
+      {"mul_plain (64-bit scalar)",
+       time_op([&] { benchmark::DoNotOptimize(kp.pub.mul_plain(ct_a, scalar)); })},
+  };
+
+  std::printf("== crypto substrate ops/sec (key_bits = %zu) ==\n", kKeyBits);
+  std::printf("%-36s %12s %12s\n", "operation", "ms/op", "ops/sec");
+  for (const Row& row : rows) {
+    std::printf("%-36s %12.3f %12.1f\n", row.op, row.sec * 1e3, 1.0 / row.sec);
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The headline table costs a 2048-bit keygen plus ~3 s of timing loops;
+  // skip it when the caller is iterating on one filtered benchmark.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) filtered = true;
+  }
+  if (!filtered) print_ops_table();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

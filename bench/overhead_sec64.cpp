@@ -17,6 +17,7 @@
 #include <chrono>
 
 #include "bench_common.hpp"
+#include "bigint/limb.hpp"
 #include "core/secure.hpp"
 
 using namespace dubhe;
@@ -74,6 +75,12 @@ int main() {
                 "Section 6.4 (Paillier-2048, registry lengths 56 and 53, p_l length 52)",
                 "Paper: registry ciphertext ~30 KB, encrypt 6.9 s / decrypt 1.9 s "
                 "(python-paillier)");
+
+  // Record which bigint kernel produced these numbers: the limb width is
+  // the dominant constant behind every encrypt/decrypt figure below.
+  std::cout << "bigint kernel: " << bigint::kLimbBits << "-bit limbs, "
+            << (DUBHE_HAS_INT128 ? "__int128" : "portable 32-bit synthesized")
+            << " intermediates\n";
 
   bigint::Xoshiro256ss rng(2048);
   auto t0 = Clock::now();

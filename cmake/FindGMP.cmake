@@ -1,0 +1,17 @@
+# Locates the GNU multiple-precision library. Defines the imported target
+# GMP::GMP on success. Only the differential oracle tests use GMP; the dubhe
+# library itself never links it.
+find_path(GMP_INCLUDE_DIR NAMES gmp.h)
+find_library(GMP_LIBRARY NAMES gmp)
+
+include(FindPackageHandleStandardArgs)
+find_package_handle_standard_args(GMP DEFAULT_MSG GMP_LIBRARY GMP_INCLUDE_DIR)
+
+if(GMP_FOUND AND NOT TARGET GMP::GMP)
+  add_library(GMP::GMP UNKNOWN IMPORTED)
+  set_target_properties(GMP::GMP PROPERTIES
+    IMPORTED_LOCATION "${GMP_LIBRARY}"
+    INTERFACE_INCLUDE_DIRECTORIES "${GMP_INCLUDE_DIR}")
+endif()
+
+mark_as_advanced(GMP_INCLUDE_DIR GMP_LIBRARY)

@@ -10,13 +10,14 @@
 namespace dubhe::bigint {
 
 namespace {
-constexpr BigUint::Wide kBase = BigUint::Wide{1} << 32;
+// Decimal conversion chunk: the largest power of ten below 2^64, so a full
+// chunk of 19 digits still fits a limb.
+constexpr std::uint64_t kDecChunkScale = 10000000000000000000ULL;  // 10^19
+constexpr int kDecChunkDigits = 19;
 }  // namespace
 
 BigUint::BigUint(std::uint64_t v) {
-  if (v == 0) return;
-  limbs_.push_back(static_cast<Limb>(v));
-  if (v >> 32) limbs_.push_back(static_cast<Limb>(v >> 32));
+  if (v != 0) limbs_.push_back(v);
 }
 
 void BigUint::trim() {
@@ -25,15 +26,15 @@ void BigUint::trim() {
 
 BigUint BigUint::pow2(std::size_t k) {
   BigUint r;
-  r.limbs_.assign(k / 32 + 1, 0);
-  r.limbs_.back() = Limb{1} << (k % 32);
+  r.limbs_.assign(k / kLimbBits + 1, 0);
+  r.limbs_.back() = Limb{1} << (k % kLimbBits);
   return r;
 }
 
 BigUint BigUint::from_hex(std::string_view s) {
   if (s.empty()) throw std::invalid_argument("BigUint::from_hex: empty string");
   BigUint r;
-  r.limbs_.assign(s.size() / 8 + 1, 0);
+  r.limbs_.assign(s.size() / (kLimbBits / 4) + 1, 0);
   std::size_t bitpos = 0;
   for (std::size_t i = s.size(); i-- > 0;) {
     const char c = s[i];
@@ -42,7 +43,7 @@ BigUint BigUint::from_hex(std::string_view s) {
     else if (c >= 'a' && c <= 'f') v = static_cast<Limb>(c - 'a' + 10);
     else if (c >= 'A' && c <= 'F') v = static_cast<Limb>(c - 'A' + 10);
     else throw std::invalid_argument("BigUint::from_hex: bad character");
-    r.limbs_[bitpos / 32] |= v << (bitpos % 32);
+    r.limbs_[bitpos / kLimbBits] |= v << (bitpos % kLimbBits);
     bitpos += 4;
   }
   r.trim();
@@ -52,25 +53,23 @@ BigUint BigUint::from_hex(std::string_view s) {
 BigUint BigUint::from_dec(std::string_view s) {
   if (s.empty()) throw std::invalid_argument("BigUint::from_dec: empty string");
   BigUint r;
-  // Consume 9 decimal digits at a time: r = r * 10^9 + chunk.
+  // Consume up to 19 decimal digits at a time: r = r * 10^k + chunk.
   std::size_t i = 0;
   while (i < s.size()) {
-    const std::size_t take = std::min<std::size_t>(9, s.size() - i);
-    std::uint32_t chunk = 0, scale = 1;
+    const std::size_t take = std::min<std::size_t>(kDecChunkDigits, s.size() - i);
+    std::uint64_t chunk = 0, scale = 1;
     for (std::size_t j = 0; j < take; ++j) {
       const char c = s[i + j];
       if (c < '0' || c > '9') throw std::invalid_argument("BigUint::from_dec: bad character");
-      chunk = chunk * 10 + static_cast<std::uint32_t>(c - '0');
-      scale *= 10;
+      chunk = chunk * 10 + static_cast<std::uint64_t>(c - '0');
+      scale = take == kDecChunkDigits ? kDecChunkScale : scale * 10;
     }
     // r = r * scale + chunk, in place.
-    Wide carry = chunk;
+    Limb carry = chunk;
     for (auto& limb : r.limbs_) {
-      const Wide cur = static_cast<Wide>(limb) * scale + carry;
-      limb = static_cast<Limb>(cur);
-      carry = cur >> 32;
+      limb = mac(0, limb, scale, carry);
     }
-    if (carry) r.limbs_.push_back(static_cast<Limb>(carry));
+    if (carry) r.limbs_.push_back(carry);
     i += take;
   }
   r.trim();
@@ -79,42 +78,43 @@ BigUint BigUint::from_dec(std::string_view s) {
 
 BigUint BigUint::from_bytes_be(std::span<const std::uint8_t> bytes) {
   BigUint r;
-  r.limbs_.assign(bytes.size() / 4 + 1, 0);
+  r.limbs_.assign(bytes.size() / 8 + 1, 0);
   std::size_t shift = 0, limb = 0;
   for (std::size_t i = bytes.size(); i-- > 0;) {
     r.limbs_[limb] |= static_cast<Limb>(bytes[i]) << shift;
     shift += 8;
-    if (shift == 32) { shift = 0; ++limb; }
+    if (shift == kLimbBits) { shift = 0; ++limb; }
   }
+  r.trim();
+  return r;
+}
+
+BigUint BigUint::from_limbs_le(std::span<const std::uint64_t> words) {
+  BigUint r;
+  r.limbs_.assign(words.begin(), words.end());
   r.trim();
   return r;
 }
 
 std::size_t BigUint::bit_length() const {
   if (limbs_.empty()) return 0;
-  return 32 * (limbs_.size() - 1) +
-         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+  return kLimbBits * (limbs_.size() - 1) +
+         (kLimbBits - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
 }
 
 bool BigUint::bit(std::size_t i) const {
-  const std::size_t limb = i / 32;
+  const std::size_t limb = i / kLimbBits;
   if (limb >= limbs_.size()) return false;
-  return (limbs_[limb] >> (i % 32)) & 1u;
-}
-
-std::uint64_t BigUint::to_u64() const {
-  std::uint64_t v = limbs_.empty() ? 0u : limbs_[0];
-  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
-  return v;
+  return (limbs_[limb] >> (i % kLimbBits)) & 1u;
 }
 
 std::string BigUint::to_hex() const {
   if (limbs_.empty()) return "0";
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out;
-  out.reserve(limbs_.size() * 8);
+  out.reserve(limbs_.size() * (kLimbBits / 4));
   for (std::size_t i = limbs_.size(); i-- > 0;) {
-    for (int nib = 7; nib >= 0; --nib) {
+    for (int nib = kLimbBits / 4 - 1; nib >= 0; --nib) {
       out.push_back(kDigits[(limbs_[i] >> (nib * 4)) & 0xF]);
     }
   }
@@ -127,15 +127,13 @@ std::string BigUint::to_dec() const {
   std::vector<Limb> work(limbs_);
   std::string out;
   while (!work.empty()) {
-    // Divide work by 10^9, collecting the remainder.
-    Wide rem = 0;
+    // Divide work by 10^19, collecting the remainder.
+    Limb rem = 0;
     for (std::size_t i = work.size(); i-- > 0;) {
-      const Wide cur = (rem << 32) | work[i];
-      work[i] = static_cast<Limb>(cur / 1000000000u);
-      rem = cur % 1000000000u;
+      work[i] = div_2by1(rem, work[i], kDecChunkScale, rem);
     }
     while (!work.empty() && work.back() == 0) work.pop_back();
-    for (int d = 0; d < 9; ++d) {
+    for (int d = 0; d < kDecChunkDigits; ++d) {
       out.push_back(static_cast<char>('0' + rem % 10));
       rem /= 10;
     }
@@ -150,7 +148,7 @@ std::vector<std::uint8_t> BigUint::to_bytes_be(std::size_t pad_to) const {
   const std::size_t total = std::max(nbytes, pad_to);
   std::vector<std::uint8_t> out(total, 0);
   for (std::size_t i = 0; i < nbytes; ++i) {
-    out[total - 1 - i] = static_cast<std::uint8_t>(limbs_[i / 4] >> ((i % 4) * 8));
+    out[total - 1 - i] = static_cast<std::uint8_t>(limbs_[i / 8] >> ((i % 8) * 8));
   }
   return out;
 }
@@ -167,30 +165,21 @@ std::strong_ordering BigUint::operator<=>(const BigUint& o) const {
 
 BigUint& BigUint::operator+=(const BigUint& o) {
   if (limbs_.size() < o.limbs_.size()) limbs_.resize(o.limbs_.size(), 0);
-  Wide carry = 0;
+  Limb carry = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    const Wide cur = static_cast<Wide>(limbs_[i]) + o.limb(i) + carry;
-    limbs_[i] = static_cast<Limb>(cur);
-    carry = cur >> 32;
+    limbs_[i] = addc(limbs_[i], o.limb(i), carry);
     if (carry == 0 && i >= o.limbs_.size()) break;
   }
-  if (carry) limbs_.push_back(static_cast<Limb>(carry));
+  if (carry) limbs_.push_back(carry);
   return *this;
 }
 
 BigUint& BigUint::operator-=(const BigUint& o) {
   if (*this < o) throw std::underflow_error("BigUint subtraction underflow");
-  Wide borrow = 0;
+  Limb borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
-    const Wide sub = static_cast<Wide>(o.limb(i)) + borrow;
-    if (limbs_[i] >= sub) {
-      limbs_[i] = static_cast<Limb>(limbs_[i] - sub);
-      borrow = 0;
-      if (i >= o.limbs_.size()) break;
-    } else {
-      limbs_[i] = static_cast<Limb>(kBase + limbs_[i] - sub);
-      borrow = 1;
-    }
+    limbs_[i] = subb(limbs_[i], o.limb(i), borrow);
+    if (borrow == 0 && i >= o.limbs_.size()) break;
   }
   trim();
   return *this;
@@ -198,13 +187,16 @@ BigUint& BigUint::operator-=(const BigUint& o) {
 
 BigUint& BigUint::operator<<=(std::size_t bits) {
   if (limbs_.empty() || bits == 0) return *this;
-  const std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / kLimbBits, bit_shift = bits % kLimbBits;
   const std::size_t old = limbs_.size();
   limbs_.resize(old + limb_shift + (bit_shift ? 1 : 0), 0);
-  for (std::size_t i = old; i-- > 0;) {
-    const Wide v = static_cast<Wide>(limbs_[i]) << bit_shift;
-    limbs_[i + limb_shift + 1] |= static_cast<Limb>(v >> 32);
-    limbs_[i + limb_shift] = static_cast<Limb>(v);
+  if (bit_shift == 0) {
+    for (std::size_t i = old; i-- > 0;) limbs_[i + limb_shift] = limbs_[i];
+  } else {
+    for (std::size_t i = old; i-- > 0;) {
+      limbs_[i + limb_shift + 1] |= limbs_[i] >> (kLimbBits - bit_shift);
+      limbs_[i + limb_shift] = limbs_[i] << bit_shift;
+    }
   }
   for (std::size_t i = 0; i < limb_shift; ++i) limbs_[i] = 0;
   trim();
@@ -212,18 +204,18 @@ BigUint& BigUint::operator<<=(std::size_t bits) {
 }
 
 BigUint& BigUint::operator>>=(std::size_t bits) {
-  const std::size_t limb_shift = bits / 32, bit_shift = bits % 32;
+  const std::size_t limb_shift = bits / kLimbBits, bit_shift = bits % kLimbBits;
   if (limb_shift >= limbs_.size()) {
     limbs_.clear();
     return *this;
   }
   const std::size_t n = limbs_.size() - limb_shift;
   for (std::size_t i = 0; i < n; ++i) {
-    Wide v = static_cast<Wide>(limbs_[i + limb_shift]) >> bit_shift;
+    Limb v = limbs_[i + limb_shift] >> bit_shift;
     if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
-      v |= static_cast<Wide>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+      v |= limbs_[i + limb_shift + 1] << (kLimbBits - bit_shift);
     }
-    limbs_[i] = static_cast<Limb>(v);
+    limbs_[i] = v;
   }
   limbs_.resize(n);
   trim();
@@ -245,14 +237,12 @@ BigUint BigUint::mul_schoolbook(const BigUint& a, const BigUint& b) {
   if (a.is_zero() || b.is_zero()) return r;
   r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
   for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
-    Wide carry = 0;
-    const Wide ai = a.limbs_[i];
+    Limb carry = 0;
+    const Limb ai = a.limbs_[i];
     for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
-      const Wide cur = static_cast<Wide>(r.limbs_[i + j]) + ai * b.limbs_[j] + carry;
-      r.limbs_[i + j] = static_cast<Limb>(cur);
-      carry = cur >> 32;
+      r.limbs_[i + j] = mac(r.limbs_[i + j], ai, b.limbs_[j], carry);
     }
-    r.limbs_[i + b.limbs_.size()] = static_cast<Limb>(carry);
+    r.limbs_[i + b.limbs_.size()] = carry;
   }
   r.trim();
   return r;
@@ -268,9 +258,9 @@ BigUint BigUint::mul_karatsuba(const BigUint& a, const BigUint& b) {
   z1 -= z0;
   z1 -= z2;
   BigUint r = z2;
-  r <<= 32 * m;
+  r <<= kLimbBits * m;
   r += z1;
-  r <<= 32 * m;
+  r <<= kLimbBits * m;
   r += z0;
   return r;
 }
@@ -291,18 +281,16 @@ void BigUint::divmod(const BigUint& a, const BigUint& b, BigUint& q, BigUint& r)
   }
   if (b.limbs_.size() == 1) {
     // Single-limb fast path.
-    const Wide d = b.limbs_[0];
+    const Limb d = b.limbs_[0];
     BigUint quot;
     quot.limbs_.assign(a.limbs_.size(), 0);
-    Wide rem = 0;
+    Limb rem = 0;
     for (std::size_t i = a.limbs_.size(); i-- > 0;) {
-      const Wide cur = (rem << 32) | a.limbs_[i];
-      quot.limbs_[i] = static_cast<Limb>(cur / d);
-      rem = cur % d;
+      quot.limbs_[i] = div_2by1(rem, a.limbs_[i], d, rem);
     }
     quot.trim();
     q = std::move(quot);
-    r = BigUint{static_cast<std::uint64_t>(rem)};
+    r = BigUint{rem};
     return;
   }
 
@@ -316,52 +304,49 @@ void BigUint::divmod(const BigUint& a, const BigUint& b, BigUint& q, BigUint& r)
 
   BigUint quot;
   quot.limbs_.assign(m + 1, 0);
-  const Wide vtop = v.limbs_[n - 1], vsec = v.limbs_[n - 2];
+  const Limb vtop = v.limbs_[n - 1], vsec = v.limbs_[n - 2];
 
   for (std::size_t j = m + 1; j-- > 0;) {
-    const Wide numer = (static_cast<Wide>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
-    Wide qhat = numer / vtop;
-    Wide rhat = numer % vtop;
-    while (qhat >= kBase ||
-           qhat * vsec > ((rhat << 32) | u.limbs_[j + n - 2])) {
+    // Estimate qhat from the top two dividend limbs against vtop. When the
+    // top limb equals vtop the true quotient digit is base-1 (it cannot be
+    // base or more after normalization).
+    const Limb u2 = u.limbs_[j + n], u1 = u.limbs_[j + n - 1], u0 = u.limbs_[j + n - 2];
+    Limb qhat, rhat;
+    bool rhat_in_range;  // rhat < 2^64 (the correction loop stops beyond)
+    if (u2 == vtop) {
+      qhat = kLimbMax;
+      rhat = u1 + vtop;
+      rhat_in_range = rhat >= vtop;  // detects wraparound
+    } else {
+      qhat = div_2by1(u2, u1, vtop, rhat);
+      rhat_in_range = true;
+    }
+    // Refine: decrement qhat while qhat * vsec overshoots (rhat, u0).
+    while (rhat_in_range) {
+      const LimbPair p = mul_wide(qhat, vsec);
+      if (p.hi < rhat || (p.hi == rhat && p.lo <= u0)) break;
       --qhat;
       rhat += vtop;
-      if (rhat >= kBase) break;
+      rhat_in_range = rhat >= vtop;
     }
+
     // Multiply-and-subtract qhat * v from u[j .. j+n].
-    Wide borrow = 0, carry = 0;
+    Limb borrow = 0, mul_carry = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      const Wide prod = qhat * v.limbs_[i] + carry;
-      carry = prod >> 32;
-      const Wide sub = static_cast<Wide>(static_cast<Limb>(prod)) + borrow;
-      if (u.limbs_[j + i] >= sub) {
-        u.limbs_[j + i] = static_cast<Limb>(u.limbs_[j + i] - sub);
-        borrow = 0;
-      } else {
-        u.limbs_[j + i] = static_cast<Limb>(kBase + u.limbs_[j + i] - sub);
-        borrow = 1;
-      }
+      const Limb prod_lo = mac(0, qhat, v.limbs_[i], mul_carry);
+      u.limbs_[j + i] = subb(u.limbs_[j + i], prod_lo, borrow);
     }
-    const Wide sub = carry + borrow;
-    if (u.limbs_[j + n] >= sub) {
-      u.limbs_[j + n] = static_cast<Limb>(u.limbs_[j + n] - sub);
-      borrow = 0;
-    } else {
-      u.limbs_[j + n] = static_cast<Limb>(kBase + u.limbs_[j + n] - sub);
-      borrow = 1;
-    }
+    u.limbs_[j + n] = subb(u.limbs_[j + n], mul_carry, borrow);
     if (borrow) {
       // qhat was one too large (rare): add v back and decrement qhat.
       --qhat;
-      Wide c = 0;
+      Limb c = 0;
       for (std::size_t i = 0; i < n; ++i) {
-        const Wide cur = static_cast<Wide>(u.limbs_[j + i]) + v.limbs_[i] + c;
-        u.limbs_[j + i] = static_cast<Limb>(cur);
-        c = cur >> 32;
+        u.limbs_[j + i] = addc(u.limbs_[j + i], v.limbs_[i], c);
       }
-      u.limbs_[j + n] = static_cast<Limb>(u.limbs_[j + n] + c);
+      u.limbs_[j + n] += c;  // cancels the borrow
     }
-    quot.limbs_[j] = static_cast<Limb>(qhat);
+    quot.limbs_[j] = qhat;
   }
 
   quot.trim();
@@ -370,6 +355,15 @@ void BigUint::divmod(const BigUint& a, const BigUint& b, BigUint& q, BigUint& r)
   u >>= shift;
   q = std::move(quot);
   r = std::move(u);
+}
+
+std::uint64_t BigUint::mod_u64(std::uint64_t d) const {
+  if (d == 0) throw std::domain_error("BigUint::mod_u64: division by zero");
+  Limb rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    div_2by1(rem, limbs_[i], d, rem);
+  }
+  return rem;
 }
 
 BigUint BigUint::add_mod(const BigUint& o, const BigUint& m) const {

@@ -7,22 +7,25 @@
 #include <string_view>
 #include <vector>
 
+#include "bigint/limb.hpp"
+
 namespace dubhe::bigint {
 
 /// Arbitrary-precision unsigned integer.
 ///
-/// Storage is a little-endian vector of 32-bit limbs with the invariant that
+/// Storage is a little-endian vector of 64-bit limbs with the invariant that
 /// the most significant limb is non-zero (zero is the empty vector). All
-/// arithmetic uses 64-bit intermediates; multiplication switches from
-/// schoolbook to Karatsuba above `kKaratsubaThreshold` limbs and division is
-/// Knuth's Algorithm D. This is the only integer type the Paillier layer
-/// builds on; it deliberately has no dependency on GMP or any other library.
+/// arithmetic goes through the double-width primitives in limb.hpp (native
+/// 128-bit intermediates where the compiler has __int128, a portable 32-bit
+/// synthesis otherwise); multiplication switches from schoolbook to Karatsuba
+/// above `kKaratsubaThreshold` limbs and division is Knuth's Algorithm D.
+/// This is the only integer type the Paillier layer builds on; it
+/// deliberately has no dependency on GMP or any other library.
 class BigUint {
  public:
-  using Limb = std::uint32_t;
-  using Wide = std::uint64_t;
-  static constexpr unsigned kLimbBits = 32;
-  static constexpr std::size_t kKaratsubaThreshold = 40;  // limbs
+  using Limb = bigint::Limb;
+  static constexpr unsigned kLimbBits = bigint::kLimbBits;
+  static constexpr std::size_t kKaratsubaThreshold = 24;  // limbs
 
   /// Zero.
   BigUint() = default;
@@ -36,6 +39,8 @@ class BigUint {
   static BigUint from_dec(std::string_view s);
   /// Big-endian byte import (leading zero bytes allowed).
   static BigUint from_bytes_be(std::span<const std::uint8_t> bytes);
+  /// Little-endian 64-bit word import (trailing zero words allowed).
+  static BigUint from_limbs_le(std::span<const std::uint64_t> words);
   /// 2^k.
   static BigUint pow2(std::size_t k);
 
@@ -53,9 +58,11 @@ class BigUint {
     return i < limbs_.size() ? limbs_[i] : 0u;
   }
   /// Value as uint64, truncating to the low 64 bits.
-  [[nodiscard]] std::uint64_t to_u64() const;
+  [[nodiscard]] std::uint64_t to_u64() const {
+    return limbs_.empty() ? 0u : limbs_[0];
+  }
   /// True if the value fits in 64 bits.
-  [[nodiscard]] bool fits_u64() const { return limbs_.size() <= 2; }
+  [[nodiscard]] bool fits_u64() const { return limbs_.size() <= 1; }
 
   [[nodiscard]] std::string to_hex() const;
   [[nodiscard]] std::string to_dec() const;
@@ -88,6 +95,10 @@ class BigUint {
   friend BigUint operator%(const BigUint& a, const BigUint& b) {
     BigUint q, r; divmod(a, b, q, r); return r;
   }
+
+  /// Remainder modulo a machine word (single limb pass, no allocation).
+  /// Throws std::domain_error on d == 0.
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t d) const;
 
   /// (this + o) % m, assuming both inputs already reduced mod m.
   [[nodiscard]] BigUint add_mod(const BigUint& o, const BigUint& m) const;

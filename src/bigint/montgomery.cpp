@@ -7,10 +7,11 @@ namespace dubhe::bigint {
 
 namespace {
 
-/// Inverse of odd `x` mod 2^32 by Newton iteration (5 steps double precision
-/// each time: 2 -> 4 -> 8 -> 16 -> 32 correct low bits).
-std::uint32_t inv32(std::uint32_t x) {
-  std::uint32_t y = x;  // correct to 3 bits for odd x
+/// Inverse of odd `x` mod 2^64 by Newton iteration. The seed y = x is
+/// correct to 3 bits (x * x = 1 mod 8 for odd x) and each step doubles the
+/// number of correct low bits: 3 -> 6 -> 12 -> 24 -> 48 -> 96 >= 64.
+std::uint64_t inv64(std::uint64_t x) {
+  std::uint64_t y = x;
   for (int i = 0; i < 5; ++i) y *= 2u - x * y;
   return y;
 }
@@ -24,10 +25,10 @@ Montgomery::Montgomery(const BigUint& modulus) : n_(modulus) {
   s_ = n_.limb_count();
   n_limbs_.resize(s_);
   for (std::size_t i = 0; i < s_; ++i) n_limbs_[i] = n_.limb(i);
-  n0inv_ = static_cast<Limb>(0u - inv32(n_limbs_[0]));
+  n0inv_ = 0u - inv64(n_limbs_[0]);
 
-  // R = 2^(32 s); compute R mod N and R^2 mod N with plain division once.
-  const BigUint r = BigUint::pow2(32 * s_) % n_;
+  // R = 2^(64 s); compute R mod N and R^2 mod N with plain division once.
+  const BigUint r = BigUint::pow2(kLimbBits * s_) % n_;
   one_mont_ = r;
   rr_ = r.mul_mod(r, n_);
 }
@@ -45,67 +46,55 @@ BigUint Montgomery::from_limbs(std::vector<Limb> v) {
   return r;
 }
 
-void Montgomery::cios(const std::vector<Limb>& a, const std::vector<Limb>& b,
-                      std::vector<Limb>& out) const {
+void Montgomery::cios(const Limb* a, const Limb* b, Limb* out, Limb* t) const {
   const std::size_t s = s_;
-  std::vector<Wide> t(s + 2, 0);
+  const Limb* n = n_limbs_.data();
+  for (std::size_t i = 0; i < s + 2; ++i) t[i] = 0;
   for (std::size_t i = 0; i < s; ++i) {
     // t += a * b[i]
-    const Wide bi = b[i];
-    Wide carry = 0;
+    const Limb bi = b[i];
+    Limb carry = 0;
     for (std::size_t j = 0; j < s; ++j) {
-      const Wide cur = t[j] + static_cast<Wide>(a[j]) * bi + carry;
-      t[j] = static_cast<Limb>(cur);
-      carry = cur >> 32;
+      t[j] = mac(t[j], a[j], bi, carry);
     }
-    Wide cur = t[s] + carry;
-    t[s] = static_cast<Limb>(cur);
-    t[s + 1] = cur >> 32;
+    Limb c2 = 0;
+    t[s] = addc(t[s], carry, c2);
+    t[s + 1] += c2;
 
     // Reduce: add m * N where m makes the low limb vanish, then shift.
-    const Limb m = static_cast<Limb>(t[0]) * n0inv_;
-    cur = t[0] + static_cast<Wide>(m) * n_limbs_[0];
-    carry = cur >> 32;
+    const Limb m = t[0] * n0inv_;
+    carry = 0;
+    (void)mac(t[0], m, n[0], carry);  // low limb is zero by construction
     for (std::size_t j = 1; j < s; ++j) {
-      cur = t[j] + static_cast<Wide>(m) * n_limbs_[j] + carry;
-      t[j - 1] = static_cast<Limb>(cur);
-      carry = cur >> 32;
+      t[j - 1] = mac(t[j], m, n[j], carry);
     }
-    cur = t[s] + carry;
-    t[s - 1] = static_cast<Limb>(cur);
-    t[s] = t[s + 1] + (cur >> 32);
+    c2 = 0;
+    t[s - 1] = addc(t[s], carry, c2);
+    t[s] = t[s + 1] + c2;  // t fits s+1 limbs: the running value stays < 2N
     t[s + 1] = 0;
   }
-  out.assign(s + 1, 0);
-  for (std::size_t i = 0; i <= s; ++i) out[i] = static_cast<Limb>(t[i]);
   // Conditional final subtraction: result < 2N, reduce to < N.
-  bool ge = out[s] != 0;
+  bool ge = t[s] != 0;
   if (!ge) {
     ge = true;
     for (std::size_t i = s; i-- > 0;) {
-      if (out[i] != n_limbs_[i]) { ge = out[i] > n_limbs_[i]; break; }
+      if (t[i] != n[i]) { ge = t[i] > n[i]; break; }
     }
   }
   if (ge) {
-    Wide borrow = 0;
+    Limb borrow = 0;
     for (std::size_t i = 0; i < s; ++i) {
-      const Wide sub = static_cast<Wide>(n_limbs_[i]) + borrow;
-      if (out[i] >= sub) {
-        out[i] = static_cast<Limb>(out[i] - sub);
-        borrow = 0;
-      } else {
-        out[i] = static_cast<Limb>((Wide{1} << 32) + out[i] - sub);
-        borrow = 1;
-      }
+      out[i] = subb(t[i], n[i], borrow);
     }
-    out[s] = static_cast<Limb>(out[s] - borrow);
+  } else {
+    for (std::size_t i = 0; i < s; ++i) out[i] = t[i];
   }
-  out.resize(s_);
 }
 
 BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
-  std::vector<Limb> out;
-  cios(padded(a), padded(b), out);
+  const std::vector<Limb> pa = padded(a), pb = padded(b);
+  std::vector<Limb> out(s_), t(s_ + 2);
+  cios(pa.data(), pb.data(), out.data(), t.data());
   return from_limbs(std::move(out));
 }
 
@@ -120,25 +109,46 @@ BigUint Montgomery::from_mont(const BigUint& x) const {
 BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
   if (exp.is_zero()) return BigUint{1} % n_;
   const BigUint b = base % n_;
-  const BigUint bm = to_mont(b);
+
+  // All intermediates live in fixed-size limb buffers; the window table,
+  // accumulator, and scratch are allocated once up front.
+  std::vector<Limb> t(s_ + 2), tmp(s_);
+  std::vector<Limb> bm(s_);
+  {
+    const std::vector<Limb> pb = padded(b), prr = padded(rr_);
+    cios(pb.data(), prr.data(), bm.data(), t.data());  // b into Montgomery form
+  }
 
   // Precompute bm^0 .. bm^15 for a fixed 4-bit window.
-  std::array<BigUint, 16> table;
-  table[0] = one_mont_;
-  for (std::size_t i = 1; i < 16; ++i) table[i] = mul(table[i - 1], bm);
+  std::array<std::vector<Limb>, 16> table;
+  table[0] = padded(one_mont_);
+  for (std::size_t i = 1; i < 16; ++i) {
+    table[i].resize(s_);
+    cios(table[i - 1].data(), bm.data(), table[i].data(), t.data());
+  }
 
   const std::size_t nbits = exp.bit_length();
   const std::size_t nwindows = (nbits + 3) / 4;
-  BigUint acc = one_mont_;
+  std::vector<Limb> acc = padded(one_mont_);
   for (std::size_t w = nwindows; w-- > 0;) {
-    for (int sq = 0; sq < 4; ++sq) acc = mul(acc, acc);
+    for (int sq = 0; sq < 4; ++sq) {
+      cios(acc.data(), acc.data(), tmp.data(), t.data());
+      acc.swap(tmp);
+    }
     unsigned idx = 0;
     for (int k = 3; k >= 0; --k) {
       idx = (idx << 1) | (exp.bit(w * 4 + static_cast<std::size_t>(k)) ? 1u : 0u);
     }
-    if (idx != 0) acc = mul(acc, table[idx]);
+    if (idx != 0) {
+      cios(acc.data(), table[idx].data(), tmp.data(), t.data());
+      acc.swap(tmp);
+    }
   }
-  return from_mont(acc);
+  // Out of Montgomery form: multiply by 1.
+  std::vector<Limb> one(s_, 0);
+  one[0] = 1;
+  cios(acc.data(), one.data(), tmp.data(), t.data());
+  return from_limbs(std::move(tmp));
 }
 
 }  // namespace dubhe::bigint

@@ -10,10 +10,12 @@ namespace dubhe::bigint {
 /// Montgomery multiplication context for a fixed odd modulus.
 ///
 /// Implements the CIOS (coarsely integrated operand scanning) method with
-/// 32-bit limbs. A context precomputes `R^2 mod N` and `-N^{-1} mod 2^32`
-/// once, after which modular multiplications cost one pass over the operand
-/// limbs with no long division. `pow` uses a fixed 4-bit window, which is the
-/// sweet spot for the 2048/4096-bit exponents Paillier needs.
+/// 64-bit limbs. A context precomputes `R^2 mod N` (for R = 2^(64 s)) and
+/// `-N^{-1} mod 2^64` once, after which modular multiplications cost one
+/// pass over the operand limbs with no long division. `pow` uses a fixed
+/// 4-bit window over preallocated limb buffers — the hot loop performs no
+/// heap allocation — which is the sweet spot for the 2048/4096-bit
+/// exponents Paillier needs.
 class Montgomery {
  public:
   /// Throws std::invalid_argument if `modulus` is even or zero.
@@ -32,18 +34,18 @@ class Montgomery {
 
  private:
   using Limb = BigUint::Limb;
-  using Wide = BigUint::Wide;
 
-  /// Raw CIOS kernel on limb vectors of length s_ (inputs zero-padded).
-  void cios(const std::vector<Limb>& a, const std::vector<Limb>& b,
-            std::vector<Limb>& out) const;
+  /// Raw CIOS kernel over limb vectors of length s_ (inputs zero-padded).
+  /// `out` (length s_) must not alias `a` or `b`; `t` is caller-provided
+  /// scratch of length s_ + 2 so the pow loop can reuse one buffer.
+  void cios(const Limb* a, const Limb* b, Limb* out, Limb* t) const;
   [[nodiscard]] std::vector<Limb> padded(const BigUint& x) const;
   [[nodiscard]] static BigUint from_limbs(std::vector<Limb> v);
 
   BigUint n_;
   std::vector<Limb> n_limbs_;  // modulus, padded to s_
   std::size_t s_ = 0;          // limb count of the modulus
-  Limb n0inv_ = 0;             // -N^{-1} mod 2^32
+  Limb n0inv_ = 0;             // -N^{-1} mod 2^64
   BigUint rr_;                 // R^2 mod N
   BigUint one_mont_;           // R mod N (1 in Montgomery form)
 };

@@ -31,10 +31,14 @@ std::span<const std::uint32_t> small_primes() {
 
 bool is_probable_prime(const BigUint& n, EntropySource& rng, int rounds) {
   if (n < BigUint{2}) return false;
+  // Trial division against the sieve via the single-word remainder fast
+  // path — one limb pass per prime, no BigUint allocation. n can only
+  // equal a sieve prime when it fits a single limb.
+  const bool n_small = n.fits_u64();
+  const std::uint64_t n64 = n.to_u64();
   for (const std::uint32_t p : small_primes()) {
-    const BigUint bp{p};
-    if (n == bp) return true;
-    if ((n % bp).is_zero()) return false;
+    if (n_small && n64 == p) return true;
+    if (n.mod_u64(p) == 0) return false;
   }
   // n is odd and > every small prime here. Write n - 1 = d * 2^r.
   const BigUint n_minus_1 = n - BigUint{1};

@@ -35,15 +35,14 @@ double Xoshiro256ss::next_double() {
 }
 
 std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) {
-  // Lemire's unbiased bounded generation with rejection.
+  // Lemire's unbiased bounded generation with rejection. The widening
+  // multiply goes through the limb primitives so this stays portable on
+  // compilers without __int128.
   if (bound == 0) throw std::invalid_argument("next_below: zero bound");
   const std::uint64_t threshold = (0 - bound) % bound;
   for (;;) {
-    const std::uint64_t r = next_u64();
-    const unsigned __int128 m = static_cast<unsigned __int128>(r) * bound;
-    if (static_cast<std::uint64_t>(m) >= threshold) {
-      return static_cast<std::uint64_t>(m >> 64);
-    }
+    const LimbPair m = mul_wide(next_u64(), bound);
+    if (m.lo >= threshold) return m.hi;
   }
 }
 
@@ -59,19 +58,15 @@ std::uint64_t SystemEntropySource::next_u64() {
 
 BigUint random_bits(EntropySource& rng, std::size_t bits) {
   if (bits == 0) return BigUint{};
+  // One generator word per 64-bit limb, imported directly — no byte
+  // round-trip. The first word drawn is the most significant limb; excess
+  // high bits beyond `bits` are dropped from it.
   const std::size_t words = (bits + 63) / 64;
-  std::vector<std::uint8_t> bytes(words * 8);
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t v = rng.next_u64();
-    for (int b = 0; b < 8; ++b) {
-      bytes[w * 8 + static_cast<std::size_t>(b)] =
-          static_cast<std::uint8_t>(v >> (8 * b));
-    }
-  }
-  BigUint r = BigUint::from_bytes_be(bytes);
+  std::vector<std::uint64_t> limbs(words);
+  for (std::size_t w = 0; w < words; ++w) limbs[words - 1 - w] = rng.next_u64();
   const std::size_t excess = words * 64 - bits;
-  if (excess > 0) r >>= excess;
-  return r;
+  if (excess > 0) limbs[words - 1] >>= excess;
+  return BigUint::from_limbs_le(limbs);
 }
 
 BigUint random_exact_bits(EntropySource& rng, std::size_t bits) {

@@ -3,19 +3,29 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bigint/limb.hpp"
+
 namespace dubhe::core {
 
 std::uint64_t RegistryCodec::binomial(std::size_t n, std::size_t k) {
   if (k > n) return 0;
   k = std::min(k, n - k);
-  unsigned __int128 result = 1;
+  std::uint64_t result = 1;
   for (std::size_t j = 1; j <= k; ++j) {
-    result = result * (n - k + j) / j;  // exact at each step (product of j consecutive)
-    if (result > static_cast<unsigned __int128>(UINT64_MAX >> 1)) {
+    // result * (n-k+j) / j, exact at each step (product of j consecutive
+    // integers). The widening multiply and 128/64 divide go through the
+    // limb primitives so no direct __int128 use is needed here.
+    const bigint::LimbPair p = bigint::mul_wide(result, n - k + j);
+    if (p.hi >= j) {
+      throw std::overflow_error("RegistryCodec::binomial: value exceeds 2^63");
+    }
+    std::uint64_t rem = 0;
+    result = bigint::div_2by1(p.hi, p.lo, j, rem);
+    if (result > (UINT64_MAX >> 1)) {
       throw std::overflow_error("RegistryCodec::binomial: value exceeds 2^63");
     }
   }
-  return static_cast<std::uint64_t>(result);
+  return result;
 }
 
 RegistryCodec::RegistryCodec(std::size_t num_classes, std::vector<std::size_t> reference_set)

@@ -17,8 +17,10 @@ std::size_t PublicKey::plaintext_bytes() const { return (key_bits() + 7) / 8; }
 
 Ciphertext PublicKey::encrypt_deterministic(const BigUint& m) const {
   if (m >= n_) throw std::out_of_range("Paillier: plaintext must be < n");
-  // g^m with g = n+1: (1 + m*n) mod n^2 — a single multiplication.
-  return Ciphertext{(BigUint{1} + m * n_) % n_sq_};
+  // g^m with g = n+1: (1 + m*n) mod n^2 — a single multiplication. The
+  // reduction is free: m <= n-1 gives 1 + m*n <= n^2 - n + 1 < n^2, so no
+  // division is needed.
+  return Ciphertext{BigUint{1} + m * n_};
 }
 
 Ciphertext PublicKey::encrypt(const BigUint& m, bigint::EntropySource& rng) const {

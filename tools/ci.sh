@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure + build + ctest in Release, then repeat
+# under ASan/UBSan to catch carry-propagation UB in the bigint kernels.
+# Usage: tools/ci.sh [extra cmake args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  preset="$1"
+  shift
+  echo "== configure ($preset) =="
+  cmake --preset "$preset" "$@"
+  echo "== build ($preset) =="
+  cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
+  echo "== ctest ($preset) =="
+  ctest --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
+}
+
+run_preset release "$@"
+run_preset asan "$@"
+
+echo "CI OK"
