@@ -18,8 +18,9 @@ std::span<const std::uint32_t> small_primes();
 bool is_probable_prime(const BigUint& n, EntropySource& rng, int rounds = 24);
 
 /// Uniform random probable prime with exactly `bits` significant bits.
-/// Candidates get trial division by small_primes() before Miller–Rabin.
-/// Throws std::invalid_argument for bits < 2.
+/// Candidates get trial division by small_primes() — via the single-limb
+/// BigUint::mod_u64 remainder, so no allocation per candidate — before
+/// Miller–Rabin. Throws std::invalid_argument for bits < 2.
 BigUint random_prime(EntropySource& rng, std::size_t bits, int mr_rounds = 24);
 
 }  // namespace dubhe::bigint

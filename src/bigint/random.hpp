@@ -49,7 +49,10 @@ class SystemEntropySource final : public EntropySource {
   std::uint64_t next_u64() override;
 };
 
-/// Uniform integer in [0, 2^bits).
+/// Uniform integer in [0, 2^bits). Consumes ceil(bits / 64) generator words;
+/// the first word drawn becomes the most significant limb (excess high bits
+/// are dropped from it). This mapping is part of the reproducibility
+/// contract: seeded experiment streams depend on it.
 BigUint random_bits(EntropySource& rng, std::size_t bits);
 /// Uniform integer with exactly `bits` significant bits (top bit forced).
 BigUint random_exact_bits(EntropySource& rng, std::size_t bits);
