@@ -18,6 +18,13 @@ Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
   for (auto& word : s_) word = sm.next_u64();
 }
 
+Xoshiro256ss::Xoshiro256ss(const std::array<std::uint64_t, 4>& state) : s_(state) {
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    SplitMix64 sm(0);
+    for (auto& word : s_) word = sm.next_u64();
+  }
+}
+
 std::uint64_t Xoshiro256ss::next_u64() {
   const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
@@ -54,6 +61,11 @@ std::uint64_t SystemEntropySource::next_u64() {
     throw std::runtime_error("short read from /dev/urandom");
   }
   return v;
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
+  SplitMix64 sm(master ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return sm.next_u64();
 }
 
 BigUint random_bits(EntropySource& rng, std::size_t bits) {

@@ -28,10 +28,15 @@ class SplitMix64 final : public EntropySource {
 
 /// xoshiro256** — the default deterministic generator for experiments.
 /// Seeded from a single 64-bit value through SplitMix64 per the authors'
-/// recommendation.
+/// recommendation, or directly from a full 256-bit state (the batch
+/// Paillier APIs seed per-item streams this way so each item carries the
+/// caller's full entropy, not a 64-bit bottleneck).
 class Xoshiro256ss final : public EntropySource {
  public:
   explicit Xoshiro256ss(std::uint64_t seed);
+  /// Adopts `state` verbatim; the (invalid) all-zero state falls back to
+  /// SplitMix64 seeding from 0.
+  explicit Xoshiro256ss(const std::array<std::uint64_t, 4>& state);
   std::uint64_t next_u64() override;
 
   /// Uniform double in [0, 1).
@@ -48,6 +53,13 @@ class SystemEntropySource final : public EntropySource {
  public:
   std::uint64_t next_u64() override;
 };
+
+/// Derives an independent stream seed from a master seed (golden-ratio mix
+/// through SplitMix64). The batch Paillier APIs seed stream k of a batch
+/// with derive_seed(batch_seed, k), which is what makes their output
+/// independent of thread count; stats::derive_seed forwards here so
+/// client-level and slot-level streams share one convention.
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream);
 
 /// Uniform integer in [0, 2^bits). Consumes ceil(bits / 64) generator words;
 /// the first word drawn becomes the most significant limb (excess high bits

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dubhe::core {
+
+/// Shared parallel runtime for the crypto stack.
+///
+/// One process-wide worker pool (lazily created, sized to the hardware)
+/// replaces the per-call pools the Paillier layer and `core/secure` used to
+/// spin up. The only primitive is `parallel_for(n, threads, fn)`:
+/// work-stealing-free, deterministic contiguous partitioning — shard t of T
+/// covers [t*n/T, (t+1)*n/T) — so the set of indices each logical shard
+/// executes depends only on (n, T), never on scheduling. Because every fn(i)
+/// owns index i exclusively (batch crypto derives an independent RNG stream
+/// per item), the results are byte-identical for any thread count.
+class ParallelRuntime {
+ public:
+  /// The process-wide pool, created on first use with one worker per
+  /// hardware thread (at least 1).
+  static ParallelRuntime& instance();
+
+  ~ParallelRuntime();
+  ParallelRuntime(const ParallelRuntime&) = delete;
+  ParallelRuntime& operator=(const ParallelRuntime&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return worker_count_; }
+
+  /// Runs fn(i) for every i in [0, n). `threads` caps the shard count for
+  /// this call: 1 (or n <= 1) runs inline on the caller with no pool
+  /// traffic, 0 means "all workers"; shards are further clamped to the
+  /// worker count + 1. The caller executes shard 0 itself; calls nested
+  /// inside a worker run inline, so fn may itself call parallel_for
+  /// without deadlocking. Exceptions from fn: on the pooled path every
+  /// shard runs to completion and the first exception is then rethrown on
+  /// the caller; on the inline paths (threads == 1, n <= 1, nested in a
+  /// worker) the throw propagates immediately, skipping remaining indices
+  /// — ordinary serial-loop semantics.
+  void parallel_for(std::size_t n, std::size_t threads,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  explicit ParallelRuntime(std::size_t workers);
+  void worker_loop();
+
+  struct Impl;
+  Impl* impl_;
+  std::size_t worker_count_ = 0;
+};
+
+/// Convenience: ParallelRuntime::instance().parallel_for(n, threads, fn).
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace dubhe::core

@@ -4,8 +4,8 @@
 #include <string>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "stats/rng.hpp"
-#include "tensor/threadpool.hpp"
 
 namespace dubhe::core {
 
@@ -53,6 +53,7 @@ SecureSelectionSession::SecureSelectionSession(const RegistryCodec& codec,
   }
   const auto t0 = Clock::now();
   keypair_ = he::Keypair::generate(rng_, cfg_.key_bits);
+  if (cfg_.use_fixed_base) keypair_.pub.precompute_noise(rng_);
   timings_.keygen_seconds += seconds_since(t0);
   session_seed_ = rng_.next_u64();
   if (channel_ != nullptr) {
@@ -95,28 +96,27 @@ SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registra
   const std::size_t N = dists.size();
   const std::size_t wire_bytes = encrypted_registry_bytes();
 
-  // Client-side encryption. Every client uses its own seed-derived
-  // randomness, so running this serially or across threads (the deployment
-  // reality: clients are separate machines) yields identical ciphertexts.
-  // encrypt_seconds accumulates the *summed client-side* cost.
+  // Client-side encryption over the shared core::ParallelRuntime
+  // (cfg_.encrypt_threads shards, no private pool). Every client uses its
+  // own seed-derived randomness, so running this serially or across threads
+  // (the deployment reality: clients are separate machines) yields
+  // identical ciphertexts. encrypt_seconds accumulates the *summed
+  // client-side* cost.
   std::vector<double> durations(N, 0.0);
+  // Pre-runtime configs treated encrypt_threads <= 1 as serial; keep that
+  // (the runtime itself reads 0 as "all workers").
+  const std::size_t encrypt_shards = cfg_.encrypt_threads == 0 ? 1 : cfg_.encrypt_threads;
   if (cfg_.use_packing) {
     require_slot_capacity(cfg_.packing_slot_bits, num_clients_, "registry counts");
     const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
     std::vector<he::PackedEncryptedVector> cts(N);
-    const auto encrypt_one = [&](std::size_t k) {
+    parallel_for(N, encrypt_shards, [&](std::size_t k) {
       bigint::Xoshiro256ss client_rng(stats::derive_seed(session_seed_, k));
-      const auto t0 = Clock::now();
+      const auto tk = Clock::now();
       cts[k] = he::PackedEncryptedVector::encrypt(
           keypair_.pub, packed, to_onehot(codec_, out.registrations[k]), client_rng);
-      durations[k] = seconds_since(t0);
-    };
-    if (cfg_.encrypt_threads > 1) {
-      tensor::ThreadPool pool(cfg_.encrypt_threads);
-      pool.parallel_for(N, encrypt_one);
-    } else {
-      for (std::size_t k = 0; k < N; ++k) encrypt_one(k);
-    }
+      durations[k] = seconds_since(tk);
+    });
     he::PackedEncryptedVector sum = std::move(cts[0]);
     for (std::size_t k = 1; k < N; ++k) sum += cts[k];  // server side
     const auto t0 = Clock::now();
@@ -125,19 +125,13 @@ SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registra
     ++timings_.vectors_decrypted;
   } else {
     std::vector<he::EncryptedVector> cts(N);
-    const auto encrypt_one = [&](std::size_t k) {
+    parallel_for(N, encrypt_shards, [&](std::size_t k) {
       bigint::Xoshiro256ss client_rng(stats::derive_seed(session_seed_, k));
-      const auto t0 = Clock::now();
+      const auto tk = Clock::now();
       cts[k] = he::EncryptedVector::encrypt(
           keypair_.pub, to_onehot(codec_, out.registrations[k]), client_rng);
-      durations[k] = seconds_since(t0);
-    };
-    if (cfg_.encrypt_threads > 1) {
-      tensor::ThreadPool pool(cfg_.encrypt_threads);
-      pool.parallel_for(N, encrypt_one);
-    } else {
-      for (std::size_t k = 0; k < N; ++k) encrypt_one(k);
-    }
+      durations[k] = seconds_since(tk);
+    });
     he::EncryptedVector sum = std::move(cts[0]);
     for (std::size_t k = 1; k < N; ++k) sum += cts[k];  // server side
     const auto t0 = Clock::now();

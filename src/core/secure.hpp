@@ -25,12 +25,24 @@ struct SecureConfig {
   std::size_t packing_slot_bits = 20;
   /// Fixed-point scale for encrypting real-valued label distributions.
   std::uint64_t fixed_point_scale = 1'000'000;
-  /// Worker threads for the registration encryption. Encryption happens on
-  /// the clients, which are independent machines in deployment (paper §6.4:
-  /// "the encryption is operated in parallel on clients"); > 1 simulates
-  /// that. Results are identical for any thread count: every client
-  /// encrypts under its own seed-derived randomness.
+  /// Shard cap forwarded to the shared core::ParallelRuntime for the
+  /// registration encryption (no private pool is created). Encryption
+  /// happens on the clients, which are independent machines in deployment
+  /// (paper §6.4: "the encryption is operated in parallel on clients");
+  /// > 1 simulates that. <= 1 stays serial, exactly as before the shared
+  /// runtime. Results are identical for any value: every client encrypts
+  /// under its own seed-derived randomness (and each slot under a per-slot
+  /// derived stream — see he::BatchOptions).
   std::size_t encrypt_threads = 1;
+  /// Build the session key's fixed-base noise table
+  /// (he::PublicKey::precompute_noise) right after keygen, making every
+  /// encryption in the session ~10x cheaper at 2048-bit keys. Off by
+  /// default because it also changes the noise model — uniform r^n becomes
+  /// DJN-style (h^n)^x, a statistical→computational randomization trade —
+  /// and that should be an explicit opt-in, not a silent default.
+  /// Deterministic given the session RNG; thread-count invariance holds
+  /// either way.
+  bool use_fixed_base = false;
 };
 
 /// Accumulated wall-clock spent inside cryptographic primitives.

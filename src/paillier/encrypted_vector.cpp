@@ -9,7 +9,25 @@ EncryptedVector::EncryptedVector(PublicKey pk, std::vector<Ciphertext> slots)
 
 EncryptedVector EncryptedVector::encrypt(const PublicKey& pk,
                                          std::span<const std::uint64_t> values,
-                                         bigint::EntropySource& rng) {
+                                         bigint::EntropySource& rng,
+                                         const BatchOptions& opt) {
+  std::vector<BigUint> ms;
+  std::vector<PublicKey::StreamState> states;
+  ms.reserve(values.size());
+  states.reserve(values.size());
+  // A full 256-bit stream state drawn per slot (serially, so the draw order
+  // is fixed): slot randomizations stay independently seeded at the
+  // generator's native width even when the source is real entropy.
+  for (const std::uint64_t v : values) {
+    ms.emplace_back(v);
+    states.push_back({rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()});
+  }
+  return EncryptedVector(pk, pk.encrypt_batch(ms, states, opt));
+}
+
+EncryptedVector EncryptedVector::encrypt_direct(const PublicKey& pk,
+                                                std::span<const std::uint64_t> values,
+                                                bigint::EntropySource& rng) {
   std::vector<Ciphertext> slots;
   slots.reserve(values.size());
   for (const std::uint64_t v : values) {
@@ -36,12 +54,12 @@ EncryptedVector& EncryptedVector::operator+=(const EncryptedVector& o) {
   return *this;
 }
 
-std::vector<std::uint64_t> EncryptedVector::decrypt(const PrivateKey& prv) const {
+std::vector<std::uint64_t> EncryptedVector::decrypt(const PrivateKey& prv,
+                                                    const BatchOptions& opt) const {
+  const std::vector<BigUint> ms = prv.decrypt_batch(slots_, opt);
   std::vector<std::uint64_t> out;
-  out.reserve(slots_.size());
-  for (const Ciphertext& ct : slots_) {
-    out.push_back(prv.decrypt(ct).to_u64());
-  }
+  out.reserve(ms.size());
+  for (const BigUint& m : ms) out.push_back(m.to_u64());
   return out;
 }
 

@@ -59,14 +59,31 @@ std::vector<std::uint64_t> PackedCodec::decode(std::span<const BigUint> plaintex
 
 PackedEncryptedVector PackedEncryptedVector::encrypt(
     const PublicKey& pk, const PackedCodec& codec,
+    std::span<const std::uint64_t> values, bigint::EntropySource& rng,
+    const BatchOptions& opt) {
+  PackedEncryptedVector v;
+  v.pk_ = pk;
+  v.codec_ = codec;
+  v.count_ = values.size();
+  const std::vector<BigUint> pts = codec.encode(values);
+  std::vector<PublicKey::StreamState> states(pts.size());
+  for (auto& s : states) {  // a full 256-bit stream state per ciphertext
+    s = {rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
+  }
+  v.cts_ = pk.encrypt_batch(pts, states, opt);
+  return v;
+}
+
+PackedEncryptedVector PackedEncryptedVector::encrypt_direct(
+    const PublicKey& pk, const PackedCodec& codec,
     std::span<const std::uint64_t> values, bigint::EntropySource& rng) {
   PackedEncryptedVector v;
   v.pk_ = pk;
   v.codec_ = codec;
   v.count_ = values.size();
-  for (const BigUint& pt : codec.encode(values)) {
-    v.cts_.push_back(pk.encrypt(pt, rng));
-  }
+  const std::vector<BigUint> pts = codec.encode(values);
+  v.cts_.reserve(pts.size());
+  for (const BigUint& pt : pts) v.cts_.push_back(pk.encrypt(pt, rng));
   return v;
 }
 
@@ -80,11 +97,9 @@ PackedEncryptedVector& PackedEncryptedVector::operator+=(const PackedEncryptedVe
   return *this;
 }
 
-std::vector<std::uint64_t> PackedEncryptedVector::decrypt(const PrivateKey& prv) const {
-  std::vector<BigUint> pts;
-  pts.reserve(cts_.size());
-  for (const Ciphertext& ct : cts_) pts.push_back(prv.decrypt(ct));
-  return codec_.decode(pts, count_);
+std::vector<std::uint64_t> PackedEncryptedVector::decrypt(
+    const PrivateKey& prv, const BatchOptions& opt) const {
+  return codec_.decode(prv.decrypt_batch(cts_, opt), count_);
 }
 
 std::size_t PackedEncryptedVector::byte_size() const {

@@ -49,13 +49,24 @@ class PackedEncryptedVector {
  public:
   PackedEncryptedVector() = default;
 
+  /// Packs and encrypts via PublicKey::encrypt_batch; like
+  /// EncryptedVector::encrypt, the ciphertexts are byte-identical for any
+  /// opt.threads.
   static PackedEncryptedVector encrypt(const PublicKey& pk, const PackedCodec& codec,
                                        std::span<const std::uint64_t> values,
-                                       bigint::EntropySource& rng);
+                                       bigint::EntropySource& rng,
+                                       const BatchOptions& opt = {});
+  /// Serial full-entropy variant mirroring EncryptedVector::encrypt_direct:
+  /// each packed ciphertext draws its randomization directly from `rng`.
+  static PackedEncryptedVector encrypt_direct(const PublicKey& pk,
+                                              const PackedCodec& codec,
+                                              std::span<const std::uint64_t> values,
+                                              bigint::EntropySource& rng);
 
   PackedEncryptedVector& operator+=(const PackedEncryptedVector& o);
 
-  [[nodiscard]] std::vector<std::uint64_t> decrypt(const PrivateKey& prv) const;
+  [[nodiscard]] std::vector<std::uint64_t> decrypt(const PrivateKey& prv,
+                                                   const BatchOptions& opt = {}) const;
 
   [[nodiscard]] std::size_t logical_size() const { return count_; }
   [[nodiscard]] std::size_t ciphertext_count() const { return cts_.size(); }

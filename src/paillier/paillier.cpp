@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bigint/prime.hpp"
+#include "core/parallel.hpp"
 
 namespace dubhe::he {
 
@@ -29,12 +30,70 @@ Ciphertext PublicKey::encrypt(const BigUint& m, bigint::EntropySource& rng) cons
 }
 
 Ciphertext PublicKey::rerandomize(const Ciphertext& a, bigint::EntropySource& rng) const {
-  BigUint r;
-  do {
-    r = bigint::random_below(rng, n_);
-  } while (r.is_zero() || !BigUint::gcd(r, n_).is_one());
-  const BigUint rn = mont_n2_->pow(r, n_);
+  BigUint rn;
+  if (noise_table_ != nullptr) {
+    // Fixed-base path: noise = (h^n)^x, one table product per 4 bits of x.
+    BigUint x;
+    do {
+      x = bigint::random_bits(rng, noise_bits_);
+    } while (x.is_zero());
+    rn = noise_table_->pow(x);
+  } else {
+    BigUint r;
+    do {
+      r = bigint::random_below(rng, n_);
+    } while (r.is_zero() || !BigUint::gcd(r, n_).is_one());
+    rn = mont_n2_->pow(r, n_);
+  }
   return Ciphertext{a.c.mul_mod(rn, n_sq_)};
+}
+
+void PublicKey::precompute_noise(bigint::EntropySource& rng, std::size_t noise_bits) {
+  if (n_.is_zero()) throw std::logic_error("Paillier: empty public key");
+  noise_bits_ = noise_bits == 0 ? key_bits() / 2 : noise_bits;
+  BigUint h;
+  do {
+    h = bigint::random_below(rng, n_sq_);
+  } while (h.is_zero() || h.is_one() || !BigUint::gcd(h, n_).is_one());
+  const BigUint hn = mont_n2_->pow(h, n_);
+  noise_table_ =
+      std::make_shared<bigint::FixedBaseTable>(mont_n2_, hn, noise_bits_);
+}
+
+std::vector<Ciphertext> PublicKey::encrypt_batch(std::span<const BigUint> ms,
+                                                 std::span<const StreamState> states,
+                                                 const BatchOptions& opt) const {
+  if (states.size() != ms.size()) {
+    throw std::invalid_argument("encrypt_batch: one stream state per message required");
+  }
+  std::vector<Ciphertext> out(ms.size());
+  core::parallel_for(ms.size(), opt.threads, [&](std::size_t i) {
+    bigint::Xoshiro256ss stream(states[i]);
+    out[i] = encrypt(ms[i], stream);
+  });
+  return out;
+}
+
+std::vector<Ciphertext> PublicKey::encrypt_batch(std::span<const BigUint> ms,
+                                                 std::uint64_t seed,
+                                                 const BatchOptions& opt) const {
+  std::vector<Ciphertext> out(ms.size());
+  core::parallel_for(ms.size(), opt.threads, [&](std::size_t i) {
+    bigint::Xoshiro256ss stream(bigint::derive_seed(seed, i));
+    out[i] = encrypt(ms[i], stream);
+  });
+  return out;
+}
+
+std::vector<Ciphertext> PublicKey::rerandomize_batch(std::span<const Ciphertext> cts,
+                                                     std::uint64_t seed,
+                                                     const BatchOptions& opt) const {
+  std::vector<Ciphertext> out(cts.size());
+  core::parallel_for(cts.size(), opt.threads, [&](std::size_t i) {
+    bigint::Xoshiro256ss stream(bigint::derive_seed(seed, i));
+    out[i] = rerandomize(cts[i], stream);
+  });
+  return out;
 }
 
 Ciphertext PublicKey::add(const Ciphertext& a, const Ciphertext& b) const {
@@ -99,6 +158,14 @@ BigUint PrivateKey::decrypt(const Ciphertext& ct) const {
   }
   const BigUint t = diff.mul_mod(q_inv_p_, p_);
   return mq + q_ * t;
+}
+
+std::vector<BigUint> PrivateKey::decrypt_batch(std::span<const Ciphertext> cts,
+                                               const BatchOptions& opt) const {
+  std::vector<BigUint> out(cts.size());
+  core::parallel_for(cts.size(), opt.threads,
+                     [&](std::size_t i) { out[i] = decrypt(cts[i]); });
+  return out;
 }
 
 BigUint PrivateKey::decrypt_textbook(const Ciphertext& ct) const {

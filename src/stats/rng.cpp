@@ -58,8 +58,7 @@ std::vector<std::size_t> Rng::choose_k_of_n(std::size_t k, std::size_t n) {
 }
 
 std::uint64_t derive_seed(std::uint64_t master, std::uint64_t stream) {
-  bigint::SplitMix64 sm(master ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
-  return sm.next_u64();
+  return bigint::derive_seed(master, stream);
 }
 
 }  // namespace dubhe::stats

@@ -1,10 +1,21 @@
 #!/usr/bin/env sh
 # Tier-1 verification: configure + build + ctest in Release, then repeat
-# under ASan/UBSan to catch carry-propagation UB in the bigint kernels.
-# Usage: tools/ci.sh [extra cmake args...]
+# under ASan/UBSan to catch carry-propagation UB and lifetime bugs in the
+# bigint kernels and the shared core::ParallelRuntime pool. Data races are
+# a separate tool's job: a final ThreadSanitizer pass builds just the
+# thread-invariance suite (test_parallel_crypto) under the `tsan` preset
+# and runs it, so a racy edit to the pool fails loudly.
+# Usage: tools/ci.sh [--quick] [extra cmake args...]
+#   --quick: run only the fast suites (ctest label `tier1`) in each preset.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+CTEST_ARGS="--no-tests=error"
+if [ "${1:-}" = "--quick" ]; then
+  CTEST_ARGS="-L tier1 --no-tests=error"
+  shift
+fi
 
 run_preset() {
   preset="$1"
@@ -14,10 +25,16 @@ run_preset() {
   echo "== build ($preset) =="
   cmake --build --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
   echo "== ctest ($preset) =="
-  ctest --preset "$preset" -j "$(nproc 2>/dev/null || echo 4)"
+  # shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+  ctest --preset "$preset" $CTEST_ARGS -j "$(nproc 2>/dev/null || echo 4)"
 }
 
 run_preset release "$@"
 run_preset asan "$@"
+
+echo "== thread-invariance under TSan =="
+cmake --preset tsan "$@"
+cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)" --target test_parallel_crypto
+ctest --preset tsan -R test_parallel_crypto --no-tests=error
 
 echo "CI OK"
