@@ -6,13 +6,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string_view>
+
+#include "core/parallel.hpp"
 #include "core/selection.hpp"
 #include "data/federated.hpp"
 #include "fl/client.hpp"
 #include "nn/builders.hpp"
 #include "nn/loss.hpp"
 #include "stats/rng.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 
 using namespace dubhe;
 
@@ -145,6 +153,95 @@ void BM_DubheSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_DubheSelection)->Arg(1000)->Arg(8962)->Unit(benchmark::kMillisecond);
 
+/// Median-free quick timer (same contract as micro_crypto's): runs fn until
+/// half a second has elapsed and reports seconds per call.
+double time_op(const std::function<void()>& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup (also primes the packing buffers / workspace)
+  const auto t0 = Clock::now();
+  std::size_t iters = 0;
+  double elapsed = 0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  } while (elapsed < 0.5);
+  return elapsed / static_cast<double>(iters);
+}
+
+/// Headline compute-backend table mirroring micro_crypto's batch table:
+/// GEMM / CNN step / full client round, scalar versus SIMD microkernel, at
+/// 1/2/4/8 compute threads on the shared runtime. This is the table
+/// CHANGES.md records as the training-side perf baseline across PRs.
+void print_compute_table() {
+  constexpr std::size_t kGemmN = 256;
+  const tensor::Tensor ga = random_tensor({kGemmN, kGemmN}, 21);
+  const tensor::Tensor gb = random_tensor({kGemmN, kGemmN}, 22);
+  const double gemm_flops = 2.0 * static_cast<double>(kGemmN * kGemmN * kGemmN);
+
+  nn::Sequential cnn = nn::make_cnn(8, 10, 3);
+  const tensor::Tensor cx = random_tensor({8, 1, 8, 8}, 23);
+  const std::vector<std::size_t> cy{0, 1, 2, 3, 4, 5, 6, 7};
+
+  const auto& ds = bench_dataset();
+  const auto samples = ds.client_samples(0);
+  const fl::Client client(0, {samples.begin(), samples.end()}, &ds);
+  const nn::Sequential proto = nn::make_mlp(ds.feature_dim(), 64, 10, 3);
+  const auto w = proto.get_weights();
+  const fl::TrainConfig cfg{.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+
+  std::printf("== compute backend throughput (gemm %zux%zu, cnn batch 8) ==\n", kGemmN,
+              kGemmN);
+  std::printf("%-26s %-8s %8s %12s %12s\n", "kernel", "backend", "threads", "ms/op",
+              "GFLOP/s");
+  const bool prev_simd = tensor::simd_enabled();
+  const std::size_t prev_threads = tensor::set_compute_threads(0);
+  std::uint64_t round_seed = 0;
+  for (const bool simd : {false, true}) {
+    if (simd && !tensor::simd_available()) continue;
+    tensor::set_simd_enabled(simd);
+    const char* backend = tensor::simd_backend_name();
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}}) {
+      tensor::set_compute_threads(threads);
+      const double gemm_sec =
+          time_op([&] { benchmark::DoNotOptimize(tensor::matmul(ga, gb)); });
+      std::printf("%-26s %-8s %8zu %12.3f %12.1f\n", "gemm 256x256x256", backend,
+                  threads, gemm_sec * 1e3, gemm_flops / gemm_sec / 1e9);
+      const double cnn_sec = time_op([&] {
+        const auto loss = nn::softmax_cross_entropy(cnn.forward(cx), cy);
+        cnn.backward(loss.grad);
+        benchmark::DoNotOptimize(loss.loss);
+      });
+      std::printf("%-26s %-8s %8zu %12.3f %12s\n", "cnn fwd+bwd (batch 8)", backend,
+                  threads, cnn_sec * 1e3, "-");
+      const double round_sec = time_op([&] {
+        benchmark::DoNotOptimize(client.train(proto, w, cfg, ++round_seed));
+      });
+      std::printf("%-26s %-8s %8zu %12.3f %12s\n", "client local round", backend,
+                  threads, round_sec * 1e3, "-");
+    }
+  }
+  tensor::set_simd_enabled(prev_simd);
+  tensor::set_compute_threads(prev_threads);
+  std::printf("(runtime workers: %zu, simd compiled: %s)\n\n",
+              core::ParallelRuntime::instance().worker_count(),
+              tensor::simd_available() ? "avx2" : "no");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Skip the headline table when iterating on one filtered benchmark, same
+  // convention as micro_crypto.
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) filtered = true;
+  }
+  if (!filtered) print_compute_table();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

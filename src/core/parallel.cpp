@@ -12,9 +12,19 @@ namespace dubhe::core {
 
 namespace {
 
-/// Set inside pool workers so nested parallel_for calls degrade to inline
-/// execution instead of blocking a worker on work only workers can run.
+/// Set inside pool workers — and on the caller while it executes its own
+/// shards of a parallel_for — so nested parallel_for calls degrade to
+/// inline execution instead of enqueuing work behind the very shards that
+/// are blocking the pool (a caller-side nested call would otherwise wait
+/// for a worker to free up while every worker runs a long sibling shard).
 thread_local bool t_in_worker = false;
+
+/// RAII flag set for the duration of shard execution on the caller.
+struct InParallelRegion {
+  bool prev;
+  InParallelRegion() : prev(t_in_worker) { t_in_worker = true; }
+  ~InParallelRegion() { t_in_worker = prev; }
+};
 
 }  // namespace
 
@@ -126,8 +136,14 @@ void ParallelRuntime::parallel_for(std::size_t n, std::size_t threads,
     state.pending -= shards - 1 - queued;
   }
 
-  run_shard(0);  // the caller takes the first contiguous block
-  for (std::size_t t = queued + 1; t < shards; ++t) run_shard(t);  // unqueued
+  {
+    // The caller's shards count as being inside the parallel region:
+    // parallel_for calls nested under them run inline, exactly as they
+    // would on a worker.
+    const InParallelRegion guard;
+    run_shard(0);  // the caller takes the first contiguous block
+    for (std::size_t t = queued + 1; t < shards; ++t) run_shard(t);  // unqueued
+  }
   {
     std::unique_lock lock(state.mu);
     state.cv_done.wait(lock, [&state] { return state.pending == 0; });

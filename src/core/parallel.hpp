@@ -31,8 +31,10 @@ class ParallelRuntime {
   /// this call: 1 (or n <= 1) runs inline on the caller with no pool
   /// traffic, 0 means "all workers"; shards are further clamped to the
   /// worker count + 1. The caller executes shard 0 itself; calls nested
-  /// inside a worker run inline, so fn may itself call parallel_for
-  /// without deadlocking. Exceptions from fn: on the pooled path every
+  /// inside a worker — or inside the caller's own shard — run inline, so
+  /// fn may itself call parallel_for without deadlocking and without
+  /// queueing behind the sibling shards that occupy the workers.
+  /// Exceptions from fn: on the pooled path every
   /// shard runs to completion and the first exception is then rethrown on
   /// the caller; on the inline paths (threads == 1, n <= 1, nested in a
   /// worker) the throw propagates immediately, skipping remaining indices

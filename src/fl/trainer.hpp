@@ -7,7 +7,6 @@
 #include "fl/channel.hpp"
 #include "fl/client.hpp"
 #include "fl/server.hpp"
-#include "tensor/threadpool.hpp"
 
 namespace dubhe::fl {
 
@@ -22,11 +21,14 @@ struct RoundResult {
 };
 
 /// Glue that runs FL rounds: materializes one Client per dataset client,
-/// trains the selected subset concurrently on a thread pool (the paper runs
-/// participants as parallel processes), aggregates with equal weights, and
-/// accounts the model traffic on the channel.
+/// trains the selected subset concurrently on the shared
+/// core::ParallelRuntime pool (the paper runs participants as parallel
+/// processes), aggregates with equal weights, and accounts the model
+/// traffic on the channel.
 class FederatedTrainer {
  public:
+  /// `threads` caps the shards per round handed to the shared runtime:
+  /// 0 uses every worker, 1 trains clients serially on the caller.
   FederatedTrainer(const data::FederatedDataset& dataset, nn::Sequential prototype,
                    TrainConfig cfg, std::size_t threads = 0,
                    ChannelAccountant* channel = nullptr);
@@ -46,7 +48,7 @@ class FederatedTrainer {
   TrainConfig cfg_;
   Server server_;
   std::vector<Client> clients_;
-  tensor::ThreadPool pool_;
+  std::size_t threads_;
   ChannelAccountant* channel_;
 };
 

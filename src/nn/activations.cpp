@@ -4,14 +4,19 @@
 
 namespace dubhe::nn {
 
+// Workspace slot 0 holds the 0/1 mask, written by forward and reread by
+// backward, so repeated steps reuse one allocation.
+
 Tensor ReLU::forward(const Tensor& x) {
   Tensor y = x;
-  mask_ = tensor::relu_inplace(y);
+  tensor::relu_inplace(y, scratch().peek(this, 0));
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  return tensor::relu_backward(grad_out, mask_);
+  Tensor g = grad_out;
+  tensor::relu_backward_inplace(g, scratch().peek(this, 0));
+  return g;
 }
 
 }  // namespace dubhe::nn

@@ -13,9 +13,6 @@ class ReLU final : public Layer {
   [[nodiscard]] std::unique_ptr<Layer> clone() const override {
     return std::make_unique<ReLU>(*this);
   }
-
- private:
-  Tensor mask_;
 };
 
 }  // namespace dubhe::nn

@@ -1,26 +1,34 @@
 #include "nn/conv.hpp"
-#include <algorithm>
 
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "stats/rng.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace dubhe::nn {
 
 namespace {
 
-/// im2col for stride-1 convolution: returns [B*OH*OW, C*K*K].
-Tensor im2col(const Tensor& x, std::size_t k, std::size_t pad) {
+/// Shard count for the im2col/col2im loops: one shard per batch image —
+/// images touch disjoint input/column rows, so any shard count produces
+/// identical results — serial below the same work cutoff the GEMM uses.
+std::size_t conv_threads(std::size_t work) {
+  return work >= tensor::kParallelFlopCutoff ? tensor::compute_threads() : 1;
+}
+
+/// im2col for stride-1 convolution into `cols` ([B*OH*OW, C*K*K],
+/// pre-sized). Every element, including zero padding, is written.
+void im2col(const Tensor& x, std::size_t k, std::size_t pad, Tensor& cols) {
   const std::size_t B = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
   const std::size_t OH = H + 2 * pad - k + 1, OW = W + 2 * pad - k + 1;
-  Tensor cols{{B * OH * OW, C * k * k}};
   const float* in = x.data();
   float* out = cols.data();
   const std::size_t row_len = C * k * k;
-  for (std::size_t b = 0; b < B; ++b) {
+  core::parallel_for(B, conv_threads(B * OH * OW * row_len), [&](std::size_t b) {
     for (std::size_t oh = 0; oh < OH; ++oh) {
       for (std::size_t ow = 0; ow < OW; ++ow) {
         float* row = out + ((b * OH + oh) * OW + ow) * row_len;
@@ -43,8 +51,7 @@ Tensor im2col(const Tensor& x, std::size_t k, std::size_t pad) {
         }
       }
     }
-  }
-  return cols;
+  });
 }
 
 /// Scatter-accumulate of column gradients back to the input layout.
@@ -56,7 +63,7 @@ Tensor col2im(const Tensor& dcols, const std::vector<std::size_t>& x_shape,
   float* out = dx.data();
   const float* in = dcols.data();
   const std::size_t row_len = C * k * k;
-  for (std::size_t b = 0; b < B; ++b) {
+  core::parallel_for(B, conv_threads(B * OH * OW * row_len), [&](std::size_t b) {
     for (std::size_t oh = 0; oh < OH; ++oh) {
       for (std::size_t ow = 0; ow < OW; ++ow) {
         const float* row = in + ((b * OH + oh) * OW + ow) * row_len;
@@ -76,7 +83,7 @@ Tensor col2im(const Tensor& dcols, const std::vector<std::size_t>& x_shape,
         }
       }
     }
-  }
+  });
   return dx;
 }
 
@@ -99,12 +106,11 @@ Tensor rows_to_nchw(const Tensor& mat, std::size_t B, std::size_t cout, std::siz
   return out;
 }
 
-/// [B, cout, OH, OW] -> [B*OH*OW, cout].
-Tensor nchw_to_rows(const Tensor& x) {
+/// [B, cout, OH, OW] -> [B*OH*OW, cout] into `rows` (pre-sized).
+void nchw_to_rows(const Tensor& x, Tensor& rows) {
   const std::size_t B = x.dim(0), cout = x.dim(1), OH = x.dim(2), OW = x.dim(3);
-  Tensor out{{B * OH * OW, cout}};
   const float* in = x.data();
-  float* o = out.data();
+  float* o = rows.data();
   for (std::size_t b = 0; b < B; ++b) {
     for (std::size_t co = 0; co < cout; ++co) {
       for (std::size_t oh = 0; oh < OH; ++oh) {
@@ -115,7 +121,6 @@ Tensor nchw_to_rows(const Tensor& x) {
       }
     }
   }
-  return out;
 }
 
 }  // namespace
@@ -135,30 +140,47 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t ke
   }
 }
 
+// Workspace slots: 0 = im2col columns (forward, reread by backward),
+// 1 = forward output rows, 2 = gradient rows, 3 = column gradients.
+
 Tensor Conv2d::forward(const Tensor& x) {
   if (x.rank() != 4 || x.dim(1) != cin_) throw std::invalid_argument("Conv2d: bad input");
   const std::size_t B = x.dim(0), OH = out_spatial(x.dim(2)), OW = out_spatial(x.dim(3));
+  const std::size_t ckk = cin_ * k_ * k_;
+  const std::size_t rows = B * OH * OW;
   last_shape_ = x.shape();
-  last_cols_ = im2col(x, k_, pad_);
 
-  Tensor w_mat{{cout_, cin_ * k_ * k_}};
-  std::copy_n(params_.data(), w_mat.size(), w_mat.data());
-  Tensor out_mat = tensor::matmul(last_cols_, w_mat, false, /*transpose_b=*/true);
-  tensor::add_bias_rows(out_mat, {params_.data() + w_mat.size(), cout_});
+  Tensor& cols = scratch().get(this, 0, {rows, ckk});
+  im2col(x, k_, pad_, cols);
+
+  // out = cols @ W^T + bias, with W read in place from params_ ([cout, ckk]
+  // row-major) and the bias add fused into the GEMM epilogue.
+  Tensor& out_mat = scratch().get(this, 1, {rows, cout_});
+  tensor::gemm(rows, cout_, ckk, cols.data(), ckk, false, params_.data(), ckk,
+               /*tb=*/true, out_mat.data(), /*bias=*/params_.data() + cout_ * ckk);
   return rows_to_nchw(out_mat, B, cout_, OH, OW);
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  const Tensor g = nchw_to_rows(grad_out);  // [B*OH*OW, cout]
-  const std::size_t wsize = cout_ * cin_ * k_ * k_;
+  const std::size_t ckk = cin_ * k_ * k_;
+  const std::size_t wsize = cout_ * ckk;
+  const std::size_t rows = grad_out.size() / cout_;
 
-  const Tensor dw = tensor::matmul(g, last_cols_, /*transpose_a=*/true);  // [cout, cin k k]
-  std::copy_n(dw.data(), wsize, grads_.data());
+  Tensor& g = scratch().get(this, 2, {rows, cout_});  // [B*OH*OW, cout]
+  nchw_to_rows(grad_out, g);
+
+  // dW = g^T cols, straight into the grads_ weight block; db = column sums.
+  const Tensor& cols = scratch().peek(this, 0);
+  if (cols.rank() != 2 || cols.dim(0) != rows || cols.dim(1) != ckk) {
+    throw std::invalid_argument("Conv2d: backward without matching forward");
+  }
+  tensor::gemm(cout_, ckk, rows, g.data(), cout_, /*ta=*/true, cols.data(), ckk,
+               false, grads_.data());
   tensor::sum_rows(g, {grads_.data() + wsize, cout_});
 
-  Tensor w_mat{{cout_, cin_ * k_ * k_}};
-  std::copy_n(params_.data(), wsize, w_mat.data());
-  const Tensor dcols = tensor::matmul(g, w_mat);  // [B*OH*OW, cin k k]
+  Tensor& dcols = scratch().get(this, 3, {rows, ckk});  // [B*OH*OW, cin k k]
+  tensor::gemm(rows, ckk, cout_, g.data(), cout_, false, params_.data(), ckk, false,
+               dcols.data());
   return col2im(dcols, last_shape_, k_, pad_);
 }
 

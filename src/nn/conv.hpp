@@ -32,8 +32,7 @@ class Conv2d final : public Layer {
 
   std::size_t cin_, cout_, k_, pad_;
   std::vector<float> params_, grads_;  // kernel then bias(cout)
-  Tensor last_cols_;                   // im2col matrix cached for backward
-  std::vector<std::size_t> last_shape_;
+  std::vector<std::size_t> last_shape_;  // im2col columns live in the workspace
 };
 
 /// 2x2 max pooling, stride 2. Input [batch, C, H, W] with even H and W.

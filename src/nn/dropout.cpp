@@ -12,10 +12,14 @@ Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
 
 Tensor Dropout::forward(const Tensor& x) {
   if (!training_ || rate_ == 0.0) {
-    mask_ = Tensor{};
+    mask_active_ = false;
     return x;
   }
-  mask_ = Tensor::zeros_like(x);
+  // The mask reuses its allocation across steps (also across eval/train
+  // flips — eval only lowers the flag); every element is written
+  // (keep_scale or 0), so no zero-fill is needed after the resize.
+  mask_active_ = true;
+  mask_.resize(x.shape());
   Tensor y = x;
   const auto keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
   float* yd = y.data();
@@ -23,6 +27,7 @@ Tensor Dropout::forward(const Tensor& x) {
   for (std::size_t i = 0; i < y.size(); ++i) {
     if (rng_.uniform() < rate_) {
       yd[i] = 0.0f;
+      md[i] = 0.0f;
     } else {
       yd[i] *= keep_scale;
       md[i] = keep_scale;
@@ -32,7 +37,7 @@ Tensor Dropout::forward(const Tensor& x) {
 }
 
 Tensor Dropout::backward(const Tensor& grad_out) {
-  if (mask_.empty()) return grad_out;  // eval mode or rate 0
+  if (!mask_active_) return grad_out;  // eval mode or rate 0
   if (grad_out.size() != mask_.size()) {
     throw std::invalid_argument("Dropout: grad shape mismatch");
   }

@@ -31,6 +31,7 @@ class Dropout final : public Layer {
  private:
   double rate_;
   bool training_ = true;
+  bool mask_active_ = false;  // false in eval mode; mask_ keeps its storage
   stats::Rng rng_;
   Tensor mask_;
 };

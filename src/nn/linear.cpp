@@ -1,10 +1,10 @@
 #include "nn/linear.hpp"
-#include <algorithm>
 
 #include <cmath>
 #include <stdexcept>
 
 #include "stats/rng.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 
 namespace dubhe::nn {
@@ -24,27 +24,35 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, std::uint64_t 
 
 Tensor Linear::forward(const Tensor& x) {
   if (x.rank() != 2 || x.dim(1) != in_) throw std::invalid_argument("Linear: bad input");
-  last_input_ = x;
-  Tensor w_view{{in_, out_}};
-  std::copy_n(params_.data(), in_ * out_, w_view.data());
-  Tensor y = tensor::matmul(x, w_view);
-  tensor::add_bias_rows(y, {params_.data() + in_ * out_, out_});
+  // The cached input reuses its prior allocation (Tensor copy assignment is
+  // vector-backed); the weight matrix feeds the GEMM straight from params_
+  // ([in][out] row-major) with the bias add fused into the epilogue.
+  Tensor& cached = scratch().peek(this, 0);
+  cached = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y{{batch, out_}};
+  tensor::gemm(batch, out_, in_, x.data(), in_, false, params_.data(), out_, false,
+               y.data(), /*bias=*/params_.data() + in_ * out_);
   return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& cached = scratch().peek(this, 0);
   if (grad_out.rank() != 2 || grad_out.dim(1) != out_ ||
-      grad_out.dim(0) != last_input_.dim(0)) {
+      grad_out.dim(0) != cached.dim(0)) {
     throw std::invalid_argument("Linear: bad grad shape");
   }
-  // dW = x^T grad_out; db = column sums; dx = grad_out W^T.
-  const Tensor dw = tensor::matmul(last_input_, grad_out, /*transpose_a=*/true);
-  std::copy_n(dw.data(), in_ * out_, grads_.data());
+  const std::size_t batch = cached.dim(0);
+  // dW = x^T grad_out, written straight into the grads_ weight block;
+  // db = column sums; dx = grad_out W^T.
+  tensor::gemm(in_, out_, batch, cached.data(), in_, /*ta=*/true, grad_out.data(),
+               out_, false, grads_.data());
   tensor::sum_rows(grad_out, {grads_.data() + in_ * out_, out_});
 
-  Tensor w_view{{in_, out_}};
-  std::copy_n(params_.data(), in_ * out_, w_view.data());
-  return tensor::matmul(grad_out, w_view, /*transpose_a=*/false, /*transpose_b=*/true);
+  Tensor dx{{batch, in_}};
+  tensor::gemm(batch, in_, out_, grad_out.data(), out_, false, params_.data(), out_,
+               /*tb=*/true, dx.data());
+  return dx;
 }
 
 }  // namespace dubhe::nn

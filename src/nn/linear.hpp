@@ -27,12 +27,10 @@ class Linear final : public Layer {
 
  private:
   // params_ layout: W (in*out, row-major [in][out]) followed by b (out).
-  [[nodiscard]] std::span<float> weight() { return {params_.data(), in_ * out_}; }
-  [[nodiscard]] std::span<float> bias() { return {params_.data() + in_ * out_, out_}; }
-
+  // The GEMMs read W in place; the forward input is cached in the
+  // workspace (slot 0) for the backward pass.
   std::size_t in_, out_;
   std::vector<float> params_, grads_;
-  Tensor last_input_;
 };
 
 }  // namespace dubhe::nn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace dubhe::nn {
 
@@ -24,6 +25,11 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
   r.grad = tensor::Tensor{{B, C}};
   const float* in = logits.data();
   float* g = r.grad.data();
+  // Per-row exp scratch, reused across steps. thread_local (rather than a
+  // workspace slot) because the loss is a free function called concurrently
+  // by every client replica on the shared pool; each exp is computed once.
+  thread_local std::vector<double> probs;
+  probs.resize(C);
   std::size_t correct = 0;
   double loss_sum = 0;
   const auto inv_b = static_cast<float>(1.0 / static_cast<double>(B));
@@ -38,13 +44,16 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
       }
     }
     double denom = 0;
-    for (std::size_t c = 0; c < C; ++c) denom += std::exp(static_cast<double>(row[c] - mx));
+    for (std::size_t c = 0; c < C; ++c) {
+      probs[c] = std::exp(static_cast<double>(row[c] - mx));
+      denom += probs[c];
+    }
     const double log_denom = std::log(denom);
     const std::size_t y = labels[i];
     loss_sum += log_denom - static_cast<double>(row[y] - mx);
     if (argmax == y) ++correct;
     for (std::size_t c = 0; c < C; ++c) {
-      const double p = std::exp(static_cast<double>(row[c] - mx)) / denom;
+      const double p = probs[c] / denom;
       g[i * C + c] = static_cast<float>(p - (c == y ? 1.0 : 0.0)) * inv_b;
     }
   }

@@ -7,18 +7,26 @@ namespace dubhe::nn {
 
 Sequential::Sequential(const Sequential& o) {
   layers_.reserve(o.layers_.size());
-  for (const auto& l : o.layers_) layers_.push_back(l->clone());
+  for (const auto& l : o.layers_) {
+    layers_.push_back(l->clone());
+    layers_.back()->attach_workspace(ws_.get());
+  }
 }
 
 Sequential& Sequential::operator=(const Sequential& o) {
   if (this == &o) return *this;
   layers_.clear();
+  ws_ = std::make_unique<Workspace>();  // drop buffers keyed by dead layers
   layers_.reserve(o.layers_.size());
-  for (const auto& l : o.layers_) layers_.push_back(l->clone());
+  for (const auto& l : o.layers_) {
+    layers_.push_back(l->clone());
+    layers_.back()->attach_workspace(ws_.get());
+  }
   return *this;
 }
 
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  layer->attach_workspace(ws_.get());
   layers_.push_back(std::move(layer));
   return *this;
 }

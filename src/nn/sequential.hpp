@@ -42,8 +42,13 @@ class Sequential {
   [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
   [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
+  /// The scratch arena shared by this model's layers (heap-held so the
+  /// address layers bind to survives moves of the Sequential itself).
+  [[nodiscard]] Workspace& workspace() { return *ws_; }
+
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::unique_ptr<Workspace> ws_ = std::make_unique<Workspace>();
 };
 
 }  // namespace dubhe::nn

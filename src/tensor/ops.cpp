@@ -2,49 +2,56 @@
 
 #include <stdexcept>
 
+#include "tensor/gemm.hpp"
+
 namespace dubhe::tensor {
 
-Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b) {
+namespace {
+
+struct GemmShape {
+  std::size_t m, n, k;
+};
+
+GemmShape check_matmul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
   if (a.rank() != 2 || b.rank() != 2) throw std::invalid_argument("matmul: rank != 2");
-  const std::size_t m = transpose_a ? a.dim(1) : a.dim(0);
-  const std::size_t k = transpose_a ? a.dim(0) : a.dim(1);
-  const std::size_t kb = transpose_b ? b.dim(1) : b.dim(0);
-  const std::size_t n = transpose_b ? b.dim(0) : b.dim(1);
+  const std::size_t m = ta ? a.dim(1) : a.dim(0);
+  const std::size_t k = ta ? a.dim(0) : a.dim(1);
+  const std::size_t kb = tb ? b.dim(1) : b.dim(0);
+  const std::size_t n = tb ? b.dim(0) : b.dim(1);
   if (k != kb) throw std::invalid_argument("matmul: inner dimension mismatch");
+  return {m, n, k};
+}
 
-  Tensor c{{m, n}};
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  const std::size_t lda = a.dim(1), ldb = b.dim(1);
+}  // namespace
 
-  // i-k-j loop order keeps the innermost loop contiguous over B and C for
-  // the common non-transposed case.
-  if (!transpose_a && !transpose_b) {
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aik = A[i * lda + kk];
-        if (aik == 0.0f) continue;
-        const float* Brow = B + kk * ldb;
-        float* Crow = C + i * n;
-        for (std::size_t j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
-      }
-    }
-  } else {
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float aik = transpose_a ? A[kk * lda + i] : A[i * lda + kk];
-        if (aik == 0.0f) continue;
-        float* Crow = C + i * n;
-        if (transpose_b) {
-          for (std::size_t j = 0; j < n; ++j) Crow[j] += aik * B[j * ldb + kk];
-        } else {
-          const float* Brow = B + kk * ldb;
-          for (std::size_t j = 0; j < n; ++j) Crow[j] += aik * Brow[j];
-        }
-      }
-    }
+Tensor matmul(const Tensor& a, const Tensor& b, bool transpose_a, bool transpose_b) {
+  const GemmShape s = check_matmul(a, b, transpose_a, transpose_b);
+  Tensor c{{s.m, s.n}};
+  gemm(s.m, s.n, s.k, a.data(), a.dim(1), transpose_a, b.data(), b.dim(1),
+       transpose_b, c.data());
+  return c;
+}
+
+Tensor matmul_bias(const Tensor& a, const Tensor& b, std::span<const float> bias,
+                   bool transpose_a, bool transpose_b) {
+  const GemmShape s = check_matmul(a, b, transpose_a, transpose_b);
+  if (bias.size() != s.n) throw std::invalid_argument("matmul_bias: bias size mismatch");
+  Tensor c{{s.m, s.n}};
+  gemm(s.m, s.n, s.k, a.data(), a.dim(1), transpose_a, b.data(), b.dim(1),
+       transpose_b, c.data(), bias.data());
+  return c;
+}
+
+Tensor matmul_bias_relu(const Tensor& a, const Tensor& b, std::span<const float> bias,
+                        Tensor& relu_mask, bool transpose_a, bool transpose_b) {
+  const GemmShape s = check_matmul(a, b, transpose_a, transpose_b);
+  if (bias.size() != s.n) {
+    throw std::invalid_argument("matmul_bias_relu: bias size mismatch");
   }
+  Tensor c{{s.m, s.n}};
+  relu_mask.resize({s.m, s.n});
+  gemm(s.m, s.n, s.k, a.data(), a.dim(1), transpose_a, b.data(), b.dim(1),
+       transpose_b, c.data(), bias.data(), /*relu=*/true, relu_mask.data());
   return c;
 }
 
@@ -70,7 +77,13 @@ void sum_rows(const Tensor& x, std::span<float> out) {
 }
 
 Tensor relu_inplace(Tensor& x) {
-  Tensor mask = Tensor::zeros_like(x);
+  Tensor mask;
+  relu_inplace(x, mask);
+  return mask;
+}
+
+void relu_inplace(Tensor& x, Tensor& mask) {
+  mask.resize(x.shape());
   float* d = x.data();
   float* m = mask.data();
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -78,20 +91,24 @@ Tensor relu_inplace(Tensor& x) {
       m[i] = 1.0f;
     } else {
       d[i] = 0.0f;
+      m[i] = 0.0f;
     }
   }
-  return mask;
 }
 
 Tensor relu_backward(const Tensor& grad_out, const Tensor& mask) {
-  if (grad_out.size() != mask.size()) {
+  Tensor g = grad_out;
+  relu_backward_inplace(g, mask);
+  return g;
+}
+
+void relu_backward_inplace(Tensor& grad, const Tensor& mask) {
+  if (grad.size() != mask.size()) {
     throw std::invalid_argument("relu_backward: size mismatch");
   }
-  Tensor g = grad_out;
-  float* d = g.data();
+  float* d = grad.data();
   const float* m = mask.data();
-  for (std::size_t i = 0; i < g.size(); ++i) d[i] *= m[i];
-  return g;
+  for (std::size_t i = 0; i < grad.size(); ++i) d[i] *= m[i];
 }
 
 void axpy(Tensor& a, float s, const Tensor& b) {

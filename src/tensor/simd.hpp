@@ -1,0 +1,35 @@
+#pragma once
+
+// Compile-time SIMD dispatch for the compute kernels.
+//
+// The `DUBHE_SIMD` CMake option (ON by default) defines DUBHE_SIMD_ENABLED
+// and, when the compiler accepts them, adds -mavx2 -mfma to the library
+// sources. All vector code lives behind the DUBHE_SIMD_AVX2 gate below so a
+// DUBHE_SIMD=OFF build — or any target without AVX2/FMA — compiles only the
+// portable scalar kernels and produces a binary with no AVX instructions.
+// The same DUBHE_SIMD_ENABLED gate selects the unrolled CIOS inner loop in
+// bigint::Montgomery (plain C unrolling, bit-identical, ISA-independent).
+
+#if defined(DUBHE_SIMD_ENABLED) && defined(__AVX2__) && defined(__FMA__)
+#define DUBHE_SIMD_AVX2 1
+#else
+#define DUBHE_SIMD_AVX2 0
+#endif
+
+namespace dubhe::tensor {
+
+/// True when the AVX2+FMA kernels were compiled into this binary.
+bool simd_available();
+
+/// Runtime kill-switch over the compiled-in kernels, for benches and parity
+/// tests that compare the two backends in one process: set_simd_enabled(false)
+/// forces the scalar microkernel even when AVX2 is built. Enabling is a no-op
+/// when simd_available() is false. Returns the previous setting. Not
+/// synchronized with in-flight kernels — flip it only between operations.
+bool set_simd_enabled(bool on);
+bool simd_enabled();
+
+/// "avx2" or "scalar" — the backend the next kernel call will use.
+const char* simd_backend_name();
+
+}  // namespace dubhe::tensor

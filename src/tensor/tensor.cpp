@@ -38,6 +38,12 @@ Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
   return t;
 }
 
+void Tensor::resize(std::span<const std::size_t> new_shape) {
+  if (new_shape.empty()) throw std::invalid_argument("Tensor::resize: empty shape");
+  shape_.assign(new_shape.begin(), new_shape.end());
+  data_.resize(product(shape_));
+}
+
 void Tensor::fill(float v) {
   for (float& x : data_) x = v;
 }

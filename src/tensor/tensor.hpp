@@ -39,6 +39,15 @@ class Tensor {
   /// Returns a reshaped copy sharing no storage. Product of dims must match.
   [[nodiscard]] Tensor reshaped(std::vector<std::size_t> new_shape) const;
 
+  /// Reshapes in place to an arbitrary new shape, reusing the existing
+  /// allocation when capacity suffices (the workspace-reuse primitive).
+  /// Element values are unspecified afterwards — callers overwrite or
+  /// fill(). Throws std::invalid_argument on an empty shape.
+  void resize(std::span<const std::size_t> new_shape);
+  void resize(std::initializer_list<std::size_t> new_shape) {
+    resize(std::span<const std::size_t>(new_shape.begin(), new_shape.size()));
+  }
+
   void fill(float v);
 
  private:

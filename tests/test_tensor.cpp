@@ -2,12 +2,8 @@
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <numeric>
-
 #include "stats/rng.hpp"
 #include "tensor/ops.hpp"
-#include "tensor/threadpool.hpp"
 
 namespace dubhe::tensor {
 namespace {
@@ -160,38 +156,18 @@ TEST(Ops, Axpy) {
   EXPECT_THROW(axpy(a, 1.0f, c), std::invalid_argument);
 }
 
-TEST(ThreadPool, ParallelForCoversAllIndices) {
-  ThreadPool pool(4);
-  EXPECT_EQ(pool.thread_count(), 4u);
-  std::vector<std::atomic<int>> hits(1000);
-  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
-  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
-}
-
-TEST(ThreadPool, ParallelForEmptyIsNoop) {
-  ThreadPool pool(2);
-  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
-}
-
-TEST(ThreadPool, SubmitAndWaitIdle) {
-  ThreadPool pool(3);
-  std::atomic<int> counter{0};
-  for (int i = 0; i < 50; ++i) {
-    pool.submit([&counter] { counter.fetch_add(1); });
-  }
-  pool.wait_idle();
-  EXPECT_EQ(counter.load(), 50);
-}
-
-TEST(ThreadPool, ParallelSumMatchesSerial) {
-  ThreadPool pool;
-  std::vector<double> values(10000);
-  std::iota(values.begin(), values.end(), 0.0);
-  std::atomic<long long> parallel_sum{0};
-  pool.parallel_for(values.size(), [&](std::size_t i) {
-    parallel_sum.fetch_add(static_cast<long long>(values[i]));
-  });
-  EXPECT_EQ(parallel_sum.load(), 10000LL * 9999 / 2);
+TEST(Tensor, ResizeReusesAllocation) {
+  Tensor t{{4, 8}};
+  t.fill(7.0f);
+  const float* before = t.data();
+  t.resize({2, 3});  // shrinking never reallocates
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.data(), before);
+  t.resize({4, 2, 1});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_THROW(t.resize(std::initializer_list<std::size_t>{}), std::invalid_argument);
 }
 
 }  // namespace

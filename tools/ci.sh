@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Tier-1 verification: configure + build + ctest in Release, then repeat
 # under ASan/UBSan to catch carry-propagation UB and lifetime bugs in the
-# bigint kernels and the shared core::ParallelRuntime pool. Data races are
-# a separate tool's job: a final ThreadSanitizer pass builds just the
-# thread-invariance suite (test_parallel_crypto) under the `tsan` preset
-# and runs it, so a racy edit to the pool fails loudly.
+# bigint kernels and the shared core::ParallelRuntime pool, then once more
+# with DUBHE_SIMD=OFF so the portable scalar GEMM / rolled CIOS fallback
+# stays green. Data races are a separate tool's job: a final
+# ThreadSanitizer pass builds the thread-invariance suites
+# (test_parallel_crypto + test_tensor_simd) under the `tsan` preset and
+# runs them, so a racy edit to the pool or the compute kernels fails
+# loudly.
 # Usage: tools/ci.sh [--quick] [extra cmake args...]
 #   --quick: run only the fast suites (ctest label `tier1`) in each preset.
 set -eu
@@ -31,10 +34,12 @@ run_preset() {
 
 run_preset release "$@"
 run_preset asan "$@"
+run_preset simd-off "$@"
 
 echo "== thread-invariance under TSan =="
 cmake --preset tsan "$@"
-cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)" --target test_parallel_crypto
-ctest --preset tsan -R test_parallel_crypto --no-tests=error
+cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)" \
+  --target test_parallel_crypto --target test_tensor_simd
+ctest --preset tsan -R "test_parallel_crypto|test_tensor_simd" --no-tests=error
 
 echo "CI OK"
