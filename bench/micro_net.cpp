@@ -1,0 +1,196 @@
+// Micro-benchmarks for the net layer: frame encode/decode throughput, the
+// payload codecs, loopback echo, and TCP localhost echo at 1/2/4/8
+// concurrent connections. The headline table (frames/sec + MB/s) is the
+// standing baseline CHANGES.md records per PR; the google-benchmark suite
+// that follows gives per-op latencies.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/tcp.hpp"
+#include "net/transport.hpp"
+#include "stats/rng.hpp"
+
+using namespace dubhe;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr std::size_t kPayloadBytes = 16 * 1024;  // a ~4k-weight model frame
+
+net::Frame test_frame(std::size_t payload_bytes) {
+  stats::Rng rng(7);
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  return {net::MsgType::kModelDown, std::move(payload)};
+}
+
+double secs(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Echo peer: receives frames on `t` and sends each one back until close.
+void echo_until_closed(net::Transport& t) {
+  while (auto frame = t.receive()) t.send(*frame);
+}
+
+struct Rate {
+  double frames_per_sec = 0;
+  double mb_per_sec = 0;
+};
+
+Rate measure(std::size_t frames, std::size_t bytes_per_frame, double seconds) {
+  const double total = static_cast<double>(frames);
+  return {total / seconds,
+          total * static_cast<double>(bytes_per_frame) / (1024.0 * 1024.0) / seconds};
+}
+
+void add_row(const char* what, Rate r) {
+  std::printf("%-36s %14.0f %12.1f\n", what, r.frames_per_sec, r.mb_per_sec);
+}
+
+void print_net_table() {
+  std::printf("== net layer throughput (%zu KiB payload frames) ==\n",
+              kPayloadBytes / 1024);
+  std::printf("%-36s %14s %12s\n", "path", "frames/sec", "MB/s");
+
+  const net::Frame frame = test_frame(kPayloadBytes);
+  const std::size_t wire = net::frame_wire_size(kPayloadBytes);
+  constexpr std::size_t kIters = 2000;
+
+  {  // encode
+    auto t0 = Clock::now();
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < kIters; ++i) sink += net::encode_frame(frame).size();
+    benchmark::DoNotOptimize(sink);
+    add_row("encode", measure(kIters, wire, secs(t0)));
+  }
+  {  // decode
+    const auto bytes = net::encode_frame(frame);
+    auto t0 = Clock::now();
+    std::size_t sink = 0;
+    for (std::size_t i = 0; i < kIters; ++i) sink += net::decode_frame(bytes).payload.size();
+    benchmark::DoNotOptimize(sink);
+    add_row("decode", measure(kIters, wire, secs(t0)));
+  }
+  {  // loopback echo round trip (2 frames of `wire` bytes per echo)
+    auto [a, b] = net::LoopbackTransport::make_pair();
+    std::thread peer([peer_end = b] { echo_until_closed(*peer_end); });
+    auto t0 = Clock::now();
+    for (std::size_t i = 0; i < kIters; ++i) {
+      a->send(frame);
+      benchmark::DoNotOptimize(a->receive());
+    }
+    add_row("loopback echo", measure(2 * kIters, wire, secs(t0)));
+    a->close();
+    peer.join();
+  }
+  for (const std::size_t conns : {1, 2, 4, 8}) {  // TCP localhost echo
+    net::TcpServer server(0);
+    std::vector<std::thread> echoers;
+    std::vector<std::shared_ptr<net::Transport>> clients;
+    for (std::size_t c = 0; c < conns; ++c) {
+      clients.push_back(net::TcpTransport::connect("127.0.0.1", server.port()));
+      echoers.emplace_back([link = server.accept()] { echo_until_closed(*link); });
+    }
+    const std::size_t per_conn = kIters / conns;
+    auto t0 = Clock::now();
+    std::vector<std::thread> drivers;
+    for (std::size_t c = 0; c < conns; ++c) {
+      drivers.emplace_back([&, c] {
+        for (std::size_t i = 0; i < per_conn; ++i) {
+          clients[c]->send(frame);
+          benchmark::DoNotOptimize(clients[c]->receive());
+        }
+      });
+    }
+    for (auto& d : drivers) d.join();
+    const double dt = secs(t0);
+    for (auto& cl : clients) cl->close();
+    for (auto& e : echoers) e.join();
+    char label[64];
+    std::snprintf(label, sizeof label, "tcp localhost echo, %zu conn%s", conns,
+                  conns == 1 ? "" : "s");
+    add_row(label, measure(2 * per_conn * conns, wire, dt));
+  }
+  std::printf("\n");
+}
+
+void BM_EncodeFrame(benchmark::State& state) {
+  const net::Frame frame = test_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_frame(frame));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net::frame_wire_size(frame.payload.size())));
+}
+BENCHMARK(BM_EncodeFrame)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_DecodeFrame(benchmark::State& state) {
+  const auto bytes = net::encode_frame(test_frame(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_frame(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_DecodeFrame)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc32(benchmark::State& state) {
+  const net::Frame frame = test_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::crc32(frame.payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096)->Arg(65536);
+
+void BM_WeightsCodec(benchmark::State& state) {
+  net::WeightsMsg msg;
+  msg.seed = 1;
+  msg.weights.assign(static_cast<std::size_t>(state.range(0)), 0.5f);
+  for (auto _ : state) {
+    const auto f = net::make_weights(net::MsgType::kModelDown, msg);
+    benchmark::DoNotOptimize(net::parse_weights(f, net::MsgType::kModelDown));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(net::wire_size_weights(msg.weights.size())));
+}
+BENCHMARK(BM_WeightsCodec)->Arg(1024)->Arg(16384);
+
+void BM_LoopbackEcho(benchmark::State& state) {
+  auto [a, b] = net::LoopbackTransport::make_pair();
+  std::thread peer([peer_end = b] { echo_until_closed(*peer_end); });
+  const net::Frame frame = test_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    a->send(frame);
+    benchmark::DoNotOptimize(a->receive());
+  }
+  a->close();
+  peer.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(net::frame_wire_size(frame.payload.size())));
+}
+BENCHMARK(BM_LoopbackEcho)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bool filtered = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--benchmark_filter")) filtered = true;
+  }
+  if (!filtered) print_net_table();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

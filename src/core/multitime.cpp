@@ -20,15 +20,27 @@ stats::Distribution population_of(std::span<const stats::Distribution> client_di
 MultiTimeOutcome multi_time_select(SelectionStrategy& strategy,
                                    std::span<const stats::Distribution> client_dists,
                                    std::size_t K, std::size_t H, stats::Rng& rng) {
-  if (H == 0) throw std::invalid_argument("multi_time_select: H == 0");
   if (client_dists.empty()) throw std::invalid_argument("multi_time_select: no clients");
-  const stats::Distribution pu = stats::uniform(client_dists[0].size());
+  return multi_time_select(
+      strategy, client_dists[0].size(), K, H, rng,
+      [&](std::size_t, std::span<const std::size_t> s) {
+        return population_of(client_dists, s);
+      });
+}
+
+MultiTimeOutcome multi_time_select(
+    SelectionStrategy& strategy, std::size_t num_classes, std::size_t K, std::size_t H,
+    stats::Rng& rng,
+    const std::function<stats::Distribution(std::size_t, std::span<const std::size_t>)>&
+        aggregate) {
+  if (H == 0) throw std::invalid_argument("multi_time_select: H == 0");
+  const stats::Distribution pu = stats::uniform(num_classes);
 
   MultiTimeOutcome out;
   out.try_emds.reserve(H);
   for (std::size_t h = 0; h < H; ++h) {
     std::vector<std::size_t> s = strategy.select(K, rng);
-    stats::Distribution po = population_of(client_dists, s);
+    stats::Distribution po = aggregate(h, s);
     const double emd = stats::l1_distance(po, pu);
     out.try_emds.push_back(emd);
     if (h == 0 || emd < out.emd_star) {

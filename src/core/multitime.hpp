@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -29,6 +30,19 @@ struct MultiTimeOutcome {
 MultiTimeOutcome multi_time_select(SelectionStrategy& strategy,
                                    std::span<const stats::Distribution> client_dists,
                                    std::size_t K, std::size_t H, stats::Rng& rng);
+
+/// The same determination loop with the aggregation step supplied by the
+/// caller — the single authoritative copy of the §5.3.1 argmin rule
+/// (first-minimum tie-break included). The secure paths (in-process session
+/// and the net round driver) pass their Paillier reduction here, so the
+/// plaintext, direct-secure, and wire executions cannot drift apart.
+/// `aggregate` receives (try index h, the try's selection) and returns
+/// p_{o,h} with `num_classes` entries.
+MultiTimeOutcome multi_time_select(
+    SelectionStrategy& strategy, std::size_t num_classes, std::size_t K, std::size_t H,
+    stats::Rng& rng,
+    const std::function<stats::Distribution(std::size_t, std::span<const std::size_t>)>&
+        aggregate);
 
 /// Population distribution of a selected set: mean of the members' label
 /// distributions (all virtual clients carry equal sample counts).

@@ -1,10 +1,11 @@
 #include "core/secure.hpp"
 
 #include <chrono>
-#include <string>
 #include <stdexcept>
+#include <string>
 
 #include "core/parallel.hpp"
+#include "net/sizes.hpp"
 #include "stats/rng.hpp"
 
 namespace dubhe::core {
@@ -37,6 +38,15 @@ void require_slot_capacity(std::size_t slot_bits, std::uint64_t max_slot_sum,
 
 }  // namespace
 
+std::vector<std::uint64_t> quantize_distribution(const stats::Distribution& d,
+                                                 std::uint64_t scale) {
+  std::vector<std::uint64_t> q(d.size());
+  for (std::size_t c = 0; c < d.size(); ++c) {
+    q[c] = static_cast<std::uint64_t>(d[c] * static_cast<double>(scale) + 0.5);
+  }
+  return q;
+}
+
 SecureSelectionSession::SecureSelectionSession(const RegistryCodec& codec,
                                                std::vector<double> sigma, SecureConfig cfg,
                                                std::size_t num_clients,
@@ -57,29 +67,91 @@ SecureSelectionSession::SecureSelectionSession(const RegistryCodec& codec,
   timings_.keygen_seconds += seconds_since(t0);
   session_seed_ = rng_.next_u64();
   if (channel_ != nullptr) {
-    // The agent dispatches the keypair to every other client (paper §5.1).
-    // pk is n; sk is (p, q): ~3 plaintext widths per recipient.
-    const std::size_t key_bytes = 3 * keypair_.pub.plaintext_bytes();
+    // The agent dispatches the keypair to every other client (paper §5.1):
+    // one kKeyMaterial frame per recipient, recorded at its exact wire size.
+    const std::size_t key_bytes = net::wire_size_key_material(keypair_);
     channel_->record(fl::MessageKind::kKeyMaterial, fl::Direction::kServerToClient,
                      key_bytes * num_clients_, num_clients_);
   }
 }
 
+std::uint64_t SecureSelectionSession::registration_seed(std::size_t k) const {
+  return stats::derive_seed(session_seed_, k);
+}
+
+std::uint64_t SecureSelectionSession::distribution_seed(std::size_t h,
+                                                        std::size_t k) const {
+  // Streams [0, N) are the registration seeds; try h occupies
+  // [N * (h + 1), N * (h + 2)), so no two uploads ever share a stream.
+  return stats::derive_seed(session_seed_, num_clients_ * (h + 1) + k);
+}
+
 std::size_t SecureSelectionSession::encrypted_registry_bytes() const {
   if (cfg_.use_packing) {
     const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
-    return packed.plaintexts_for(codec_.length()) * (4 + keypair_.pub.ciphertext_bytes());
+    return net::wire_size_packed_vector(keypair_.pub, packed, codec_.length());
   }
-  return codec_.length() * (4 + keypair_.pub.ciphertext_bytes());
+  return net::wire_size_encrypted_vector(keypair_.pub, codec_.length());
 }
 
 std::size_t SecureSelectionSession::encrypted_distribution_bytes() const {
   if (cfg_.use_packing) {
     const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
-    return packed.plaintexts_for(codec_.num_classes()) *
-           (4 + keypair_.pub.ciphertext_bytes());
+    return net::wire_size_packed_vector(keypair_.pub, packed, codec_.num_classes());
   }
-  return codec_.num_classes() * (4 + keypair_.pub.ciphertext_bytes());
+  return net::wire_size_encrypted_vector(keypair_.pub, codec_.num_classes());
+}
+
+std::vector<std::uint64_t> SecureSelectionSession::reduce_registry(
+    std::span<const he::EncryptedVector> cts) {
+  if (cts.empty()) throw std::invalid_argument("reduce_registry: empty cohort");
+  auto decrypt_timed = [&](const he::EncryptedVector& v) {
+    const auto t0 = Clock::now();
+    auto out = v.decrypt(keypair_.prv);
+    timings_.decrypt_seconds += seconds_since(t0);
+    ++timings_.vectors_decrypted;
+    return out;
+  };
+  // Callers that streamed their own homomorphic sum pass it as a singleton
+  // span — decrypt in place, no copy.
+  if (cts.size() == 1) return decrypt_timed(cts[0]);
+  he::EncryptedVector sum = cts[0];
+  for (std::size_t k = 1; k < cts.size(); ++k) sum += cts[k];  // server side
+  return decrypt_timed(sum);
+}
+
+std::vector<std::uint64_t> SecureSelectionSession::reduce_registry(
+    std::span<const he::PackedEncryptedVector> cts) {
+  if (cts.empty()) throw std::invalid_argument("reduce_registry: empty cohort");
+  auto decrypt_timed = [&](const he::PackedEncryptedVector& v) {
+    const auto t0 = Clock::now();
+    auto out = v.decrypt(keypair_.prv);
+    timings_.decrypt_seconds += seconds_since(t0);
+    ++timings_.vectors_decrypted;
+    return out;
+  };
+  if (cts.size() == 1) return decrypt_timed(cts[0]);
+  he::PackedEncryptedVector sum = cts[0];
+  for (std::size_t k = 1; k < cts.size(); ++k) sum += cts[k];
+  return decrypt_timed(sum);
+}
+
+stats::Distribution SecureSelectionSession::reduce_population(
+    std::span<const he::EncryptedVector> cts) {
+  std::vector<std::uint64_t> total = reduce_registry(cts);
+  stats::Distribution po(total.size());
+  for (std::size_t c = 0; c < total.size(); ++c) po[c] = static_cast<double>(total[c]);
+  stats::normalize(po);
+  return po;
+}
+
+stats::Distribution SecureSelectionSession::reduce_population(
+    std::span<const he::PackedEncryptedVector> cts) {
+  std::vector<std::uint64_t> total = reduce_registry(cts);
+  stats::Distribution po(total.size());
+  for (std::size_t c = 0; c < total.size(); ++c) po[c] = static_cast<double>(total[c]);
+  stats::normalize(po);
+  return po;
 }
 
 SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registration(
@@ -98,10 +170,11 @@ SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registra
 
   // Client-side encryption over the shared core::ParallelRuntime
   // (cfg_.encrypt_threads shards, no private pool). Every client uses its
-  // own seed-derived randomness, so running this serially or across threads
-  // (the deployment reality: clients are separate machines) yields
-  // identical ciphertexts. encrypt_seconds accumulates the *summed
-  // client-side* cost.
+  // own seed-derived randomness (registration_seed(k) — the same stream a
+  // transport-backed client receives in its request frame), so running this
+  // serially or across threads (the deployment reality: clients are separate
+  // machines) yields identical ciphertexts. encrypt_seconds accumulates the
+  // *summed client-side* cost.
   std::vector<double> durations(N, 0.0);
   // Pre-runtime configs treated encrypt_threads <= 1 as serial; keep that
   // (the runtime itself reads 0 as "all workers").
@@ -111,33 +184,23 @@ SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registra
     const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
     std::vector<he::PackedEncryptedVector> cts(N);
     parallel_for(N, encrypt_shards, [&](std::size_t k) {
-      bigint::Xoshiro256ss client_rng(stats::derive_seed(session_seed_, k));
+      bigint::Xoshiro256ss client_rng(registration_seed(k));
       const auto tk = Clock::now();
       cts[k] = he::PackedEncryptedVector::encrypt(
           keypair_.pub, packed, to_onehot(codec_, out.registrations[k]), client_rng);
       durations[k] = seconds_since(tk);
     });
-    he::PackedEncryptedVector sum = std::move(cts[0]);
-    for (std::size_t k = 1; k < N; ++k) sum += cts[k];  // server side
-    const auto t0 = Clock::now();
-    out.overall_registry = sum.decrypt(keypair_.prv);
-    timings_.decrypt_seconds += seconds_since(t0);
-    ++timings_.vectors_decrypted;
+    out.overall_registry = reduce_registry(cts);
   } else {
     std::vector<he::EncryptedVector> cts(N);
     parallel_for(N, encrypt_shards, [&](std::size_t k) {
-      bigint::Xoshiro256ss client_rng(stats::derive_seed(session_seed_, k));
+      bigint::Xoshiro256ss client_rng(registration_seed(k));
       const auto tk = Clock::now();
       cts[k] = he::EncryptedVector::encrypt(
           keypair_.pub, to_onehot(codec_, out.registrations[k]), client_rng);
       durations[k] = seconds_since(tk);
     });
-    he::EncryptedVector sum = std::move(cts[0]);
-    for (std::size_t k = 1; k < N; ++k) sum += cts[k];  // server side
-    const auto t0 = Clock::now();
-    out.overall_registry = sum.decrypt(keypair_.prv);
-    timings_.decrypt_seconds += seconds_since(t0);
-    ++timings_.vectors_decrypted;
+    out.overall_registry = reduce_registry(cts);
   }
 
   for (const double d : durations) timings_.encrypt_seconds += d;
@@ -157,18 +220,10 @@ stats::Distribution SecureSelectionSession::aggregate_population(
   const std::size_t C = codec_.num_classes();
   const std::size_t wire_bytes = encrypted_distribution_bytes();
 
-  // Clients quantize p_l to fixed point and encrypt; the server adds
-  // ciphertexts; the agent decrypts the aggregate.
-  auto quantize = [&](const stats::Distribution& d) {
-    std::vector<std::uint64_t> q(C);
-    for (std::size_t c = 0; c < C; ++c) {
-      q[c] = static_cast<std::uint64_t>(d[c] * static_cast<double>(cfg_.fixed_point_scale) +
-                                        0.5);
-    }
-    return q;
-  };
-
-  std::vector<std::uint64_t> total;
+  // Clients quantize p_l to fixed point and encrypt; the server folds each
+  // ciphertext into a running sum (one vector alive at a time, as before
+  // the transport split); the agent decrypts the aggregate.
+  stats::Distribution po;
   if (cfg_.use_packing) {
     // Each slot accumulates up to scale per client across |selected| adds.
     require_slot_capacity(cfg_.packing_slot_bits,
@@ -179,8 +234,9 @@ stats::Distribution SecureSelectionSession::aggregate_population(
     bool first = true;
     for (const std::size_t k : selected) {
       const auto t0 = Clock::now();
-      auto ct = he::PackedEncryptedVector::encrypt(keypair_.pub, packed,
-                                                   quantize(dists[k]), rng_);
+      auto ct = he::PackedEncryptedVector::encrypt(
+          keypair_.pub, packed, quantize_distribution(dists[k], cfg_.fixed_point_scale),
+          rng_);
       timings_.encrypt_seconds += seconds_since(t0);
       ++timings_.vectors_encrypted;
       if (channel_ != nullptr) {
@@ -198,36 +254,34 @@ stats::Distribution SecureSelectionSession::aggregate_population(
       channel_->record(fl::MessageKind::kDistribution, fl::Direction::kServerToClient,
                        wire_bytes);
     }
-    const auto t0 = Clock::now();
-    total = sum.decrypt(keypair_.prv);
-    timings_.decrypt_seconds += seconds_since(t0);
-    ++timings_.vectors_decrypted;
+    po = reduce_population({&sum, 1});
   } else {
-    he::EncryptedVector sum = he::EncryptedVector::zeros(keypair_.pub, C);
+    he::EncryptedVector sum;
+    bool first = true;
     for (const std::size_t k : selected) {
       const auto t0 = Clock::now();
-      const auto ct = he::EncryptedVector::encrypt(keypair_.pub, quantize(dists[k]), rng_);
+      auto ct = he::EncryptedVector::encrypt(
+          keypair_.pub, quantize_distribution(dists[k], cfg_.fixed_point_scale), rng_);
       timings_.encrypt_seconds += seconds_since(t0);
       ++timings_.vectors_encrypted;
       if (channel_ != nullptr) {
         channel_->record(fl::MessageKind::kDistribution, fl::Direction::kClientToServer,
                          wire_bytes);
       }
-      sum += ct;
+      if (first) {
+        sum = std::move(ct);
+        first = false;
+      } else {
+        sum += ct;
+      }
     }
     if (channel_ != nullptr) {
       channel_->record(fl::MessageKind::kDistribution, fl::Direction::kServerToClient,
                        wire_bytes);
     }
-    const auto t0 = Clock::now();
-    total = sum.decrypt(keypair_.prv);
-    timings_.decrypt_seconds += seconds_since(t0);
-    ++timings_.vectors_decrypted;
+    po = reduce_population({&sum, 1});
   }
-
-  stats::Distribution po(C);
-  for (std::size_t c = 0; c < C; ++c) po[c] = static_cast<double>(total[c]);
-  stats::normalize(po);
+  if (po.size() != C) throw std::logic_error("aggregate_population: size drift");
   return po;
 }
 

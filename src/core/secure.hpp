@@ -45,6 +45,12 @@ struct SecureConfig {
   bool use_fixed_base = false;
 };
 
+/// Fixed-point quantization of a label distribution (§5.3): round each
+/// share to d[c] * scale. Shared by the in-process session and the net
+/// client endpoints so both sides of a wire encrypt identical integers.
+std::vector<std::uint64_t> quantize_distribution(const stats::Distribution& d,
+                                                 std::uint64_t scale);
+
 /// Accumulated wall-clock spent inside cryptographic primitives.
 struct CryptoTimings {
   double keygen_seconds = 0;
@@ -88,10 +94,43 @@ class SecureSelectionSession {
 
   [[nodiscard]] const CryptoTimings& timings() const { return timings_; }
   [[nodiscard]] const he::PublicKey& public_key() const { return keypair_.pub; }
-  /// Wire size of one client's encrypted registry under the configured mode.
+  /// The whole session keypair — what the agent dispatches to the cohort
+  /// (paper §5.1) and what the transport-backed driver puts in its
+  /// kKeyMaterial frames.
+  [[nodiscard]] const he::Keypair& keypair() const { return keypair_; }
+  /// Exact wire size (full frame, header included) of one client's encrypted
+  /// registry under the configured mode — what the channel accounting
+  /// records per registry message.
   [[nodiscard]] std::size_t encrypted_registry_bytes() const;
-  /// Wire size of one client's encrypted label distribution.
+  /// Exact wire size of one client's encrypted label distribution frame.
   [[nodiscard]] std::size_t encrypted_distribution_bytes() const;
+
+  /// --- the split halves the transport-backed driver runs on --------------
+  /// The in-process flows above are composed from these: per-client
+  /// encryption seeds (client half, shipped in request frames) and
+  /// aggregate-and-decrypt reductions (agent half). Results are independent
+  /// of encryption randomness, so any seed assignment yields the same
+  /// registry counts and populations — the seeds only make transcripts
+  /// reproducible.
+
+  /// Master seed the per-client encryption streams derive from.
+  [[nodiscard]] std::uint64_t session_seed() const { return session_seed_; }
+  /// Encryption-stream seed for client k's registration upload.
+  [[nodiscard]] std::uint64_t registration_seed(std::size_t k) const;
+  /// Encryption-stream seed for client k's distribution upload in try h
+  /// (disjoint from every registration seed).
+  [[nodiscard]] std::uint64_t distribution_seed(std::size_t h, std::size_t k) const;
+
+  /// Agent half of §5.1: homomorphically sums the uploaded registries and
+  /// decrypts R_A (timed into timings()). Throws std::invalid_argument on an
+  /// empty span.
+  std::vector<std::uint64_t> reduce_registry(std::span<const he::EncryptedVector> cts);
+  std::vector<std::uint64_t> reduce_registry(
+      std::span<const he::PackedEncryptedVector> cts);
+  /// Agent half of §5.3: sums the uploaded fixed-point distributions,
+  /// decrypts, and normalizes p_o.
+  stats::Distribution reduce_population(std::span<const he::EncryptedVector> cts);
+  stats::Distribution reduce_population(std::span<const he::PackedEncryptedVector> cts);
 
  private:
   const RegistryCodec& codec_;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "net/sizes.hpp"
 
 namespace dubhe::fl {
 
@@ -43,8 +44,11 @@ RoundResult FederatedTrainer::run_round(std::span<const std::size_t> selected,
   server_.aggregate(updates);
 
   if (channel_ != nullptr) {
-    // One model down + one update up per participant.
-    const std::size_t model_bytes = global.size() * sizeof(float);
+    // One model down + one update up per participant, at the exact encoded
+    // frame size (kModelDown and kModelUpdate frames are the same width —
+    // see net::WeightsMsg), so the ledger matches what a Transport carries
+    // byte for byte.
+    const std::size_t model_bytes = net::wire_size_weights(global.size());
     channel_->record(MessageKind::kModelWeights, Direction::kServerToClient,
                      model_bytes * K, K);
     channel_->record(MessageKind::kModelWeights, Direction::kClientToServer,

@@ -1,0 +1,293 @@
+#include "net/codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dubhe::net {
+
+namespace {
+
+/// Minimal big-endian payload writer/reader. The reader throws
+/// WireError{kBadPayload} on underflow, and parse functions call finish()
+/// so trailing bytes are rejected — a payload either parses exactly or not
+/// at all.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 24));
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void u32_size(std::size_t v, const char* what) {
+    if (v > std::size_t{0xFFFFFFFF}) {
+      throw WireError(WireErrc::kBadPayload, std::string(what) + " exceeds u32");
+    }
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  void reserve(std::size_t n) { out_.reserve(n); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+                            (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+                            (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+                            static_cast<std::uint32_t>(bytes_[3]);
+    bytes_ = bytes_.subspan(4);
+    return v;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  std::span<const std::uint8_t> rest() {
+    const auto r = bytes_;
+    bytes_ = bytes_.subspan(bytes_.size());
+    return r;
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    need(n);
+    const auto r = bytes_.first(n);
+    bytes_ = bytes_.subspan(n);
+    return r;
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size(); }
+  void finish() const {
+    if (!bytes_.empty()) {
+      throw WireError(WireErrc::kBadPayload,
+                      std::to_string(bytes_.size()) + " trailing payload bytes");
+    }
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (bytes_.size() < n) {
+      throw WireError(WireErrc::kBadPayload, "payload underflow");
+    }
+  }
+  std::span<const std::uint8_t> bytes_;
+};
+
+void check_type(const Frame& f, MsgType expected) {
+  if (f.type != expected) {
+    throw WireError(WireErrc::kBadPayload, "expected " + to_string(expected) +
+                                               ", got " + to_string(f.type));
+  }
+}
+
+/// Adapter: rethrow the paillier layer's std::invalid_argument as a typed
+/// wire error, so transports surface one error family.
+template <typename Fn>
+auto as_payload_error(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::invalid_argument& e) {
+    throw WireError(WireErrc::kBadPayload, e.what());
+  }
+}
+
+}  // namespace
+
+Frame make_client_hello(const ClientHello& m) {
+  Writer w;
+  w.u64(m.client_id);
+  w.u32(m.protocol);
+  return Frame{MsgType::kClientHello, w.take()};
+}
+
+ClientHello parse_client_hello(const Frame& f) {
+  check_type(f, MsgType::kClientHello);
+  Reader r(f.payload);
+  ClientHello m;
+  m.client_id = r.u64();
+  m.protocol = r.u32();
+  r.finish();
+  return m;
+}
+
+Frame make_server_hello(const ServerHello& m) {
+  Writer w;
+  w.u64(m.session_seed);
+  w.u32(m.num_clients);
+  w.u32(m.cohort_index);
+  return Frame{MsgType::kServerHello, w.take()};
+}
+
+ServerHello parse_server_hello(const Frame& f) {
+  check_type(f, MsgType::kServerHello);
+  Reader r(f.payload);
+  ServerHello m;
+  m.session_seed = r.u64();
+  m.num_clients = r.u32();
+  m.cohort_index = r.u32();
+  r.finish();
+  return m;
+}
+
+Frame make_key_material(const KeyMaterial& m) {
+  const auto pub = he::serialize(m.pub);
+  const auto prv = he::serialize(m.prv);
+  Writer w;
+  w.reserve(pub.size() + prv.size());
+  w.bytes(pub);
+  w.bytes(prv);
+  return Frame{MsgType::kKeyMaterial, w.take()};
+}
+
+KeyMaterial parse_key_material(const Frame& f) {
+  check_type(f, MsgType::kKeyMaterial);
+  return as_payload_error([&] {
+    std::span<const std::uint8_t> bytes = f.payload;
+    KeyMaterial m;
+    m.pub = he::deserialize_public_key_prefix(bytes);
+    m.prv = he::deserialize_private_key_prefix(bytes);
+    if (!bytes.empty()) {
+      throw std::invalid_argument("key material: trailing bytes");
+    }
+    if (!(m.prv.public_key() == m.pub)) {
+      throw std::invalid_argument("key material: p*q does not match n");
+    }
+    return m;
+  });
+}
+
+Frame make_seed_request(MsgType type, const SeedRequest& m) {
+  if (type != MsgType::kRegistrationRequest && type != MsgType::kDistributionRequest) {
+    throw WireError(WireErrc::kBadType, "seed request must be a request type");
+  }
+  Writer w;
+  w.u64(m.seed);
+  w.u32(m.tag);
+  return Frame{type, w.take()};
+}
+
+SeedRequest parse_seed_request(const Frame& f, MsgType expected) {
+  check_type(f, expected);
+  Reader r(f.payload);
+  SeedRequest m;
+  m.seed = r.u64();
+  m.tag = r.u32();
+  r.finish();
+  return m;
+}
+
+Frame make_registration_info(const RegistrationInfo& m) {
+  Writer w;
+  w.u64(m.client_id);
+  w.u32_size(m.registration.category_index, "category index");
+  w.u32_size(m.registration.group_index, "group index");
+  w.u32_size(m.registration.category.size(), "category size");
+  for (const std::size_t c : m.registration.category) w.u32_size(c, "class id");
+  return Frame{MsgType::kRegistrationInfo, w.take()};
+}
+
+RegistrationInfo parse_registration_info(const Frame& f) {
+  check_type(f, MsgType::kRegistrationInfo);
+  Reader r(f.payload);
+  RegistrationInfo m;
+  m.client_id = r.u64();
+  m.registration.category_index = r.u32();
+  m.registration.group_index = r.u32();
+  const std::size_t count = r.u32();
+  if (count * 4 != r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "registration category count mismatch");
+  }
+  m.registration.category.reserve(count);
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t c = r.u32();
+    if (i > 0 && c <= prev) {
+      throw WireError(WireErrc::kBadPayload, "registration category not increasing");
+    }
+    m.registration.category.push_back(c);
+    prev = c;
+  }
+  r.finish();
+  return m;
+}
+
+Frame make_encrypted_vector(MsgType type, const he::EncryptedVector& v) {
+  return Frame{type, he::serialize(v)};
+}
+
+Frame make_encrypted_vector(MsgType type, const he::PackedEncryptedVector& v) {
+  return Frame{type, he::serialize(v)};
+}
+
+bool payload_is_packed(const Frame& f) {
+  if (f.payload.empty() || (f.payload[0] != 'V' && f.payload[0] != 'K')) {
+    throw WireError(WireErrc::kBadPayload, "payload is not an encrypted vector");
+  }
+  return f.payload[0] == 'K';
+}
+
+he::EncryptedVector parse_encrypted_vector(const Frame& f, MsgType expected) {
+  check_type(f, expected);
+  return as_payload_error([&] { return he::deserialize_encrypted_vector(f.payload); });
+}
+
+he::PackedEncryptedVector parse_packed_encrypted_vector(const Frame& f, MsgType expected) {
+  check_type(f, expected);
+  return as_payload_error(
+      [&] { return he::deserialize_packed_encrypted_vector(f.payload); });
+}
+
+Frame make_weights(MsgType type, const WeightsMsg& m) {
+  if (type != MsgType::kModelDown && type != MsgType::kModelUpdate) {
+    throw WireError(WireErrc::kBadType, "weights must be a model message");
+  }
+  Writer w;
+  w.reserve(12 + 4 * m.weights.size());
+  w.u64(m.seed);
+  w.u32_size(m.weights.size(), "weight count");
+  for (const float x : m.weights) w.u32(std::bit_cast<std::uint32_t>(x));
+  return Frame{type, w.take()};
+}
+
+WeightsMsg parse_weights(const Frame& f, MsgType expected) {
+  check_type(f, expected);
+  Reader r(f.payload);
+  WeightsMsg m;
+  m.seed = r.u64();
+  const std::size_t count = r.u32();
+  if (count * 4 != r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "weight count mismatch");
+  }
+  m.weights.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    m.weights.push_back(std::bit_cast<float>(r.u32()));
+  }
+  r.finish();
+  return m;
+}
+
+Frame make_shutdown() { return Frame{MsgType::kShutdown, {}}; }
+
+fl::MessageKind account_kind(MsgType type) {
+  switch (type) {
+    case MsgType::kKeyMaterial: return fl::MessageKind::kKeyMaterial;
+    case MsgType::kRegistryUpload:
+    case MsgType::kRegistryBroadcast: return fl::MessageKind::kRegistry;
+    case MsgType::kDistributionUpload: return fl::MessageKind::kDistribution;
+    case MsgType::kModelDown:
+    case MsgType::kModelUpdate: return fl::MessageKind::kModelWeights;
+    default: return fl::MessageKind::kControl;
+  }
+}
+
+}  // namespace dubhe::net

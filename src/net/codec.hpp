@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/registration.hpp"
+#include "fl/channel.hpp"
+#include "net/sizes.hpp"
+#include "net/wire.hpp"
+#include "paillier/encrypted_vector.hpp"
+#include "paillier/packing.hpp"
+
+namespace dubhe::net {
+
+/// Typed payloads for every MsgType, with make_*/parse_* codec pairs. Parse
+/// functions verify the frame's type tag, reject trailing bytes, and throw
+/// WireError{kBadPayload} on any malformation, so a frame that decodes is
+/// fully validated. Multi-byte integers are big-endian; floats travel as
+/// their IEEE-754 bit patterns (big-endian u32), so weight tensors
+/// round-trip bit-exactly — including NaNs.
+
+struct ClientHello {
+  std::uint64_t client_id = 0;
+  std::uint32_t protocol = kWireVersion;
+
+  bool operator==(const ClientHello&) const = default;
+};
+
+struct ServerHello {
+  std::uint64_t session_seed = 0;
+  std::uint32_t num_clients = 0;
+  std::uint32_t cohort_index = 0;  // the id the server bound this link to
+
+  bool operator==(const ServerHello&) const = default;
+};
+
+/// The agent's key dispatch (paper §5.1: the agent generates the session
+/// keypair and distributes it to the cohort).
+struct KeyMaterial {
+  he::PublicKey pub;
+  he::PrivateKey prv;
+};
+
+/// Registration and distribution requests share one shape: an RNG seed for
+/// the client's encryption stream plus a tag (0 for registration, the
+/// tentative-try index h for distribution requests).
+struct SeedRequest {
+  std::uint64_t seed = 0;
+  std::uint32_t tag = 0;
+
+  bool operator==(const SeedRequest&) const = default;
+};
+
+/// The plaintext registration entry a client reports alongside its encrypted
+/// registry. This is the experiment-plane shortcut the in-process
+/// DubheSelector already takes (see src/net/README.md — in a deployment the
+/// entry stays client-side and the client self-determines participation).
+struct RegistrationInfo {
+  std::uint64_t client_id = 0;
+  core::Registration registration;
+};
+
+/// Model weights down (seed = the client's training seed for this round) or
+/// up (seed field carries the client id instead). Same wire size both ways,
+/// which keeps §6.4's up/down accounting symmetric.
+struct WeightsMsg {
+  std::uint64_t seed = 0;
+  std::vector<float> weights;
+
+  bool operator==(const WeightsMsg&) const = default;
+};
+
+Frame make_client_hello(const ClientHello& m);
+ClientHello parse_client_hello(const Frame& f);
+
+Frame make_server_hello(const ServerHello& m);
+ServerHello parse_server_hello(const Frame& f);
+
+Frame make_key_material(const KeyMaterial& m);
+KeyMaterial parse_key_material(const Frame& f);
+
+Frame make_seed_request(MsgType type, const SeedRequest& m);  // registration/distribution
+SeedRequest parse_seed_request(const Frame& f, MsgType expected);
+
+Frame make_registration_info(const RegistrationInfo& m);
+RegistrationInfo parse_registration_info(const Frame& f);
+
+/// Encrypted-vector payloads (registry upload/broadcast, distribution
+/// upload) carry the paillier wire form, which is self-tagged: 'V' for
+/// EncryptedVector, 'K' for PackedEncryptedVector.
+Frame make_encrypted_vector(MsgType type, const he::EncryptedVector& v);
+Frame make_encrypted_vector(MsgType type, const he::PackedEncryptedVector& v);
+[[nodiscard]] bool payload_is_packed(const Frame& f);
+he::EncryptedVector parse_encrypted_vector(const Frame& f, MsgType expected);
+he::PackedEncryptedVector parse_packed_encrypted_vector(const Frame& f, MsgType expected);
+
+Frame make_weights(MsgType type, const WeightsMsg& m);  // kModelDown / kModelUpdate
+WeightsMsg parse_weights(const Frame& f, MsgType expected);
+
+Frame make_shutdown();
+
+/// Exact wire sizes of the §6.4-accounted messages live in net/sizes.hpp
+/// (re-exported via the include above), so `core`/`fl` can use them without
+/// depending on this header's core/fl includes.
+
+/// Which §6.4 ledger a message type lands in.
+[[nodiscard]] fl::MessageKind account_kind(MsgType type);
+
+}  // namespace dubhe::net

@@ -1,0 +1,476 @@
+#include "net/node.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "core/multitime.hpp"
+#include "core/registration.hpp"
+#include "core/selection.hpp"
+#include "fl/client.hpp"
+#include "fl/server.hpp"
+#include "net/codec.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe::net {
+
+namespace {
+
+/// Wire-parsed uploads are untrusted: before a ciphertext joins a
+/// homomorphic sum it must carry the *session* key and the expected shape,
+/// otherwise a misbehaving client could silently corrupt the aggregate
+/// (deserialization only validates slots against the key the payload itself
+/// embeds).
+void check_upload(const he::EncryptedVector& v, const he::PublicKey& session_key,
+                  std::size_t want_slots) {
+  if (!(v.public_key() == session_key) || v.size() != want_slots) {
+    throw WireError(WireErrc::kBadPayload, "upload does not match the session");
+  }
+}
+
+void check_upload(const he::PackedEncryptedVector& v, const he::PublicKey& session_key,
+                  std::size_t want_logical, const he::PackedCodec& want_codec) {
+  // Both geometry fields matter: a forged slots_per_plaintext can keep the
+  // ciphertext count identical while shifting every slot boundary.
+  if (!(v.public_key() == session_key) || v.logical_size() != want_logical ||
+      v.codec().slot_bits() != want_codec.slot_bits() ||
+      v.codec().slots_per_plaintext() != want_codec.slots_per_plaintext()) {
+    throw WireError(WireErrc::kBadPayload, "packed upload does not match the session");
+  }
+}
+
+Frame expect_frame(Transport& link, MsgType type) {
+  auto frame = link.receive();
+  if (!frame) {
+    throw TransportError("peer closed while waiting for " + to_string(type));
+  }
+  if (frame->type != type) {
+    throw WireError(WireErrc::kBadPayload,
+                    "expected " + to_string(type) + ", got " + to_string(frame->type));
+  }
+  return std::move(*frame);
+}
+
+/// Client-side encryption of one upload (registry one-hot or quantized
+/// distribution) under the session's packing mode, seeded from the server's
+/// request — the same stream derivation the in-process session uses.
+Frame encrypt_upload(MsgType type, const he::PublicKey& pk, const SessionParams& p,
+                     std::span<const std::uint64_t> values, std::uint64_t seed) {
+  bigint::Xoshiro256ss rng(seed);
+  if (p.secure.use_packing) {
+    const he::PackedCodec packed(p.secure.key_bits - 1, p.secure.packing_slot_bits);
+    return make_encrypted_vector(type,
+                                 he::PackedEncryptedVector::encrypt(pk, packed, values, rng));
+  }
+  return make_encrypted_vector(type, he::EncryptedVector::encrypt(pk, values, rng));
+}
+
+/// Both execution modes run the §5.3.1 determination through the single
+/// authoritative core::multi_time_select loop (only the aggregation step
+/// differs); this just copies its outcome into the transcript.
+void fill_from_outcome(RoundTranscript& t, core::MultiTimeOutcome&& mt) {
+  t.try_emds = std::move(mt.try_emds);
+  t.best_try = mt.best_try;
+  t.selected = std::move(mt.selected);
+  t.population = std::move(mt.population);
+  t.emd_star = mt.emd_star;
+}
+
+}  // namespace
+
+std::uint64_t weights_fingerprint(std::span<const float> w) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const float x : w) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    for (int i = 0; i < 4; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFFu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+std::string format_transcript(const RoundTranscript& t) {
+  std::string out;
+  char buf[64];
+  auto add_u64s = [&](const char* name, const auto& xs) {
+    out += name;
+    out += '=';
+    bool first = true;
+    for (const auto x : xs) {
+      if (!first) out += ',';
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(x));
+      out += buf;
+      first = false;
+    }
+    out += '\n';
+  };
+  auto add_doubles = [&](const char* name, std::span<const double> xs) {
+    out += name;
+    out += '=';
+    bool first = true;
+    for (const double x : xs) {
+      if (!first) out += ',';
+      std::snprintf(buf, sizeof buf, "%a", x);
+      out += buf;
+      first = false;
+    }
+    out += '\n';
+  };
+  add_u64s("overall_registry", t.overall_registry);
+  add_doubles("try_emds", t.try_emds);
+  std::snprintf(buf, sizeof buf, "best_try=%zu\n", t.best_try);
+  out += buf;
+  add_u64s("selected", t.selected);
+  add_doubles("population", t.population);
+  std::snprintf(buf, sizeof buf, "emd_star=%a\n", t.emd_star);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "weights_fnv1a=0x%016" PRIx64 "\n",
+                weights_fingerprint(t.global_weights));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "accuracy=%a\n", t.accuracy);
+  out += buf;
+  return out;
+}
+
+RoundTranscript run_server_round(std::span<const std::shared_ptr<Transport>> links,
+                                 const data::FederatedDataset& dataset,
+                                 const nn::Sequential& prototype,
+                                 const SessionParams& params,
+                                 fl::ChannelAccountant* channel) {
+  const std::size_t N = links.size();
+  if (N != dataset.num_clients()) {
+    throw std::invalid_argument("run_server_round: one link per dataset client required");
+  }
+  if (params.K > N) throw std::invalid_argument("run_server_round: K > N");
+  const core::RegistryCodec codec(params.num_classes, params.reference_set);
+
+  // Accounting lives on the transports (exact frame sizes, aggregator
+  // perspective), so the session itself gets no channel.
+  for (const auto& link : links) {
+    link->set_accountant(channel, fl::Direction::kServerToClient);
+  }
+
+  bigint::Xoshiro256ss he_rng(params.he_seed);
+  core::SecureSelectionSession session(codec, params.sigma, params.secure, N, he_rng,
+                                       nullptr);
+
+  // --- hello: bind links to client ids. -------------------------------------
+  std::vector<std::shared_ptr<Transport>> by_id(N);
+  for (const auto& link : links) {
+    const ClientHello hello = parse_client_hello(expect_frame(*link, MsgType::kClientHello));
+    if (hello.protocol != kWireVersion) {
+      throw WireError(WireErrc::kBadVersion, "client speaks protocol " +
+                                                 std::to_string(hello.protocol));
+    }
+    if (hello.client_id >= N || by_id[hello.client_id] != nullptr) {
+      throw TransportError("run_server_round: bad or duplicate client id " +
+                           std::to_string(hello.client_id));
+    }
+    by_id[hello.client_id] = link;
+  }
+  for (std::size_t id = 0; id < N; ++id) {
+    by_id[id]->send(make_server_hello({session.session_seed(), static_cast<std::uint32_t>(N),
+                                       static_cast<std::uint32_t>(id)}));
+  }
+
+  // --- §5.1: key dispatch (agent role) + registration. ----------------------
+  const Frame key_frame =
+      make_key_material({session.keypair().pub, session.keypair().prv});
+  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(key_frame);
+
+  for (std::size_t id = 0; id < N; ++id) {
+    by_id[id]->send(
+        make_seed_request(MsgType::kRegistrationRequest, {session.registration_seed(id), 0}));
+  }
+
+  const he::PackedCodec session_packed(params.secure.key_bits - 1,
+                                       params.secure.packing_slot_bits);
+  RoundTranscript t;
+  std::vector<core::Registration> regs(N);
+  std::vector<he::EncryptedVector> uploads;
+  std::vector<he::PackedEncryptedVector> packed_uploads;
+  for (std::size_t id = 0; id < N; ++id) {
+    const RegistrationInfo info =
+        parse_registration_info(expect_frame(*by_id[id], MsgType::kRegistrationInfo));
+    if (info.client_id != id) {
+      throw WireError(WireErrc::kBadPayload, "registration from the wrong client");
+    }
+    // The plaintext entry is as untrusted as the ciphertexts: it must be a
+    // registration this codec could actually have produced, or the bad
+    // value would surface much later as an untyped error inside selection.
+    try {
+      if (info.registration.category_index != codec.index_of(info.registration.category) ||
+          info.registration.group_index !=
+              codec.group_of_index(info.registration.category_index)) {
+        throw std::invalid_argument("inconsistent registration entry");
+      }
+    } catch (const std::invalid_argument& e) {
+      throw WireError(WireErrc::kBadPayload, e.what());
+    } catch (const std::out_of_range& e) {
+      throw WireError(WireErrc::kBadPayload, e.what());
+    }
+    regs[id] = info.registration;
+    const Frame up = expect_frame(*by_id[id], MsgType::kRegistryUpload);
+    if (payload_is_packed(up) != params.secure.use_packing) {
+      throw WireError(WireErrc::kBadPayload, "packing mode mismatch");
+    }
+    if (params.secure.use_packing) {
+      packed_uploads.push_back(parse_packed_encrypted_vector(up, MsgType::kRegistryUpload));
+      check_upload(packed_uploads.back(), session.public_key(), codec.length(),
+                   session_packed);
+    } else {
+      uploads.push_back(parse_encrypted_vector(up, MsgType::kRegistryUpload));
+      check_upload(uploads.back(), session.public_key(), codec.length());
+    }
+  }
+  // The server only ever adds ciphertexts; the agent (co-located here)
+  // decrypts the sum, and every client receives the encrypted sum broadcast.
+  if (params.secure.use_packing) {
+    he::PackedEncryptedVector sum = packed_uploads[0];
+    for (std::size_t k = 1; k < N; ++k) sum += packed_uploads[k];
+    const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
+    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
+    t.overall_registry = session.reduce_registry({&sum, 1});
+  } else {
+    he::EncryptedVector sum = uploads[0];
+    for (std::size_t k = 1; k < N; ++k) sum += uploads[k];
+    const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
+    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
+    t.overall_registry = session.reduce_registry({&sum, 1});
+  }
+
+  // --- §5.2 + §5.3: proactive probabilities + multi-time determination. -----
+  core::DubheSelector selector(&codec, params.sigma);
+  selector.load_overall_registry(t.overall_registry, regs);
+  stats::Rng sel_rng(params.select_seed);
+  fill_from_outcome(t, core::multi_time_select(
+      selector, params.num_classes, params.K, params.H, sel_rng,
+      [&](std::size_t h, std::span<const std::size_t> sel) {
+        for (const std::size_t k : sel) {
+          by_id[k]->send(make_seed_request(
+              MsgType::kDistributionRequest,
+              {session.distribution_seed(h, k), static_cast<std::uint32_t>(h)}));
+        }
+        if (params.secure.use_packing) {
+          std::vector<he::PackedEncryptedVector> ups;
+          ups.reserve(sel.size());
+          for (const std::size_t k : sel) {
+            ups.push_back(parse_packed_encrypted_vector(
+                expect_frame(*by_id[k], MsgType::kDistributionUpload),
+                MsgType::kDistributionUpload));
+            check_upload(ups.back(), session.public_key(), params.num_classes,
+                         session_packed);
+          }
+          return session.reduce_population(ups);
+        }
+        std::vector<he::EncryptedVector> ups;
+        ups.reserve(sel.size());
+        for (const std::size_t k : sel) {
+          ups.push_back(
+              parse_encrypted_vector(expect_frame(*by_id[k], MsgType::kDistributionUpload),
+                                     MsgType::kDistributionUpload));
+          check_upload(ups.back(), session.public_key(), params.num_classes);
+        }
+        return session.reduce_population(ups);
+      }));
+
+  // --- training round over the winning set. ---------------------------------
+  fl::Server server(prototype);
+  const std::vector<float>& global = server.global_weights();
+  for (const std::size_t k : t.selected) {
+    by_id[k]->send(make_weights(
+        MsgType::kModelDown, {stats::derive_seed(params.round_seed, k + 1), global}));
+  }
+  std::vector<std::vector<float>> updates(t.selected.size());
+  for (std::size_t i = 0; i < t.selected.size(); ++i) {
+    WeightsMsg up =
+        parse_weights(expect_frame(*by_id[t.selected[i]], MsgType::kModelUpdate),
+                      MsgType::kModelUpdate);
+    if (up.seed != t.selected[i]) {
+      throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+    }
+    updates[i] = std::move(up.weights);
+  }
+  server.aggregate(updates);
+  t.global_weights = server.global_weights();
+  if (params.evaluate) t.accuracy = server.evaluate(dataset);
+
+  // --- shutdown: every client acknowledges by closing. ----------------------
+  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(make_shutdown());
+  for (std::size_t id = 0; id < N; ++id) {
+    while (by_id[id]->receive()) {
+      // drain stragglers until the peer closes
+    }
+    by_id[id]->close();
+  }
+  return t;
+}
+
+void serve_client(Transport& link, std::size_t client_id,
+                  const data::FederatedDataset& dataset, const nn::Sequential& prototype,
+                  const SessionParams& params) {
+  const core::RegistryCodec codec(params.num_classes, params.reference_set);
+  const auto samples = dataset.client_samples(client_id);
+  const fl::Client client(client_id, {samples.begin(), samples.end()}, &dataset);
+  const stats::Distribution& dist = client.label_distribution();
+
+  link.send(make_client_hello({static_cast<std::uint64_t>(client_id), kWireVersion}));
+
+  he::PublicKey pk;
+  bool have_key = false;
+  for (;;) {
+    auto frame = link.receive();
+    if (!frame) {
+      // The session ends with an explicit kShutdown; a bare EOF means the
+      // aggregator died mid-round and must not look like success.
+      throw TransportError("serve_client: server vanished before shutdown");
+    }
+    switch (frame->type) {
+      case MsgType::kServerHello: {
+        const ServerHello hello = parse_server_hello(*frame);
+        if (hello.cohort_index != client_id) {
+          throw TransportError("serve_client: server bound us to the wrong id");
+        }
+        if (hello.num_clients != dataset.num_clients()) {
+          // A cohort-size mismatch means the two processes were launched
+          // with different worlds — fail fast instead of completing a round
+          // whose transcript can only diverge.
+          throw TransportError("serve_client: cohort size mismatch (server says " +
+                               std::to_string(hello.num_clients) + ", local dataset has " +
+                               std::to_string(dataset.num_clients()) + ")");
+        }
+        break;
+      }
+      case MsgType::kKeyMaterial: {
+        // The agent dispatches the full keypair (paper §5.1). This endpoint
+        // only ever *encrypts*; the private half would let it decrypt the
+        // registry broadcast like any cohort member.
+        pk = parse_key_material(*frame).pub;
+        have_key = true;
+        break;
+      }
+      case MsgType::kRegistrationRequest: {
+        if (!have_key) throw TransportError("serve_client: registration before keys");
+        const SeedRequest req = parse_seed_request(*frame, MsgType::kRegistrationRequest);
+        const core::Registration reg = core::register_client(codec, dist, params.sigma);
+        link.send(make_registration_info({static_cast<std::uint64_t>(client_id), reg}));
+        link.send(encrypt_upload(MsgType::kRegistryUpload, pk, params,
+                                 core::to_onehot(codec, reg), req.seed));
+        break;
+      }
+      case MsgType::kRegistryBroadcast: {
+        // R_A arrives encrypted; nothing to do here — the selector state
+        // lives server-side in this harness (see src/net/README.md).
+        break;
+      }
+      case MsgType::kDistributionRequest: {
+        if (!have_key) throw TransportError("serve_client: distribution before keys");
+        const SeedRequest req = parse_seed_request(*frame, MsgType::kDistributionRequest);
+        link.send(encrypt_upload(
+            MsgType::kDistributionUpload, pk, params,
+            core::quantize_distribution(dist, params.secure.fixed_point_scale), req.seed));
+        break;
+      }
+      case MsgType::kModelDown: {
+        const WeightsMsg down = parse_weights(*frame, MsgType::kModelDown);
+        WeightsMsg up;
+        up.seed = client_id;
+        up.weights = client.train(prototype, down.weights, params.train, down.seed);
+        link.send(make_weights(MsgType::kModelUpdate, up));
+        break;
+      }
+      case MsgType::kShutdown: {
+        link.close();
+        return;
+      }
+      default:
+        throw WireError(WireErrc::kBadPayload,
+                        "client got unexpected " + to_string(frame->type));
+    }
+  }
+}
+
+RoundTranscript run_round_direct(const data::FederatedDataset& dataset,
+                                 const nn::Sequential& prototype,
+                                 const SessionParams& params,
+                                 fl::ChannelAccountant* channel) {
+  const core::RegistryCodec codec(params.num_classes, params.reference_set);
+  const auto& dists = dataset.partition().client_dists;
+  bigint::Xoshiro256ss he_rng(params.he_seed);
+  core::SecureSelectionSession session(codec, params.sigma, params.secure,
+                                       dataset.num_clients(), he_rng, channel);
+
+  RoundTranscript t;
+  auto reg = session.run_registration(dists);
+  t.overall_registry = reg.overall_registry;
+
+  core::DubheSelector selector(&codec, params.sigma);
+  selector.load_overall_registry(std::move(reg.overall_registry),
+                                 std::move(reg.registrations));
+  stats::Rng sel_rng(params.select_seed);
+  fill_from_outcome(t, core::multi_time_select(
+                           selector, params.num_classes, params.K, params.H, sel_rng,
+                           [&](std::size_t, std::span<const std::size_t> sel) {
+                             return session.aggregate_population(dists, sel);
+                           }));
+
+  fl::FederatedTrainer trainer(dataset, prototype, params.train, params.train_threads,
+                               channel);
+  const fl::RoundResult rr =
+      trainer.run_round(t.selected, params.round_seed, params.evaluate);
+  t.global_weights = trainer.server().global_weights();
+  if (params.evaluate) t.accuracy = rr.test_accuracy;
+  return t;
+}
+
+RoundTranscript run_loopback_round(const data::FederatedDataset& dataset,
+                                   const nn::Sequential& prototype,
+                                   const SessionParams& params,
+                                   fl::ChannelAccountant* channel) {
+  const std::size_t N = dataset.num_clients();
+  std::vector<std::shared_ptr<Transport>> server_side;
+  std::vector<std::shared_ptr<Transport>> client_side;
+  server_side.reserve(N);
+  client_side.reserve(N);
+  for (std::size_t id = 0; id < N; ++id) {
+    auto [a, b] = LoopbackTransport::make_pair();
+    server_side.push_back(std::move(a));
+    client_side.push_back(std::move(b));
+  }
+  // A protocol error on either side must surface as the typed exception,
+  // not std::terminate: client endpoints trap their exceptions, and the
+  // server side closes every pair (unblocking the endpoints) and joins
+  // before rethrowing.
+  std::vector<std::exception_ptr> client_errors(N);
+  std::vector<std::thread> clients;
+  clients.reserve(N);
+  for (std::size_t id = 0; id < N; ++id) {
+    clients.emplace_back([&, id] {
+      try {
+        serve_client(*client_side[id], id, dataset, prototype, params);
+      } catch (...) {
+        client_errors[id] = std::current_exception();
+        client_side[id]->close();
+      }
+    });
+  }
+  RoundTranscript t;
+  try {
+    t = run_server_round(server_side, dataset, prototype, params, channel);
+  } catch (...) {
+    for (auto& link : server_side) link->close();
+    for (auto& th : clients) th.join();
+    throw;
+  }
+  for (auto& th : clients) th.join();
+  for (auto& err : client_errors) {
+    if (err != nullptr) std::rethrow_exception(err);
+  }
+  return t;
+}
+
+}  // namespace dubhe::net

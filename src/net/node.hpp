@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/secure.hpp"
+#include "data/federated.hpp"
+#include "fl/trainer.hpp"
+#include "net/transport.hpp"
+#include "nn/sequential.hpp"
+
+namespace dubhe::net {
+
+/// Everything both ends of the protocol must agree on before a session:
+/// registry codebook, crypto parameters, training hyperparameters, and the
+/// seeds that make a round reproducible. In the multi-process deployment
+/// (tools/dubhe_node) every process derives this from the same CLI flags;
+/// in tests both sides share the struct.
+struct SessionParams {
+  std::size_t num_classes = 10;
+  std::vector<std::size_t> reference_set{1, 2, 10};
+  std::vector<double> sigma{0.7, 0.1, 0.0};
+  core::SecureConfig secure;
+  fl::TrainConfig train;
+  std::size_t K = 4;  // participants per round
+  std::size_t H = 3;  // tentative tries (multi-time selection, §5.3)
+  std::uint64_t he_seed = 5;      // keygen + session entropy
+  std::uint64_t select_seed = 9;  // the selector's Bernoulli/replenish stream
+  std::uint64_t round_seed = 1;   // per-client training seeds derive from this
+  std::size_t train_threads = 1;  // shards for the direct path's round loop
+  bool evaluate = true;
+};
+
+/// The result of one full secure round, with every field deterministic given
+/// (dataset, prototype, SessionParams). The acceptance contract of the net
+/// layer: direct in-process calls, LoopbackTransport, and TcpTransport all
+/// produce bitwise-equal transcripts.
+struct RoundTranscript {
+  std::vector<std::uint64_t> overall_registry;  // R_A
+  std::vector<double> try_emds;                 // || p_{o,h} - p_u ||_1 per try
+  std::size_t best_try = 0;
+  std::vector<std::size_t> selected;  // S_{h*}
+  stats::Distribution population;     // p_o of the winning try (secure aggregate)
+  double emd_star = 0;
+  std::vector<float> global_weights;  // after FedAvg of the winning set
+  double accuracy = 0;                // balanced-test-set top-1 (0 if !evaluate)
+
+  bool operator==(const RoundTranscript&) const = default;
+};
+
+/// FNV-1a over the weight bytes — the compact fingerprint the multi-process
+/// smoke test compares across processes.
+[[nodiscard]] std::uint64_t weights_fingerprint(std::span<const float> w);
+
+/// Renders a transcript as stable text (hex floats, one field per line) so
+/// two transcripts can be diffed across process boundaries.
+[[nodiscard]] std::string format_transcript(const RoundTranscript& t);
+
+/// Aggregator side: drives one secure-registration + multi-time-selection +
+/// training round over `links` (one established Transport per client;
+/// links[i] need not be client i — the hello exchange binds ids). Blocks
+/// until the round completes and every client was told to shut down.
+/// `dataset` provides the prototype's evaluation set; client data stays on
+/// the client endpoints. Throws TransportError / WireError on a misbehaving
+/// peer.
+RoundTranscript run_server_round(std::span<const std::shared_ptr<Transport>> links,
+                                 const data::FederatedDataset& dataset,
+                                 const nn::Sequential& prototype,
+                                 const SessionParams& params,
+                                 fl::ChannelAccountant* channel = nullptr);
+
+/// Client side: serves one session over `link` as client `client_id` —
+/// hello, key receipt, registration (Algorithm 1 + encrypted upload),
+/// per-try distribution uploads, local training — until the server's
+/// shutdown frame (or peer close). The client touches only its own shard of
+/// `dataset`.
+void serve_client(Transport& link, std::size_t client_id,
+                  const data::FederatedDataset& dataset, const nn::Sequential& prototype,
+                  const SessionParams& params);
+
+/// The reference path: the same round executed through direct in-process
+/// calls (SecureSelectionSession + DubheSelector + FederatedTrainer), no
+/// frames involved. Transport implementations are correct exactly when
+/// their transcript equals this one.
+RoundTranscript run_round_direct(const data::FederatedDataset& dataset,
+                                 const nn::Sequential& prototype,
+                                 const SessionParams& params,
+                                 fl::ChannelAccountant* channel = nullptr);
+
+/// Convenience harness for tests/benches/selftest: runs run_server_round
+/// against `dataset.num_clients()` in-process client threads over loopback
+/// pairs. Accounting (if `channel` is given) is attached to the server side
+/// of every pair.
+RoundTranscript run_loopback_round(const data::FederatedDataset& dataset,
+                                   const nn::Sequential& prototype,
+                                   const SessionParams& params,
+                                   fl::ChannelAccountant* channel = nullptr);
+
+}  // namespace dubhe::net

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+#include "net/wire.hpp"
+#include "paillier/encrypted_vector.hpp"
+#include "paillier/packing.hpp"
+
+namespace dubhe::net {
+
+/// Exact on-wire frame sizes (header included) of the messages the §6.4
+/// accounting tables count, computed without building the bytes. This
+/// header depends only on the frame format and the paillier layer, so the
+/// `core` and `fl` layers can price their traffic exactly without pulling
+/// in the rest of the net stack (codec/transport/node, which sit *above*
+/// them — see the README layering note).
+
+/// kModelDown / kModelUpdate: u64 seed-or-id + u32 count + f32 payload.
+[[nodiscard]] inline std::size_t wire_size_weights(std::size_t num_weights) {
+  return frame_wire_size(8 + 4 + 4 * num_weights);
+}
+
+[[nodiscard]] inline std::size_t wire_size_encrypted_vector(const he::PublicKey& pk,
+                                                            std::size_t slots) {
+  return frame_wire_size(he::serialized_size(pk, slots));
+}
+
+[[nodiscard]] inline std::size_t wire_size_packed_vector(const he::PublicKey& pk,
+                                                         const he::PackedCodec& codec,
+                                                         std::size_t logical) {
+  return frame_wire_size(he::serialized_size(pk, codec, logical));
+}
+
+[[nodiscard]] inline std::size_t wire_size_key_material(const he::Keypair& kp) {
+  return frame_wire_size(he::serialized_size(kp.pub) + he::serialized_size(kp.prv));
+}
+
+}  // namespace dubhe::net

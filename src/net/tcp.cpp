@@ -1,0 +1,438 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+namespace dubhe::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// All socket writes go through here: MSG_NOSIGNAL turns a dead peer into
+/// EPIPE (handled as an error path) instead of a process-killing SIGPIPE.
+ssize_t socket_write(int fd, const std::uint8_t* buf, std::size_t len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+// --- client transport --------------------------------------------------------
+
+TcpTransport::TcpTransport(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
+
+std::shared_ptr<TcpTransport> TcpTransport::connect(const std::string& host,
+                                                    std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("TcpTransport: not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect " + numeric + ":" + std::to_string(port));
+  }
+  set_nodelay(fd);
+  return std::shared_ptr<TcpTransport>(
+      new TcpTransport(fd, numeric + ":" + std::to_string(port)));
+}
+
+TcpTransport::~TcpTransport() {
+  close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpTransport::send(const Frame& frame) {
+  const std::vector<std::uint8_t> encoded = encode_frame(frame);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (closed_.load()) throw TransportError("TcpTransport: send after close");
+  std::size_t off = 0;
+  while (off < encoded.size()) {
+    const ssize_t n = socket_write(fd_, encoded.data() + off, encoded.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write to " + peer_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  account_sent(frame.type, encoded.size());
+}
+
+std::optional<Frame> TcpTransport::receive() {
+  for (;;) {
+    if (auto frame = reader_.next()) {
+      account_received(frame->type, frame_wire_size(frame->payload.size()));
+      return frame;
+    }
+    std::uint8_t buf[kReadChunk];
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (closed_.load()) return std::nullopt;
+      throw_errno("read from " + peer_);
+    }
+    if (n == 0) {
+      // A locally initiated close() also surfaces as EOF (shutdown wakes the
+      // read); only blame the peer for a mid-frame cut when it really left.
+      if (reader_.buffered() > 0 && !closed_.load()) {
+        throw WireError(WireErrc::kTruncated, "peer closed mid-frame");
+      }
+      return std::nullopt;
+    }
+    reader_.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+void TcpTransport::close() {
+  if (!closed_.exchange(true)) {
+    // shutdown (not close) so a receive() blocked in read() wakes with EOF
+    // instead of racing a reused descriptor.
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+// --- server ------------------------------------------------------------------
+
+struct TcpServer::Conn {
+  /// Inbound backpressure: once a connection's inbox holds this many
+  /// undelivered frames, the event loop stops polling its fd for POLLIN
+  /// (kernel buffers then throttle the peer via TCP flow control), and
+  /// receive() wakes the loop when it drains below the mark — so a peer
+  /// streaming frames faster than the driver consumes them cannot grow
+  /// server memory without bound.
+  static constexpr std::size_t kInboxHighWater = 256;
+
+  int fd = -1;
+  std::string peer;
+  FrameReader reader;  // touched only by the event loop
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::deque<Frame> inbox;
+  std::deque<std::vector<std::uint8_t>> sendq;
+  std::size_t send_off = 0;      // bytes of sendq.front() already written
+  bool peer_gone = false;        // EOF / error seen, or loop tore it down
+  bool want_close = false;       // user close(): flush sendq, then close fd
+  std::exception_ptr decode_error;  // malformed bytes from the peer
+};
+
+/// The Transport face of one accepted connection. Lifetime: holds the Conn
+/// alive; the owning TcpServer must outlive its transports (the protocol
+/// drivers keep the server on the same scope).
+class TcpServer::ConnTransport final : public Transport {
+ public:
+  ConnTransport(TcpServer* server, std::shared_ptr<Conn> conn)
+      : server_(server), conn_(std::move(conn)) {}
+
+  void send(const Frame& frame) override {
+    std::vector<std::uint8_t> encoded = encode_frame(frame);
+    const std::size_t size = encoded.size();
+    {
+      std::lock_guard<std::mutex> lock(conn_->m);
+      if (conn_->peer_gone || conn_->want_close) {
+        throw TransportError("TcpServer: send on a closed connection");
+      }
+      conn_->sendq.push_back(std::move(encoded));
+    }
+    server_->wake();
+    account_sent(frame.type, size);
+  }
+
+  std::optional<Frame> receive() override {
+    std::unique_lock<std::mutex> lock(conn_->m);
+    conn_->cv.wait(lock, [&] {
+      return !conn_->inbox.empty() || conn_->peer_gone || conn_->want_close ||
+             conn_->decode_error != nullptr;
+    });
+    if (!conn_->inbox.empty()) {
+      Frame frame = std::move(conn_->inbox.front());
+      conn_->inbox.pop_front();
+      const bool resume_reads = conn_->inbox.size() == Conn::kInboxHighWater - 1;
+      lock.unlock();
+      if (resume_reads) server_->wake();  // fd may be parked above high water
+      account_received(frame.type, frame_wire_size(frame.payload.size()));
+      return frame;
+    }
+    if (conn_->decode_error != nullptr) std::rethrow_exception(conn_->decode_error);
+    return std::nullopt;
+  }
+
+  void close() override {
+    {
+      std::lock_guard<std::mutex> lock(conn_->m);
+      conn_->want_close = true;
+    }
+    conn_->cv.notify_all();
+    server_->wake();
+  }
+
+  [[nodiscard]] std::string peer_name() const override { return conn_->peer; }
+
+ private:
+  TcpServer* server_;
+  std::shared_ptr<Conn> conn_;
+};
+
+TcpServer::TcpServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind/listen 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) {
+    ::close(listen_fd_);
+    throw_errno("pipe");
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  loop_ = std::thread([this] { event_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::wake() {
+  const std::uint8_t b = 0;
+  // EAGAIN (pipe full) is fine: a wakeup is already pending.
+  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+}
+
+std::shared_ptr<Transport> TcpServer::accept() {
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_cv_.wait(lock, [&] { return !pending_.empty() || stopping_.load(); });
+  if (pending_.empty()) return nullptr;
+  auto t = std::move(pending_.front());
+  pending_.pop_front();
+  return t;
+}
+
+void TcpServer::close_conn_locked(std::shared_ptr<Conn>& conn) {
+  // Caller holds conn->m. Close the descriptor and mark the connection dead;
+  // receivers wake and drain whatever is already in the inbox.
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conn->peer_gone = true;
+}
+
+void TcpServer::event_loop() {
+  while (!stopping_.load()) {
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Conn>> polled;
+    fds.push_back({wake_r_, POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        auto& conn = it->second;
+        std::lock_guard<std::mutex> conn_lock(conn->m);
+        if (conn->fd < 0) {
+          it = conns_.erase(it);
+          continue;
+        }
+        short events = conn->inbox.size() < Conn::kInboxHighWater ? POLLIN : 0;
+        if (!conn->sendq.empty() || conn->want_close) events |= POLLOUT;
+        fds.push_back({conn->fd, events, 0});
+        polled.push_back(conn);
+        ++it;
+      }
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {  // drain wakeups
+      std::uint8_t buf[64];
+      while (::read(wake_r_, buf, sizeof buf) > 0) {
+      }
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {  // accept new connections
+      for (;;) {
+        sockaddr_in peer{};
+        socklen_t plen = sizeof peer;
+        const int fd =
+            ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen);
+        if (fd < 0) {
+          if (errno == EINTR || errno == ECONNABORTED) continue;
+          if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            // Hard error (EMFILE/ENFILE/...): the level-triggered listener
+            // would re-fire immediately and spin the loop at 100% — back
+            // off briefly so descriptors can free up.
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+          break;
+        }
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        char ip[INET_ADDRSTRLEN] = "?";
+        ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        conn->peer = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
+        auto transport = std::make_shared<ConnTransport>(this, conn);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          conns_[fd] = conn;
+          pending_.push_back(std::move(transport));
+        }
+        pending_cv_.notify_one();
+      }
+    }
+
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      auto& conn = polled[i];
+      const short revents = fds[i + 2].revents;
+      if (revents == 0) continue;
+
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        bool eof = (revents & (POLLHUP | POLLERR)) != 0 && (revents & POLLIN) == 0;
+        for (;;) {
+          std::uint8_t buf[kReadChunk];
+          const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+          if (n > 0) {
+            bool over_high_water = false;
+            try {
+              conn->reader.feed({buf, static_cast<std::size_t>(n)});
+              std::lock_guard<std::mutex> lock(conn->m);
+              while (auto frame = conn->reader.next()) {
+                conn->inbox.push_back(std::move(*frame));
+              }
+              over_high_water = conn->inbox.size() >= Conn::kInboxHighWater;
+            } catch (...) {
+              std::lock_guard<std::mutex> lock(conn->m);
+              conn->decode_error = std::current_exception();
+              close_conn_locked(conn);
+              break;
+            }
+            // Enforce the high-water bound inside the burst too: stop
+            // reading this connection (bytes stay in the kernel buffer and
+            // TCP flow control takes over) and let other connections run.
+            if (over_high_water) break;
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          eof = true;  // orderly EOF or hard error
+          break;
+        }
+        if (eof) {
+          std::lock_guard<std::mutex> lock(conn->m);
+          close_conn_locked(conn);
+        }
+        conn->cv.notify_all();
+      }
+
+      if ((revents & POLLOUT) != 0) {
+        std::lock_guard<std::mutex> lock(conn->m);
+        while (conn->fd >= 0 && !conn->sendq.empty()) {
+          const auto& front = conn->sendq.front();
+          const ssize_t n = socket_write(conn->fd, front.data() + conn->send_off,
+                                         front.size() - conn->send_off);
+          if (n < 0) {
+            if (errno == EINTR) continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            close_conn_locked(conn);  // peer reset mid-write
+            conn->cv.notify_all();
+            break;
+          }
+          conn->send_off += static_cast<std::size_t>(n);
+          if (conn->send_off == front.size()) {
+            conn->sendq.pop_front();
+            conn->send_off = 0;
+          }
+        }
+        if (conn->fd >= 0 && conn->want_close && conn->sendq.empty()) {
+          close_conn_locked(conn);
+          conn->cv.notify_all();
+        }
+      }
+    }
+  }
+
+  // Loop exit — requested via stop() or forced by a hard poll() failure:
+  // either way, mark the server stopping so accept() cannot block forever,
+  // tear every connection down, and wake every waiter.
+  stopping_.store(true);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [fd, conn] : conns_) {
+    std::lock_guard<std::mutex> conn_lock(conn->m);
+    close_conn_locked(conn);
+    conn->cv.notify_all();
+  }
+  conns_.clear();
+  pending_cv_.notify_all();
+}
+
+void TcpServer::stop() {
+  // Idempotent; not meant to be raced from several threads (the owner —
+  // typically the destructor — calls it).
+  stopping_.store(true);
+  wake();
+  if (loop_.joinable()) loop_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_r_ >= 0) {
+    ::close(wake_r_);
+    ::close(wake_w_);
+    wake_r_ = wake_w_ = -1;
+  }
+  pending_cv_.notify_all();
+}
+
+}  // namespace dubhe::net

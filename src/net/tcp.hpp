@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace dubhe::net {
+
+/// Client-side TCP endpoint: a blocking connected socket speaking the frame
+/// protocol. connect() resolves only dotted-quad / localhost addresses (the
+/// deployment story here is aggregator + clients on a LAN; no resolver
+/// dependency). TCP_NODELAY is set — frames are request/response sized, and
+/// Nagle coalescing only adds latency.
+class TcpTransport final : public Transport {
+ public:
+  /// Throws TransportError if the connection cannot be established.
+  static std::shared_ptr<TcpTransport> connect(const std::string& host,
+                                               std::uint16_t port);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void send(const Frame& frame) override;
+  std::optional<Frame> receive() override;
+  void close() override;
+  [[nodiscard]] std::string peer_name() const override { return peer_; }
+
+ private:
+  TcpTransport(int fd, std::string peer);
+
+  int fd_ = -1;
+  std::string peer_;
+  FrameReader reader_;
+  std::mutex send_mu_;  // serializes whole frames if a caller does fan-in
+  std::atomic<bool> closed_{false};
+};
+
+/// The aggregation server's listener: one background thread runs a poll(2)
+/// event loop over the listening socket and every accepted connection —
+/// nonblocking reads feed per-connection FrameReaders, nonblocking writes
+/// drain per-connection send queues (a slow client backs up its own queue,
+/// never the loop). Each accepted connection is surfaced as a Transport;
+/// send() on it enqueues and wakes the loop via a self-pipe, receive() pops
+/// the connection's inbox.
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back with
+  /// port()). Throws TransportError on bind/listen failure.
+  explicit TcpServer(std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until the next client connects (nullptr once stop() was called).
+  std::shared_ptr<Transport> accept();
+
+  /// Closes the listener and every connection, and joins the event loop.
+  /// Called by the destructor; safe to call twice.
+  void stop();
+
+ private:
+  struct Conn;
+  class ConnTransport;
+
+  void event_loop();
+  void wake();
+  void close_conn_locked(std::shared_ptr<Conn>& conn);
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;  // guards conns_ and pending_
+  std::map<int, std::shared_ptr<Conn>> conns_;
+  std::deque<std::shared_ptr<Transport>> pending_;
+  std::condition_variable pending_cv_;
+};
+
+}  // namespace dubhe::net

@@ -1,0 +1,84 @@
+#include "net/transport.hpp"
+
+#include "net/codec.hpp"
+
+namespace dubhe::net {
+
+void Transport::set_accountant(fl::ChannelAccountant* accountant, fl::Direction outbound) {
+  accountant_ = accountant;
+  outbound_ = outbound;
+}
+
+void Transport::account_sent(MsgType type, std::size_t frame_bytes) const {
+  if (accountant_ != nullptr) {
+    accountant_->record(account_kind(type), outbound_, frame_bytes);
+  }
+}
+
+void Transport::account_received(MsgType type, std::size_t frame_bytes) const {
+  if (accountant_ != nullptr) {
+    const auto inbound = outbound_ == fl::Direction::kServerToClient
+                             ? fl::Direction::kClientToServer
+                             : fl::Direction::kServerToClient;
+    accountant_->record(account_kind(type), inbound, frame_bytes);
+  }
+}
+
+std::pair<std::shared_ptr<LoopbackTransport>, std::shared_ptr<LoopbackTransport>>
+LoopbackTransport::make_pair(LinkModel model) {
+  auto shared = std::make_shared<Shared>();
+  shared->model = model;
+  auto a = std::shared_ptr<LoopbackTransport>(new LoopbackTransport(shared, true));
+  auto b = std::shared_ptr<LoopbackTransport>(new LoopbackTransport(shared, false));
+  return {std::move(a), std::move(b)};
+}
+
+void LoopbackTransport::send(const Frame& frame) {
+  std::vector<std::uint8_t> encoded = encode_frame(frame);
+  const std::size_t size = encoded.size();
+  Queue& q = out();
+  {
+    std::lock_guard<std::mutex> lock(q.m);
+    if (q.closed) throw TransportError("loopback: send on a closed channel");
+    q.busy_seconds += shared_->model.latency_seconds;
+    if (shared_->model.bytes_per_second > 0) {
+      q.busy_seconds += static_cast<double>(size) / shared_->model.bytes_per_second;
+    }
+    q.frames.push_back(std::move(encoded));
+  }
+  q.cv.notify_one();
+  account_sent(frame.type, size);
+}
+
+std::optional<Frame> LoopbackTransport::receive() {
+  Queue& q = in();
+  std::vector<std::uint8_t> encoded;
+  {
+    std::unique_lock<std::mutex> lock(q.m);
+    q.cv.wait(lock, [&] { return !q.frames.empty() || q.closed; });
+    if (q.frames.empty()) return std::nullopt;
+    encoded = std::move(q.frames.front());
+    q.frames.pop_front();
+  }
+  Frame frame = decode_frame(encoded);
+  account_received(frame.type, encoded.size());
+  return frame;
+}
+
+void LoopbackTransport::close() {
+  for (Queue* q : {&shared_->a_to_b, &shared_->b_to_a}) {
+    {
+      std::lock_guard<std::mutex> lock(q->m);
+      q->closed = true;
+    }
+    q->cv.notify_all();
+  }
+}
+
+double LoopbackTransport::simulated_seconds() const {
+  const Queue& q = out();
+  std::lock_guard<std::mutex> lock(q.m);
+  return q.busy_seconds;
+}
+
+}  // namespace dubhe::net

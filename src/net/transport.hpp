@@ -1,0 +1,114 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "fl/channel.hpp"
+#include "net/wire.hpp"
+
+namespace dubhe::net {
+
+/// A transport failed outside the wire format itself (peer gone, socket
+/// error, send after close). Framing violations keep throwing WireError.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One endpoint of a bidirectional, ordered, reliable frame channel — the
+/// abstraction the FL protocol runs on. Implementations: LoopbackTransport
+/// (in-process queue pair) and the TCP endpoints in net/tcp.hpp. One logical
+/// user per endpoint: concurrent send() calls from several threads on the
+/// same endpoint are not part of the contract (the protocol never needs
+/// them), but send/receive from two different threads is safe.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocking, ordered delivery of one frame. Throws TransportError if the
+  /// channel is closed, WireError{kOversized} if the frame cannot encode.
+  virtual void send(const Frame& frame) = 0;
+  /// Blocks for the next frame; nullopt once the peer has closed and the
+  /// queue is drained. Throws WireError if the peer sent malformed bytes.
+  virtual std::optional<Frame> receive() = 0;
+  /// Idempotent. Wakes any blocked receive() on both ends.
+  virtual void close() = 0;
+  [[nodiscard]] virtual std::string peer_name() const = 0;
+
+  /// Attaches a §6.4 ledger to this endpoint: every frame sent is recorded
+  /// under (account_kind(type), outbound) and every frame received under the
+  /// opposite direction, with the *exact* encoded frame size. Attach to one
+  /// side only (the aggregator's) when both ends share an accountant, or
+  /// every message is counted twice.
+  void set_accountant(fl::ChannelAccountant* accountant, fl::Direction outbound);
+
+ protected:
+  void account_sent(MsgType type, std::size_t frame_bytes) const;
+  void account_received(MsgType type, std::size_t frame_bytes) const;
+
+ private:
+  fl::ChannelAccountant* accountant_ = nullptr;
+  fl::Direction outbound_ = fl::Direction::kServerToClient;
+};
+
+/// Optional loopback link model: each frame charges latency + size/bandwidth
+/// of *virtual* seconds to its direction's clock (no real sleeping), so
+/// benches can price a WAN without simulating one.
+struct LinkModel {
+  double latency_seconds = 0;
+  double bytes_per_second = 0;  // 0 = infinite bandwidth
+};
+
+/// The deterministic in-process transport: a pair of endpoints joined by two
+/// mutex/condvar frame queues (single producer, single consumer per
+/// direction — uncontended in practice, and race-checked under the TSan
+/// preset). Frames are carried as their *encoded* bytes and re-decoded on
+/// receive, so loopback exercises the exact codec path TCP does and the
+/// accounted sizes are the true wire sizes.
+class LoopbackTransport final : public Transport {
+ public:
+  /// Creates the two joined endpoints. `model` applies to both directions.
+  static std::pair<std::shared_ptr<LoopbackTransport>, std::shared_ptr<LoopbackTransport>>
+  make_pair(LinkModel model = {});
+
+  void send(const Frame& frame) override;
+  std::optional<Frame> receive() override;
+  void close() override;
+  [[nodiscard]] std::string peer_name() const override { return "loopback"; }
+
+  /// Virtual seconds this endpoint's outbound link has been busy.
+  [[nodiscard]] double simulated_seconds() const;
+
+ private:
+  struct Queue {
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> frames;  // encoded
+    bool closed = false;
+    double busy_seconds = 0;
+  };
+  struct Shared {
+    Queue a_to_b;
+    Queue b_to_a;
+    LinkModel model;
+  };
+
+  LoopbackTransport(std::shared_ptr<Shared> shared, bool is_a)
+      : shared_(std::move(shared)), is_a_(is_a) {}
+
+  Queue& out() { return is_a_ ? shared_->a_to_b : shared_->b_to_a; }
+  Queue& in() { return is_a_ ? shared_->b_to_a : shared_->a_to_b; }
+  [[nodiscard]] const Queue& out() const { return is_a_ ? shared_->a_to_b : shared_->b_to_a; }
+
+  std::shared_ptr<Shared> shared_;
+  bool is_a_;
+};
+
+}  // namespace dubhe::net

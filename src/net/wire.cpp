@@ -1,0 +1,189 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+
+namespace dubhe::net {
+
+namespace {
+
+/// Big-endian u32 helpers shared by the header fields.
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) | static_cast<std::uint32_t>(in[3]);
+}
+
+struct Crc32Table {
+  std::array<std::uint32_t, 256> t{};
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+constexpr Crc32Table kCrcTable;
+
+/// Validates a complete 16-byte header and returns the payload length it
+/// promises. Truncation is the caller's concern: decode_frame treats
+/// missing payload bytes as an error, FrameReader as "wait for more".
+std::size_t check_header(std::span<const std::uint8_t> h, std::size_t max_payload) {
+  if (!std::equal(kMagic.begin(), kMagic.end(), h.begin())) {
+    throw WireError(WireErrc::kBadMagic, "frame does not start with DUBH");
+  }
+  if (h[4] != kWireVersion) {
+    throw WireError(WireErrc::kBadVersion,
+                    "wire version " + std::to_string(h[4]) + " (expected " +
+                        std::to_string(kWireVersion) + ")");
+  }
+  if (!is_valid(static_cast<MsgType>(h[5]))) {
+    throw WireError(WireErrc::kBadType, "unknown message type " + std::to_string(h[5]));
+  }
+  if (h[6] != 0 || h[7] != 0) {
+    throw WireError(WireErrc::kBadFlags, "nonzero flags in a version-1 frame");
+  }
+  const std::size_t len = get_u32(h.data() + 8);
+  if (len > max_payload) {
+    throw WireError(WireErrc::kOversized, "payload length " + std::to_string(len) +
+                                              " exceeds limit " +
+                                              std::to_string(max_payload));
+  }
+  return len;
+}
+
+}  // namespace
+
+bool is_valid(MsgType type) {
+  const auto v = static_cast<std::uint8_t>(type);
+  return v >= static_cast<std::uint8_t>(MsgType::kClientHello) &&
+         v <= static_cast<std::uint8_t>(MsgType::kShutdown);
+}
+
+std::string to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kClientHello: return "client_hello";
+    case MsgType::kServerHello: return "server_hello";
+    case MsgType::kKeyMaterial: return "key_material";
+    case MsgType::kRegistrationRequest: return "registration_request";
+    case MsgType::kRegistrationInfo: return "registration_info";
+    case MsgType::kRegistryUpload: return "registry_upload";
+    case MsgType::kRegistryBroadcast: return "registry_broadcast";
+    case MsgType::kDistributionRequest: return "distribution_request";
+    case MsgType::kDistributionUpload: return "distribution_upload";
+    case MsgType::kModelDown: return "model_down";
+    case MsgType::kModelUpdate: return "model_update";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "msg_type(" + std::to_string(static_cast<int>(type)) + ")";
+}
+
+std::string to_string(WireErrc code) {
+  switch (code) {
+    case WireErrc::kShortBuffer: return "short buffer";
+    case WireErrc::kBadMagic: return "bad magic";
+    case WireErrc::kBadVersion: return "bad version";
+    case WireErrc::kBadType: return "bad message type";
+    case WireErrc::kBadFlags: return "bad flags";
+    case WireErrc::kOversized: return "oversized frame";
+    case WireErrc::kTruncated: return "truncated frame";
+    case WireErrc::kBadCrc: return "crc mismatch";
+    case WireErrc::kBadPayload: return "bad payload";
+  }
+  return "wire error";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = kCrcTable.t[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame, std::size_t max_payload) {
+  if (!is_valid(frame.type)) {
+    throw WireError(WireErrc::kBadType, "refusing to encode an unknown message type");
+  }
+  if (frame.payload.size() > max_payload ||
+      frame.payload.size() > std::size_t{0xFFFFFFFF}) {
+    throw WireError(WireErrc::kOversized,
+                    "payload of " + std::to_string(frame.payload.size()) + " bytes");
+  }
+  std::vector<std::uint8_t> out(kFrameHeaderBytes + frame.payload.size());
+  std::copy(kMagic.begin(), kMagic.end(), out.begin());
+  out[4] = kWireVersion;
+  out[5] = static_cast<std::uint8_t>(frame.type);
+  out[6] = 0;
+  out[7] = 0;
+  put_u32(out.data() + 8, static_cast<std::uint32_t>(frame.payload.size()));
+  put_u32(out.data() + 12, crc32(frame.payload));
+  std::copy(frame.payload.begin(), frame.payload.end(), out.begin() + kFrameHeaderBytes);
+  return out;
+}
+
+Frame decode_frame(std::span<const std::uint8_t> bytes, std::size_t max_payload) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw WireError(WireErrc::kShortBuffer,
+                    std::to_string(bytes.size()) + " bytes is smaller than a header");
+  }
+  const std::size_t len = check_header(bytes.first(kFrameHeaderBytes), max_payload);
+  if (bytes.size() < kFrameHeaderBytes + len) {
+    throw WireError(WireErrc::kTruncated,
+                    "header promises " + std::to_string(len) + " payload bytes, " +
+                        std::to_string(bytes.size() - kFrameHeaderBytes) + " present");
+  }
+  if (bytes.size() != kFrameHeaderBytes + len) {
+    throw WireError(WireErrc::kBadPayload,
+                    std::to_string(bytes.size() - kFrameHeaderBytes - len) +
+                        " trailing bytes after the frame");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(bytes[5]);
+  frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+  const std::uint32_t want = get_u32(bytes.data() + 12);
+  if (crc32(frame.payload) != want) {
+    throw WireError(WireErrc::kBadCrc, "payload does not match its checksum");
+  }
+  return frame;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  // Compact before growing: drop the already-consumed prefix once it
+  // dominates the buffer, so a long-lived connection does not accrete its
+  // whole history.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+  const std::size_t len = check_header({h, kFrameHeaderBytes}, max_payload_);
+  if (avail < kFrameHeaderBytes + len) return std::nullopt;
+  // Slice the payload straight out of the buffer (the header was just
+  // validated; re-running decode_frame would copy the payload twice on
+  // every received frame — this is the transport hot path).
+  Frame frame;
+  frame.type = static_cast<MsgType>(h[5]);
+  frame.payload.assign(h + kFrameHeaderBytes, h + kFrameHeaderBytes + len);
+  const std::uint32_t want = get_u32(h + 12);
+  pos_ += kFrameHeaderBytes + len;
+  if (crc32(frame.payload) != want) {
+    throw WireError(WireErrc::kBadCrc, "payload does not match its checksum");
+  }
+  return frame;
+}
+
+}  // namespace dubhe::net

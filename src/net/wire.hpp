@@ -1,0 +1,132 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dubhe::net {
+
+/// Everything the Dubhe protocol puts on a wire travels inside one frame
+/// format (see src/net/README.md for the byte-layout table):
+///
+///   [0..3]   magic "DUBH"
+///   [4]      wire version (kWireVersion)
+///   [5]      message type (MsgType)
+///   [6..7]   flags, big-endian u16, must be zero in version 1
+///   [8..11]  payload length, big-endian u32
+///   [12..15] CRC32 (IEEE) of the payload, big-endian u32
+///   [16..]   payload
+///
+/// Integers inside payloads are big-endian too, matching the length-prefixed
+/// big-endian convention of the paillier serialization layer underneath.
+
+inline constexpr std::array<std::uint8_t, 4> kMagic{'D', 'U', 'B', 'H'};
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Decoder-side ceiling on a single frame's payload. Frames whose length
+/// prefix exceeds this are rejected before any allocation, so a corrupted
+/// (or hostile) length field cannot make the receiver reserve gigabytes.
+inline constexpr std::size_t kDefaultMaxPayload = std::size_t{1} << 26;  // 64 MiB
+
+/// Every message the client <-> aggregator protocol exchanges. Values are
+/// wire-stable: append new types, never renumber.
+enum class MsgType : std::uint8_t {
+  kClientHello = 1,          // C->S: client id + protocol version
+  kServerHello = 2,          // S->C: session seed + cohort shape
+  kKeyMaterial = 3,          // S->C: Paillier keypair dispatch (agent role)
+  kRegistrationRequest = 4,  // S->C: encrypt-your-registry order + stream seed
+  kRegistrationInfo = 5,     // C->S: plaintext registration entry (experiment plane)
+  kRegistryUpload = 6,       // C->S: encrypted one-hot registry
+  kRegistryBroadcast = 7,    // S->C: encrypted registry sum R_A
+  kDistributionRequest = 8,  // S->C: encrypt-your-p_l order (one per tentative try)
+  kDistributionUpload = 9,   // C->S: encrypted fixed-point label distribution
+  kModelDown = 10,           // S->C: global model weights + training seed
+  kModelUpdate = 11,         // C->S: locally trained weights
+  kShutdown = 12,            // S->C: session over, close the connection
+};
+
+[[nodiscard]] bool is_valid(MsgType type);
+[[nodiscard]] std::string to_string(MsgType type);
+
+/// Why a frame (or payload) was rejected. Each enumerator corresponds to one
+/// adversarial-decode test in tests/test_net_wire.cpp.
+enum class WireErrc {
+  kShortBuffer,  // one-shot decode: buffer smaller than a frame header
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kBadFlags,
+  kOversized,  // length prefix exceeds the decoder's max payload
+  kTruncated,  // header promises more payload bytes than are present
+  kBadCrc,
+  kBadPayload,  // frame intact, payload malformed for its type
+};
+
+[[nodiscard]] std::string to_string(WireErrc code);
+
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireErrc code, const std::string& what)
+      : std::runtime_error(to_string(code) + ": " + what), code_(code) {}
+
+  [[nodiscard]] WireErrc code() const { return code_; }
+
+ private:
+  WireErrc code_;
+};
+
+/// One decoded message: type tag plus opaque payload bytes. The payload
+/// codecs in net/codec.hpp give these a typed meaning.
+struct Frame {
+  MsgType type = MsgType::kShutdown;
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), the integrity check
+/// carried by every frame.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Total on-wire size of a frame carrying `payload_bytes` of payload.
+[[nodiscard]] constexpr std::size_t frame_wire_size(std::size_t payload_bytes) {
+  return kFrameHeaderBytes + payload_bytes;
+}
+
+/// Encodes one frame. Throws WireError{kOversized} if the payload exceeds
+/// `max_payload` (senders enforce the same ceiling receivers do, so an
+/// oversized message fails loudly at the producer instead of poisoning the
+/// stream).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    const Frame& frame, std::size_t max_payload = kDefaultMaxPayload);
+
+/// One-shot decode of a buffer holding exactly one frame (trailing bytes are
+/// rejected as kBadPayload). Throws WireError on any malformation.
+[[nodiscard]] Frame decode_frame(std::span<const std::uint8_t> bytes,
+                                 std::size_t max_payload = kDefaultMaxPayload);
+
+/// Incremental decoder for a byte stream: feed() whatever the socket
+/// delivered, then drain next() until it returns nullopt. Malformed input
+/// throws WireError and leaves the reader unusable (a framing error on a
+/// stream is unrecoverable — the connection must be dropped).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::uint8_t> bytes);
+  /// Next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::size_t max_payload_;
+};
+
+}  // namespace dubhe::net

@@ -55,7 +55,8 @@ class EncryptedVector {
   [[nodiscard]] const PublicKey& public_key() const { return pk_; }
   [[nodiscard]] const std::vector<Ciphertext>& slots() const { return slots_; }
 
-  /// Exact serialized size in bytes (what the FL channel counts).
+  /// Exact serialized size in bytes of the bare slot payload (no key
+  /// header; what serialize_bytes emits).
   [[nodiscard]] std::size_t byte_size() const;
   [[nodiscard]] std::vector<std::uint8_t> serialize_bytes() const;
 
@@ -63,5 +64,17 @@ class EncryptedVector {
   PublicKey pk_;
   std::vector<Ciphertext> slots_;
 };
+
+/// Self-contained wire form: 'V' tag, big-endian u32 slot count, the public
+/// key (serialize(PublicKey)), then each slot as serialize(Ciphertext).
+/// deserialize_encrypted_vector is the exact inverse; it throws
+/// std::invalid_argument on a bad tag, truncation, trailing bytes, or a
+/// slot value outside Z_{n^2}. This is the payload the net wire codec
+/// carries for registry and distribution messages.
+std::vector<std::uint8_t> serialize(const EncryptedVector& v);
+EncryptedVector deserialize_encrypted_vector(std::span<const std::uint8_t> bytes);
+/// Exact size of serialize() for a `slots`-long vector under `pk`, without
+/// building the bytes — what exact channel accounting uses.
+std::size_t serialized_size(const PublicKey& pk, std::size_t slots);
 
 }  // namespace dubhe::he

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "paillier/serial_util.hpp"
+
 namespace dubhe::he {
 
 PackedCodec::PackedCodec(std::size_t capacity_bits, std::size_t slot_bits)
@@ -57,6 +59,16 @@ std::vector<std::uint64_t> PackedCodec::decode(std::span<const BigUint> plaintex
   return out;
 }
 
+PackedEncryptedVector::PackedEncryptedVector(PublicKey pk, PackedCodec codec,
+                                             std::size_t logical_size,
+                                             std::vector<Ciphertext> cts)
+    : pk_(std::move(pk)), codec_(codec), count_(logical_size), cts_(std::move(cts)) {
+  if (cts_.size() != codec_.plaintexts_for(count_)) {
+    throw std::invalid_argument(
+        "PackedEncryptedVector: ciphertext count does not match the codec");
+  }
+}
+
 PackedEncryptedVector PackedEncryptedVector::encrypt(
     const PublicKey& pk, const PackedCodec& codec,
     std::span<const std::uint64_t> values, bigint::EntropySource& rng,
@@ -88,8 +100,12 @@ PackedEncryptedVector PackedEncryptedVector::encrypt_direct(
 }
 
 PackedEncryptedVector& PackedEncryptedVector::operator+=(const PackedEncryptedVector& o) {
-  if (count_ != o.count_ || cts_.size() != o.cts_.size()) {
+  if (count_ != o.count_ || cts_.size() != o.cts_.size() ||
+      codec_.slot_bits() != o.codec_.slot_bits()) {
     throw std::invalid_argument("PackedEncryptedVector: size mismatch");
+  }
+  if (!(pk_ == o.pk_)) {
+    throw std::invalid_argument("PackedEncryptedVector: key mismatch");
   }
   for (std::size_t i = 0; i < cts_.size(); ++i) {
     cts_[i] = pk_.add(cts_[i], o.cts_[i]);
@@ -104,6 +120,70 @@ std::vector<std::uint64_t> PackedEncryptedVector::decrypt(
 
 std::size_t PackedEncryptedVector::byte_size() const {
   return cts_.size() * (4 + pk_.ciphertext_bytes());
+}
+
+std::vector<std::uint8_t> serialize(const PackedEncryptedVector& v) {
+  std::vector<std::uint8_t> out;
+  out.reserve(serialized_size(v.public_key(), v.codec(), v.logical_size()));
+  out.push_back('K');
+  detail::put_u32_be(out, v.logical_size(), "PackedEncryptedVector");
+  detail::put_u32_be(out, v.codec().slot_bits(), "PackedEncryptedVector");
+  detail::put_u32_be(out, v.codec().slots_per_plaintext(), "PackedEncryptedVector");
+  detail::put_u32_be(out, v.ciphertext_count(), "PackedEncryptedVector");
+  const auto pk_bytes = serialize(v.public_key());
+  out.insert(out.end(), pk_bytes.begin(), pk_bytes.end());
+  for (const Ciphertext& ct : v.ciphertexts()) {
+    const auto ct_bytes = serialize(ct, v.public_key());
+    out.insert(out.end(), ct_bytes.begin(), ct_bytes.end());
+  }
+  return out;
+}
+
+PackedEncryptedVector deserialize_packed_encrypted_vector(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes[0] != 'K') {
+    throw std::invalid_argument("PackedEncryptedVector: bad tag");
+  }
+  bytes = bytes.subspan(1);
+  const std::size_t logical = detail::get_u32_be(bytes, "PackedEncryptedVector");
+  const std::size_t slot_bits = detail::get_u32_be(bytes, "PackedEncryptedVector");
+  const std::size_t slots_per_pt = detail::get_u32_be(bytes, "PackedEncryptedVector");
+  const std::size_t ct_count = detail::get_u32_be(bytes, "PackedEncryptedVector");
+  if (slot_bits == 0 || slot_bits > 64 || slots_per_pt == 0) {
+    throw std::invalid_argument("PackedEncryptedVector: bad packing geometry");
+  }
+  const PackedCodec codec(slots_per_pt * slot_bits, slot_bits);
+  if (codec.slots_per_plaintext() != slots_per_pt) {
+    throw std::invalid_argument("PackedEncryptedVector: inconsistent geometry");
+  }
+  PublicKey pk = deserialize_public_key_prefix(bytes);
+  const std::size_t body = pk.ciphertext_bytes();
+  if (bytes.size() != ct_count * (4 + body)) {
+    throw std::invalid_argument("PackedEncryptedVector: ciphertext payload mismatch");
+  }
+  std::vector<Ciphertext> cts;
+  cts.reserve(ct_count);
+  const BigUint& n2 = pk.n_squared();
+  for (std::size_t i = 0; i < ct_count; ++i) {
+    // Canonical form only (see deserialize_encrypted_vector).
+    if (detail::get_u32_be(bytes, "PackedEncryptedVector ciphertext") != body) {
+      throw std::invalid_argument("PackedEncryptedVector: non-canonical length");
+    }
+    Ciphertext ct{BigUint::from_bytes_be(bytes.first(body))};
+    if (!(ct.c < n2)) {
+      throw std::invalid_argument("PackedEncryptedVector: ciphertext outside Z_{n^2}");
+    }
+    cts.push_back(std::move(ct));
+    bytes = bytes.subspan(body);
+  }
+  return PackedEncryptedVector(std::move(pk), codec, logical, std::move(cts));
+}
+
+std::size_t serialized_size(const PublicKey& pk, const PackedCodec& codec,
+                            std::size_t logical) {
+  // 'K' + 4 geometry fields + embedded key + packed ciphertexts.
+  return 1 + 4 * 4 + serialized_size(pk) +
+         codec.plaintexts_for(logical) * (4 + pk.ciphertext_bytes());
 }
 
 }  // namespace dubhe::he

@@ -48,6 +48,11 @@ class PackedCodec {
 class PackedEncryptedVector {
  public:
   PackedEncryptedVector() = default;
+  /// Reassembles a vector from its parts (the deserialization path). Throws
+  /// std::invalid_argument if the ciphertext count does not match
+  /// codec.plaintexts_for(logical_size).
+  PackedEncryptedVector(PublicKey pk, PackedCodec codec, std::size_t logical_size,
+                        std::vector<Ciphertext> cts);
 
   /// Packs and encrypts via PublicKey::encrypt_batch; like
   /// EncryptedVector::encrypt, the ciphertexts are byte-identical for any
@@ -71,6 +76,9 @@ class PackedEncryptedVector {
   [[nodiscard]] std::size_t logical_size() const { return count_; }
   [[nodiscard]] std::size_t ciphertext_count() const { return cts_.size(); }
   [[nodiscard]] std::size_t byte_size() const;
+  [[nodiscard]] const PublicKey& public_key() const { return pk_; }
+  [[nodiscard]] const PackedCodec& codec() const { return codec_; }
+  [[nodiscard]] const std::vector<Ciphertext>& ciphertexts() const { return cts_; }
 
  private:
   PublicKey pk_;
@@ -78,5 +86,18 @@ class PackedEncryptedVector {
   std::size_t count_ = 0;
   std::vector<Ciphertext> cts_;
 };
+
+/// Self-contained wire form: 'K' tag, then big-endian u32 logical count,
+/// slot width, slots-per-plaintext and ciphertext count, the public key,
+/// and the packed ciphertexts. deserialize_packed_encrypted_vector is the
+/// exact inverse (std::invalid_argument on any malformation); the codec is
+/// rebuilt from (slots_per_plaintext * slot_bits, slot_bits), which
+/// reproduces the packing geometry for any original capacity.
+std::vector<std::uint8_t> serialize(const PackedEncryptedVector& v);
+PackedEncryptedVector deserialize_packed_encrypted_vector(
+    std::span<const std::uint8_t> bytes);
+/// Exact size of serialize() for `logical` values under `pk` + `codec`.
+std::size_t serialized_size(const PublicKey& pk, const PackedCodec& codec,
+                            std::size_t logical);
 
 }  // namespace dubhe::he

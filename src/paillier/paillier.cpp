@@ -230,6 +230,12 @@ BigUint read_field(std::span<const std::uint8_t>& bytes) {
                            (static_cast<std::size_t>(bytes[2]) << 8) |
                            static_cast<std::size_t>(bytes[3]);
   if (bytes.size() < 4 + body) throw std::invalid_argument("key field: truncated");
+  // append_field writes trimmed magnitudes; accept only that canonical form
+  // so a parsed field always re-serializes to the identical bytes (the net
+  // layer's exact-size accounting and byte-identity tests rely on it).
+  if (body > 0 && bytes[4] == 0) {
+    throw std::invalid_argument("key field: non-canonical leading zero");
+  }
   BigUint v = BigUint::from_bytes_be(bytes.subspan(4, body));
   bytes = bytes.subspan(4 + body);
   return v;
@@ -244,6 +250,10 @@ std::vector<std::uint8_t> serialize(const PublicKey& pk) {
 }
 
 PublicKey deserialize_public_key(std::span<const std::uint8_t> bytes) {
+  return deserialize_public_key_prefix(bytes);
+}
+
+PublicKey deserialize_public_key_prefix(std::span<const std::uint8_t>& bytes) {
   if (bytes.empty() || bytes[0] != 'P') {
     throw std::invalid_argument("public key: bad tag");
   }
@@ -259,6 +269,10 @@ std::vector<std::uint8_t> serialize(const PrivateKey& prv) {
 }
 
 PrivateKey deserialize_private_key(std::span<const std::uint8_t> bytes) {
+  return deserialize_private_key_prefix(bytes);
+}
+
+PrivateKey deserialize_private_key_prefix(std::span<const std::uint8_t>& bytes) {
   if (bytes.empty() || bytes[0] != 'S') {
     throw std::invalid_argument("private key: bad tag");
   }
@@ -266,6 +280,17 @@ PrivateKey deserialize_private_key(std::span<const std::uint8_t> bytes) {
   const BigUint p = read_field(bytes);
   const BigUint q = read_field(bytes);
   return PrivateKey(p, q);
+}
+
+namespace {
+/// Length of one length-prefixed trimmed-magnitude field.
+std::size_t field_size(const BigUint& v) { return 4 + (v.bit_length() + 7) / 8; }
+}  // namespace
+
+std::size_t serialized_size(const PublicKey& pk) { return 1 + field_size(pk.n()); }
+
+std::size_t serialized_size(const PrivateKey& prv) {
+  return 1 + field_size(prv.p()) + field_size(prv.q());
 }
 
 }  // namespace dubhe::he

@@ -177,4 +177,16 @@ PublicKey deserialize_public_key(std::span<const std::uint8_t> bytes);
 std::vector<std::uint8_t> serialize(const PrivateKey& prv);
 PrivateKey deserialize_private_key(std::span<const std::uint8_t> bytes);
 
+/// Advancing variants for keys embedded inside larger payloads (the
+/// encrypted-vector wire forms, net key-material frames): parse the key at
+/// the front of `bytes` and move the span past its canonical encoding, so
+/// callers never re-measure the field layout themselves.
+PublicKey deserialize_public_key_prefix(std::span<const std::uint8_t>& bytes);
+PrivateKey deserialize_private_key_prefix(std::span<const std::uint8_t>& bytes);
+
+/// Exact byte counts of serialize() for key material, without building the
+/// bytes — the basis of the exact channel accounting.
+std::size_t serialized_size(const PublicKey& pk);
+std::size_t serialized_size(const PrivateKey& prv);
+
 }  // namespace dubhe::he

@@ -5,6 +5,7 @@
 #include "fl/client.hpp"
 #include "fl/server.hpp"
 #include "fl/trainer.hpp"
+#include "net/codec.hpp"
 #include "nn/builders.hpp"
 
 namespace dubhe::fl {
@@ -132,8 +133,10 @@ TEST(Trainer, ChannelAccountsModelTraffic) {
   trainer.run_round(sel, 1, false);
   EXPECT_EQ(channel.messages(MessageKind::kModelWeights, Direction::kServerToClient), 4u);
   EXPECT_EQ(channel.messages(MessageKind::kModelWeights, Direction::kClientToServer), 4u);
+  // Exact encoded frame size (header + seed/id + count + f32 payload), not
+  // the bare float-payload estimate — what a net::Transport would carry.
   const std::size_t model_bytes =
-      trainer.server().global_weights().size() * sizeof(float);
+      net::wire_size_weights(trainer.server().global_weights().size());
   EXPECT_EQ(channel.bytes(MessageKind::kModelWeights), 2 * 4 * model_bytes);
 }
 

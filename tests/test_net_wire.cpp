@@ -1,0 +1,316 @@
+// The wire codec under friendly and hostile input: round-trip property
+// tests over randomized payloads of every message type, adversarial decodes
+// (truncation, bad magic/version/flags, corrupted CRC, oversized length
+// prefix) asserting *typed* failures, the incremental FrameReader, the
+// payload codecs (including bit-exact float transport and the
+// EncryptedVector / PackedEncryptedVector serialization round trips), and
+// the LoopbackTransport contract with exact byte accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <thread>
+
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+#include "stats/rng.hpp"
+
+namespace dubhe {
+namespace {
+
+using net::Frame;
+using net::MsgType;
+using net::WireErrc;
+using net::WireError;
+
+std::vector<std::uint8_t> random_payload(stats::Rng& rng, std::size_t size) {
+  std::vector<std::uint8_t> out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+WireErrc code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const WireError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a WireError";
+  return WireErrc::kBadPayload;
+}
+
+TEST(Crc32, KnownVector) {
+  const std::string s = "123456789";
+  EXPECT_EQ(net::crc32({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}),
+            0xCBF43926u);
+  EXPECT_EQ(net::crc32({}), 0u);
+}
+
+TEST(WireFrame, RoundTripEveryTypeAndSize) {
+  stats::Rng rng(41);
+  for (std::uint8_t t = 1; t <= 12; ++t) {
+    for (const std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                   std::size_t{1024}, std::size_t{65536}}) {
+      const Frame frame{static_cast<MsgType>(t), random_payload(rng, size)};
+      const auto bytes = net::encode_frame(frame);
+      EXPECT_EQ(bytes.size(), net::frame_wire_size(size));
+      EXPECT_EQ(net::decode_frame(bytes), frame);
+    }
+  }
+}
+
+TEST(WireFrame, ReaderReassemblesByteByByte) {
+  stats::Rng rng(42);
+  std::vector<Frame> frames;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    frames.push_back({MsgType::kModelDown, random_payload(rng, 100 + 37 * i)});
+    const auto bytes = net::encode_frame(frames.back());
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  net::FrameReader reader;
+  std::vector<Frame> seen;
+  for (const std::uint8_t b : stream) {
+    reader.feed({&b, 1});
+    while (auto f = reader.next()) seen.push_back(std::move(*f));
+  }
+  EXPECT_EQ(seen, frames);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(WireFrame, AdversarialDecodesFailTyped) {
+  stats::Rng rng(43);
+  const Frame good{MsgType::kRegistryUpload, random_payload(rng, 64)};
+  const auto bytes = net::encode_frame(good);
+
+  // Short buffer.
+  EXPECT_EQ(code_of([&] {
+              (void)net::decode_frame({bytes.data(), net::kFrameHeaderBytes - 1});
+            }),
+            WireErrc::kShortBuffer);
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadMagic);
+  // Bad version.
+  bad = bytes;
+  bad[4] = 99;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadVersion);
+  // Unknown type.
+  bad = bytes;
+  bad[5] = 200;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadType);
+  // Nonzero flags.
+  bad = bytes;
+  bad[6] = 1;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadFlags);
+  // Oversized length prefix (decoder limit).
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bytes, /*max_payload=*/16); }),
+            WireErrc::kOversized);
+  // Truncated payload.
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame({bytes.data(), bytes.size() - 1}); }),
+            WireErrc::kTruncated);
+  // Corrupted payload -> CRC mismatch.
+  bad = bytes;
+  bad[net::kFrameHeaderBytes + 10] ^= 0x40;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadCrc);
+  // Corrupted checksum field itself.
+  bad = bytes;
+  bad[13] ^= 0x01;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadCrc);
+  // Trailing bytes.
+  bad = bytes;
+  bad.push_back(0);
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadPayload);
+  // Oversized at the encoder.
+  EXPECT_EQ(code_of([&] {
+              (void)net::encode_frame(Frame{MsgType::kShutdown, std::vector<std::uint8_t>(32)},
+                                      /*max_payload=*/16);
+            }),
+            WireErrc::kOversized);
+
+  // A reader fed garbage throws (and the connection is then unusable).
+  net::FrameReader reader;
+  std::vector<std::uint8_t> garbage(net::kFrameHeaderBytes, 0xEE);
+  reader.feed(garbage);
+  EXPECT_THROW((void)reader.next(), WireError);
+}
+
+TEST(PayloadCodec, ControlMessagesRoundTrip) {
+  const net::ClientHello ch{0x1234567890ABCDEFull, net::kWireVersion};
+  EXPECT_EQ(net::parse_client_hello(net::make_client_hello(ch)), ch);
+
+  const net::ServerHello sh{0xDEADBEEFCAFEF00Dull, 50, 7};
+  EXPECT_EQ(net::parse_server_hello(net::make_server_hello(sh)), sh);
+
+  const net::SeedRequest rr{0xA5A5A5A55A5A5A5Aull, 3};
+  EXPECT_EQ(net::parse_seed_request(
+                net::make_seed_request(MsgType::kDistributionRequest, rr),
+                MsgType::kDistributionRequest),
+            rr);
+
+  net::RegistrationInfo info;
+  info.client_id = 17;
+  info.registration.category_index = 23;
+  info.registration.group_index = 1;
+  info.registration.category = {2, 5, 9};
+  const auto parsed = net::parse_registration_info(net::make_registration_info(info));
+  EXPECT_EQ(parsed.client_id, info.client_id);
+  EXPECT_EQ(parsed.registration.category_index, info.registration.category_index);
+  EXPECT_EQ(parsed.registration.group_index, info.registration.group_index);
+  EXPECT_EQ(parsed.registration.category, info.registration.category);
+
+  // Wrong-type parse and malformed payloads are typed failures.
+  EXPECT_EQ(code_of([&] {
+              (void)net::parse_server_hello(net::make_client_hello(ch));
+            }),
+            WireErrc::kBadPayload);
+  Frame evil = net::make_registration_info(info);
+  evil.payload.resize(evil.payload.size() - 2);
+  EXPECT_EQ(code_of([&] { (void)net::parse_registration_info(evil); }),
+            WireErrc::kBadPayload);
+}
+
+TEST(PayloadCodec, WeightsAreBitExact) {
+  net::WeightsMsg msg;
+  msg.seed = 99;
+  msg.weights = {0.0f, -0.0f, 1.5f, -3.25e-38f,
+                 std::numeric_limits<float>::infinity(),
+                 -std::numeric_limits<float>::infinity(),
+                 std::numeric_limits<float>::quiet_NaN(),
+                 std::numeric_limits<float>::denorm_min()};
+  const auto parsed =
+      net::parse_weights(net::make_weights(MsgType::kModelUpdate, msg), MsgType::kModelUpdate);
+  EXPECT_EQ(parsed.seed, msg.seed);
+  ASSERT_EQ(parsed.weights.size(), msg.weights.size());
+  EXPECT_EQ(std::memcmp(parsed.weights.data(), msg.weights.data(),
+                        msg.weights.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(net::make_weights(MsgType::kModelUpdate, msg).payload.size() +
+                net::kFrameHeaderBytes,
+            net::wire_size_weights(msg.weights.size()));
+
+  Frame evil = net::make_weights(MsgType::kModelDown, msg);
+  evil.payload.pop_back();
+  EXPECT_EQ(code_of([&] { (void)net::parse_weights(evil, MsgType::kModelDown); }),
+            WireErrc::kBadPayload);
+}
+
+class EncryptedPayloads : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bigint::Xoshiro256ss rng(2718);
+    kp_ = he::Keypair::generate(rng, 128);
+  }
+  he::Keypair kp_;
+};
+
+TEST_F(EncryptedPayloads, KeyMaterialRoundTrip) {
+  const Frame f = net::make_key_material({kp_.pub, kp_.prv});
+  EXPECT_EQ(net::frame_wire_size(f.payload.size()), net::wire_size_key_material(kp_));
+  const net::KeyMaterial parsed = net::parse_key_material(f);
+  EXPECT_EQ(parsed.pub, kp_.pub);
+  EXPECT_EQ(parsed.prv.p(), kp_.prv.p());
+  EXPECT_EQ(parsed.prv.q(), kp_.prv.q());
+
+  Frame evil = f;
+  evil.payload[0] = 'X';
+  EXPECT_EQ(code_of([&] { (void)net::parse_key_material(evil); }), WireErrc::kBadPayload);
+}
+
+TEST_F(EncryptedPayloads, EncryptedVectorRoundTrip) {
+  bigint::Xoshiro256ss rng(3);
+  const std::vector<std::uint64_t> values{0, 1, 7, 42, 0, 13};
+  const auto v = he::EncryptedVector::encrypt(kp_.pub, values, rng);
+  const auto bytes = he::serialize(v);
+  EXPECT_EQ(bytes.size(), he::serialized_size(kp_.pub, values.size()));
+  const auto back = he::deserialize_encrypted_vector(bytes);
+  EXPECT_EQ(back.public_key(), v.public_key());
+  EXPECT_EQ(back.slots(), v.slots());  // ciphertext-level equality
+  EXPECT_EQ(back.decrypt(kp_.prv), values);
+  EXPECT_EQ(he::serialize(back), bytes);  // canonical re-encode
+
+  // Frame-level transport of the same payload.
+  const Frame f = net::make_encrypted_vector(MsgType::kRegistryUpload, v);
+  EXPECT_FALSE(net::payload_is_packed(f));
+  EXPECT_EQ(net::frame_wire_size(f.payload.size()),
+            net::wire_size_encrypted_vector(kp_.pub, values.size()));
+  EXPECT_EQ(net::parse_encrypted_vector(f, MsgType::kRegistryUpload).slots(), v.slots());
+
+  // Truncation and tag corruption are typed failures.
+  auto evil = bytes;
+  evil.resize(evil.size() - 3);
+  EXPECT_THROW((void)he::deserialize_encrypted_vector(evil), std::invalid_argument);
+  evil = bytes;
+  evil[0] = 'W';
+  EXPECT_THROW((void)he::deserialize_encrypted_vector(evil), std::invalid_argument);
+}
+
+TEST_F(EncryptedPayloads, PackedEncryptedVectorRoundTrip) {
+  bigint::Xoshiro256ss rng(4);
+  const he::PackedCodec codec(kp_.pub.key_bits() - 1, 20);
+  const std::vector<std::uint64_t> values{5, 0, 1, 999999, 3, 77, 123456, 0, 1};
+  const auto v = he::PackedEncryptedVector::encrypt(kp_.pub, codec, values, rng);
+  const auto bytes = he::serialize(v);
+  EXPECT_EQ(bytes.size(), he::serialized_size(kp_.pub, codec, values.size()));
+  const auto back = he::deserialize_packed_encrypted_vector(bytes);
+  EXPECT_EQ(back.logical_size(), values.size());
+  EXPECT_EQ(back.ciphertexts(), v.ciphertexts());
+  EXPECT_EQ(back.decrypt(kp_.prv), values);
+  EXPECT_EQ(he::serialize(back), bytes);
+
+  const Frame f = net::make_encrypted_vector(MsgType::kDistributionUpload, v);
+  EXPECT_TRUE(net::payload_is_packed(f));
+  EXPECT_EQ(net::frame_wire_size(f.payload.size()),
+            net::wire_size_packed_vector(kp_.pub, codec, values.size()));
+
+  auto evil = bytes;
+  evil[6] ^= 0xFF;  // geometry field
+  EXPECT_THROW((void)he::deserialize_packed_encrypted_vector(evil), std::invalid_argument);
+}
+
+TEST(Loopback, OrderedDeliveryCloseAndAccounting) {
+  auto [server_end, client_end] = net::LoopbackTransport::make_pair();
+  fl::ChannelAccountant channel;
+  server_end->set_accountant(&channel, fl::Direction::kServerToClient);
+
+  stats::Rng rng(5);
+  const Frame down{MsgType::kModelDown, random_payload(rng, 4096)};
+  const Frame up{MsgType::kModelUpdate, random_payload(rng, 2048)};
+  const Frame ctrl{MsgType::kShutdown, {}};
+
+  std::thread peer([&, client = client_end] {
+    EXPECT_EQ(client->receive(), down);
+    client->send(up);
+    client->send(ctrl);
+    client->close();
+  });
+  server_end->send(down);
+  EXPECT_EQ(server_end->receive(), up);
+  EXPECT_EQ(server_end->receive(), ctrl);
+  EXPECT_EQ(server_end->receive(), std::nullopt);  // peer closed
+  peer.join();
+  EXPECT_THROW(server_end->send(down), net::TransportError);
+
+  // Exact frame sizes, aggregator perspective, request/response directions.
+  EXPECT_EQ(channel.bytes(fl::MessageKind::kModelWeights, fl::Direction::kServerToClient),
+            net::frame_wire_size(4096));
+  EXPECT_EQ(channel.bytes(fl::MessageKind::kModelWeights, fl::Direction::kClientToServer),
+            net::frame_wire_size(2048));
+  EXPECT_EQ(channel.messages(fl::MessageKind::kControl, fl::Direction::kClientToServer), 1u);
+}
+
+TEST(Loopback, LinkModelAccruesVirtualTime) {
+  auto [a, b] = net::LoopbackTransport::make_pair(
+      net::LinkModel{.latency_seconds = 0.010, .bytes_per_second = 1000.0});
+  a->send(Frame{MsgType::kShutdown, std::vector<std::uint8_t>(984)});  // 1000 wire bytes
+  EXPECT_EQ(b->receive()->payload.size(), 984u);
+  EXPECT_DOUBLE_EQ(a->simulated_seconds(), 0.010 + 1.0);
+  EXPECT_DOUBLE_EQ(b->simulated_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace dubhe

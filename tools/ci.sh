@@ -3,11 +3,14 @@
 # under ASan/UBSan to catch carry-propagation UB and lifetime bugs in the
 # bigint kernels and the shared core::ParallelRuntime pool, then once more
 # with DUBHE_SIMD=OFF so the portable scalar GEMM / rolled CIOS fallback
-# stays green. Data races are a separate tool's job: a final
-# ThreadSanitizer pass builds the thread-invariance suites
-# (test_parallel_crypto + test_tensor_simd) under the `tsan` preset and
-# runs them, so a racy edit to the pool or the compute kernels fails
-# loudly.
+# stays green. The release leg additionally runs the multi-process net
+# smoke (tools/net_smoke.sh: dubhe_node server + 3 client processes over
+# localhost, transcript diffed against the in-process selftest). Data races
+# are a separate tool's job: a final ThreadSanitizer pass builds the
+# thread-invariance and transport suites (test_parallel_crypto +
+# test_tensor_simd + test_net_wire + test_net_round) under the `tsan`
+# preset and runs them, so a racy edit to the pool, the compute kernels, or
+# the TCP event loop fails loudly.
 # Usage: tools/ci.sh [--quick] [extra cmake args...]
 #   --quick: run only the fast suites (ctest label `tier1`) in each preset.
 set -eu
@@ -15,8 +18,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 CTEST_ARGS="--no-tests=error"
+QUICK=0
 if [ "${1:-}" = "--quick" ]; then
   CTEST_ARGS="-L tier1 --no-tests=error"
+  QUICK=1
   shift
 fi
 
@@ -33,13 +38,22 @@ run_preset() {
 }
 
 run_preset release "$@"
+
+# Three full secure rounds (multi-process + selftest) — not a fast suite.
+if [ "$QUICK" -eq 0 ]; then
+  echo "== multi-process net smoke (release build) =="
+  tools/net_smoke.sh build
+fi
+
 run_preset asan "$@"
 run_preset simd-off "$@"
 
 echo "== thread-invariance under TSan =="
 cmake --preset tsan "$@"
 cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)" \
-  --target test_parallel_crypto --target test_tensor_simd
-ctest --preset tsan -R "test_parallel_crypto|test_tensor_simd" --no-tests=error
+  --target test_parallel_crypto --target test_tensor_simd \
+  --target test_net_wire --target test_net_round
+ctest --preset tsan -R "test_parallel_crypto|test_tensor_simd|test_net_wire|test_net_round" \
+  --no-tests=error
 
 echo "CI OK"

@@ -1,0 +1,280 @@
+// dubhe_node — one Dubhe protocol participant as an OS process. The same
+// binary runs the aggregation server or a client, so a secure registration +
+// multi-time selection + training round completes over localhost sockets
+// across N+1 processes:
+//
+//   dubhe_node --server --clients 3 --port 0 --port-file /tmp/p --transcript s.txt
+//   dubhe_node --client --id 0 --clients 3 --port-file /tmp/p     (x3, any order)
+//
+// Every process reconstructs the identical synthetic federation from the
+// shared flags (the dataset is a deterministic function of its seed), so no
+// training data ever crosses a socket — only the protocol messages. The
+// server writes a deterministic transcript; `--selftest` produces the same
+// transcript through the direct and loopback paths in one process, which is
+// what tools/net_smoke.sh diffs against the multi-process run.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/tcp.hpp"
+#include "nn/builders.hpp"
+
+using namespace dubhe;
+
+namespace {
+
+struct Options {
+  enum class Mode { kNone, kServer, kClient, kSelftest } mode = Mode::kNone;
+  std::size_t clients = 3;
+  std::size_t id = 0;
+  int port = 45711;
+  std::string host = "127.0.0.1";
+  std::string port_file;
+  std::string transcript_path;
+  std::size_t key_bits = 256;
+  std::size_t K = 2;
+  std::size_t H = 3;
+  std::uint64_t seed = 21;
+  bool packing = false;
+};
+
+const char* kUsage = R"(dubhe_node — run one Dubhe FL participant as a process
+
+  dubhe_node --server   --clients N [--port P] [--port-file F] [--transcript F]
+  dubhe_node --client   --id K --clients N [--host H] [--port P | --port-file F]
+  dubhe_node --selftest --clients N [--transcript F]
+
+Common options (must match across all processes of one session):
+  --clients N    cohort size (default 3)
+  --key-bits B   Paillier modulus bits (default 256)
+  --k K          participants per round (default 2)
+  --h H          tentative tries (default 3)
+  --seed S       partition seed (default 21)
+  --packing      BatchCrypt-style packed registry/distributions
+Server options:
+  --port P       listen port; 0 = ephemeral (default 45711)
+  --port-file F  write the bound port to F (atomically) once listening
+  --transcript F write the round transcript to F
+Client options:
+  --id K         this client's index in [0, N)
+  --port-file F  wait for F and read the port from it
+)";
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  bool missing_value = false;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+      missing_value = true;
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--server") {
+      opt.mode = Options::Mode::kServer;
+    } else if (a == "--client") {
+      opt.mode = Options::Mode::kClient;
+    } else if (a == "--selftest") {
+      opt.mode = Options::Mode::kSelftest;
+    } else if (a == "--packing") {
+      opt.packing = true;
+    } else if (a == "--help" || a == "-h") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    } else if (a == "--clients" && (v = need_value(i))) {
+      opt.clients = std::strtoull(v, nullptr, 10);
+    } else if (a == "--id" && (v = need_value(i))) {
+      opt.id = std::strtoull(v, nullptr, 10);
+    } else if (a == "--port" && (v = need_value(i))) {
+      opt.port = std::atoi(v);
+    } else if (a == "--host" && (v = need_value(i))) {
+      opt.host = v;
+    } else if (a == "--port-file" && (v = need_value(i))) {
+      opt.port_file = v;
+    } else if (a == "--transcript" && (v = need_value(i))) {
+      opt.transcript_path = v;
+    } else if (a == "--key-bits" && (v = need_value(i))) {
+      opt.key_bits = std::strtoull(v, nullptr, 10);
+    } else if (a == "--k" && (v = need_value(i))) {
+      opt.K = std::strtoull(v, nullptr, 10);
+    } else if (a == "--h" && (v = need_value(i))) {
+      opt.H = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed" && (v = need_value(i))) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      // A matched flag that failed need_value lands here too with v null —
+      // the missing-value message already printed, don't call it unknown.
+      if (!missing_value) std::fprintf(stderr, "error: unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (opt.mode == Options::Mode::kNone) {
+    std::fprintf(stderr, "error: one of --server / --client / --selftest required\n");
+    return false;
+  }
+  if (opt.K == 0 || opt.K > opt.clients) {
+    std::fprintf(stderr, "error: need 0 < k <= clients\n");
+    return false;
+  }
+  return true;
+}
+
+data::FederatedDataset make_dataset(const Options& opt) {
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = opt.clients;
+  pc.samples_per_client = 48;
+  pc.rho = 8;
+  pc.emd_avg = 1.4;
+  pc.seed = opt.seed;
+  return {data::mnist_like(), pc};
+}
+
+net::SessionParams make_params(const Options& opt) {
+  net::SessionParams p;
+  p.secure.key_bits = opt.key_bits;
+  p.secure.use_packing = opt.packing;
+  if (opt.packing) p.secure.packing_slot_bits = 26;  // K * 10^6 fits
+  p.K = opt.K;
+  p.H = opt.H;
+  p.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  return p;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << content;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;  // atomic publish
+}
+
+int run_server(const Options& opt) {
+  const auto dataset = make_dataset(opt);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  net::TcpServer server(static_cast<std::uint16_t>(opt.port));
+  std::printf("dubhe_node server: listening on 127.0.0.1:%u, waiting for %zu clients\n",
+              server.port(), opt.clients);
+  if (!opt.port_file.empty() &&
+      !write_file(opt.port_file, std::to_string(server.port()) + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.port_file.c_str());
+    return 1;
+  }
+  std::vector<std::shared_ptr<net::Transport>> links;
+  links.reserve(opt.clients);
+  for (std::size_t i = 0; i < opt.clients; ++i) {
+    auto link = server.accept();
+    if (link == nullptr) return 1;
+    std::printf("dubhe_node server: client connected from %s\n",
+                link->peer_name().c_str());
+    links.push_back(std::move(link));
+  }
+  fl::ChannelAccountant channel;
+  const auto t =
+      net::run_server_round(links, dataset, proto, make_params(opt), &channel);
+  const std::string text = net::format_transcript(t);
+  std::fputs(text.c_str(), stdout);
+  std::printf("channel: %llu messages, %llu bytes on the wire\n",
+              static_cast<unsigned long long>(channel.total_messages()),
+              static_cast<unsigned long long>(channel.total_bytes()));
+  if (!opt.transcript_path.empty() && !write_file(opt.transcript_path, text)) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.transcript_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int run_client(const Options& opt) {
+  if (opt.id >= opt.clients) {
+    std::fprintf(stderr, "error: --id must be < --clients\n");
+    return 2;
+  }
+  const auto dataset = make_dataset(opt);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::seconds(30);
+  int port = opt.port;
+  if (!opt.port_file.empty()) {
+    port = 0;
+    while (Clock::now() < deadline) {
+      std::ifstream in(opt.port_file);
+      if (in && (in >> port) && port > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (port <= 0) {
+      std::fprintf(stderr, "error: no port appeared in %s\n", opt.port_file.c_str());
+      return 1;
+    }
+  }
+  std::shared_ptr<net::TcpTransport> link;
+  while (link == nullptr) {
+    try {
+      link = net::TcpTransport::connect(opt.host, static_cast<std::uint16_t>(port));
+    } catch (const net::TransportError&) {
+      if (Clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  std::printf("dubhe_node client %zu: connected to %s\n", opt.id,
+              link->peer_name().c_str());
+  net::serve_client(*link, opt.id, dataset, proto, make_params(opt));
+  std::printf("dubhe_node client %zu: round complete\n", opt.id);
+  return 0;
+}
+
+int run_selftest(const Options& opt) {
+  const auto dataset = make_dataset(opt);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  const auto params = make_params(opt);
+  const auto direct = net::run_round_direct(dataset, proto, params);
+  const auto loopback = net::run_loopback_round(dataset, proto, params);
+  const std::string text = net::format_transcript(direct);
+  if (!(direct == loopback)) {
+    std::fprintf(stderr, "SELFTEST FAILED: loopback transcript diverges from direct\n");
+    std::fprintf(stderr, "--- direct ---\n%s--- loopback ---\n%s", text.c_str(),
+                 net::format_transcript(loopback).c_str());
+    return 1;
+  }
+  std::fputs(text.c_str(), stdout);
+  std::printf("selftest: direct == loopback, bit for bit\n");
+  if (!opt.transcript_path.empty() && !write_file(opt.transcript_path, text)) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.transcript_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  try {
+    switch (opt.mode) {
+      case Options::Mode::kServer: return run_server(opt);
+      case Options::Mode::kClient: return run_client(opt);
+      case Options::Mode::kSelftest: return run_selftest(opt);
+      case Options::Mode::kNone: break;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dubhe_node: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 2;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Multi-process smoke for the net layer: one dubhe_node aggregator plus
+# three client processes complete a secure selection + training round over
+# localhost sockets, and the resulting selection transcript must be
+# byte-identical to the in-process --selftest transcript (which itself
+# asserts direct == loopback). Usage: tools/net_smoke.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+NODE="$BUILD/dubhe_node"
+[ -x "$NODE" ] || { echo "error: $NODE not built" >&2; exit 1; }
+
+TMP="$(mktemp -d)"
+PIDS=""
+# On any exit, reap every dubhe_node we spawned — a half-failed run must not
+# leave an aggregator blocked in accept() behind.
+cleanup() {
+  for pid in $PIDS; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "== dubhe_node multi-process smoke (1 server + 3 clients over localhost) =="
+"$NODE" --server --clients 3 --port 0 --port-file "$TMP/port" \
+        --transcript "$TMP/server.txt" &
+SERVER_PID=$!
+PIDS="$SERVER_PID"
+
+CLIENT_PIDS=""
+for i in 0 1 2; do
+  "$NODE" --client --id "$i" --clients 3 --port-file "$TMP/port" &
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+  PIDS="$PIDS $!"
+done
+
+for pid in $CLIENT_PIDS; do
+  wait "$pid" || { echo "error: a client process failed" >&2; exit 1; }
+done
+wait "$SERVER_PID" || { echo "error: the server process failed" >&2; exit 1; }
+PIDS=""
+
+"$NODE" --selftest --clients 3 --transcript "$TMP/selftest.txt" > /dev/null
+
+echo "== transcript check (multi-process vs in-process) =="
+diff "$TMP/server.txt" "$TMP/selftest.txt"
+echo "net smoke OK: transcripts are byte-identical"
