@@ -33,13 +33,22 @@ MultiTimeOutcome multi_time_select(
     stats::Rng& rng,
     const std::function<stats::Distribution(std::size_t, std::span<const std::size_t>)>&
         aggregate) {
+  return multi_time_select(
+      num_classes, H, [&](std::size_t) { return strategy.select(K, rng); }, aggregate);
+}
+
+MultiTimeOutcome multi_time_select(
+    std::size_t num_classes, std::size_t H,
+    const std::function<std::vector<std::size_t>(std::size_t)>& select,
+    const std::function<stats::Distribution(std::size_t, std::span<const std::size_t>)>&
+        aggregate) {
   if (H == 0) throw std::invalid_argument("multi_time_select: H == 0");
   const stats::Distribution pu = stats::uniform(num_classes);
 
   MultiTimeOutcome out;
   out.try_emds.reserve(H);
   for (std::size_t h = 0; h < H; ++h) {
-    std::vector<std::size_t> s = strategy.select(K, rng);
+    std::vector<std::size_t> s = select(h);
     stats::Distribution po = aggregate(h, s);
     const double emd = stats::l1_distance(po, pu);
     out.try_emds.push_back(emd);

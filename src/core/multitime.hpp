@@ -44,6 +44,18 @@ MultiTimeOutcome multi_time_select(
     const std::function<stats::Distribution(std::size_t, std::span<const std::size_t>)>&
         aggregate);
 
+/// The fully-callback form both other overloads reduce to: the per-try
+/// selection is supplied too. This is what the deployment-faithful paths
+/// use — `select(h)` returns try h's participant set (client-side Bernoulli
+/// draws resolved by the server's replenish stream), `aggregate(h, sel)`
+/// returns p_{o,h}; the argmin rule (first-minimum tie-break) stays in this
+/// single authoritative loop.
+MultiTimeOutcome multi_time_select(
+    std::size_t num_classes, std::size_t H,
+    const std::function<std::vector<std::size_t>(std::size_t)>& select,
+    const std::function<stats::Distribution(std::size_t, std::span<const std::size_t>)>&
+        aggregate);
+
 /// Population distribution of a selected set: mean of the members' label
 /// distributions (all virtual clients carry equal sample counts).
 stats::Distribution population_of(std::span<const stats::Distribution> client_dists,

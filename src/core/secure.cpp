@@ -79,11 +79,23 @@ std::uint64_t SecureSelectionSession::registration_seed(std::size_t k) const {
   return stats::derive_seed(session_seed_, k);
 }
 
-std::uint64_t SecureSelectionSession::distribution_seed(std::size_t h,
+std::uint64_t participation_seed(std::uint64_t session_seed, std::uint64_t round,
+                                 std::uint64_t client_id) {
+  // Two-level split: a per-round master (top bit set — the encryption
+  // stream indices above are all far below 2^63), then one stream per
+  // client. The client endpoint derives this with nothing but its
+  // ServerHello fields; the direct path with session_seed().
+  const std::uint64_t round_master =
+      stats::derive_seed(session_seed, (std::uint64_t{1} << 63) | round);
+  return stats::derive_seed(round_master, client_id);
+}
+
+std::uint64_t SecureSelectionSession::distribution_seed(std::size_t try_slot,
                                                         std::size_t k) const {
-  // Streams [0, N) are the registration seeds; try h occupies
-  // [N * (h + 1), N * (h + 2)), so no two uploads ever share a stream.
-  return stats::derive_seed(session_seed_, num_clients_ * (h + 1) + k);
+  // Streams [0, N) are the registration seeds; global try slot s (the
+  // session driver passes round * H + h) occupies [N * (s + 1), N * (s + 2)),
+  // so no two uploads ever share a stream — across tries or across rounds.
+  return stats::derive_seed(session_seed_, num_clients_ * (try_slot + 1) + k);
 }
 
 std::size_t SecureSelectionSession::encrypted_registry_bytes() const {

@@ -51,6 +51,19 @@ struct SecureConfig {
 std::vector<std::uint64_t> quantize_distribution(const stats::Distribution& d,
                                                  std::uint64_t scale);
 
+/// Seed of client k's proactive-participation stream for one global round:
+/// the client draws its H Bernoulli bits for round r from
+/// Rng(participation_seed(session_seed, r, k)), h-th draw for try h. Both
+/// wire endpoints and the direct reference path derive it from exactly
+/// (session seed, round, client id) — that shared derivation is what keeps
+/// transcripts byte-identical across execution modes. The top bit
+/// domain-separates the per-round master from every encryption-stream index
+/// (registration_seed / distribution_seed), so a participation stream can
+/// never collide with an encryption stream.
+[[nodiscard]] std::uint64_t participation_seed(std::uint64_t session_seed,
+                                               std::uint64_t round,
+                                               std::uint64_t client_id);
+
 /// Accumulated wall-clock spent inside cryptographic primitives.
 struct CryptoTimings {
   double keygen_seconds = 0;
@@ -117,9 +130,11 @@ class SecureSelectionSession {
   [[nodiscard]] std::uint64_t session_seed() const { return session_seed_; }
   /// Encryption-stream seed for client k's registration upload.
   [[nodiscard]] std::uint64_t registration_seed(std::size_t k) const;
-  /// Encryption-stream seed for client k's distribution upload in try h
-  /// (disjoint from every registration seed).
-  [[nodiscard]] std::uint64_t distribution_seed(std::size_t h, std::size_t k) const;
+  /// Encryption-stream seed for client k's distribution upload in global
+  /// try slot `try_slot` (the multi-round session passes
+  /// round * H + h, so every try of every round gets a disjoint stream —
+  /// and all of them are disjoint from every registration seed).
+  [[nodiscard]] std::uint64_t distribution_seed(std::size_t try_slot, std::size_t k) const;
 
   /// Agent half of §5.1: homomorphically sums the uploaded registries and
   /// decrypts R_A (timed into timings()). Throws std::invalid_argument on an

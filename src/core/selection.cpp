@@ -56,6 +56,40 @@ std::vector<std::size_t> GreedySelector::select(std::size_t K, stats::Rng& rng) 
   return selected;
 }
 
+double proactive_probability(std::span<const std::uint64_t> overall_registry,
+                             std::size_t category_index, std::size_t K) {
+  if (category_index >= overall_registry.size()) {
+    throw std::out_of_range("proactive_probability: bad category index");
+  }
+  std::size_t nnz = 0;
+  for (const std::uint64_t v : overall_registry) nnz += (v != 0) ? 1 : 0;
+  const std::uint64_t cat_count = overall_registry[category_index];
+  if (cat_count == 0 || nnz == 0) return 0.0;
+  const double p = static_cast<double>(K) /
+                   (static_cast<double>(cat_count) * static_cast<double>(nnz));
+  return std::min(1.0, p);
+}
+
+std::vector<std::size_t> resolve_participation(std::span<const std::uint8_t> joined_bits,
+                                               std::size_t K, stats::Rng& rng) {
+  const std::size_t N = joined_bits.size();
+  if (K > N) throw std::invalid_argument("resolve_participation: K > N");
+  std::vector<std::size_t> joined;
+  std::vector<std::size_t> declined;
+  for (std::size_t k = 0; k < N; ++k) {
+    (joined_bits[k] != 0 ? joined : declined).push_back(k);
+  }
+  // The server replenishes or trims uniformly to exactly K (§5.2).
+  if (joined.size() < K) {
+    const auto extra = rng.choose_k_of_n(K - joined.size(), declined.size());
+    for (const std::size_t i : extra) joined.push_back(declined[i]);
+  } else if (joined.size() > K) {
+    rng.shuffle(joined);
+    joined.resize(K);
+  }
+  return joined;
+}
+
 DubheSelector::DubheSelector(const RegistryCodec* codec, std::vector<double> sigma)
     : codec_(codec), sigma_(std::move(sigma)) {
   if (codec_ == nullptr) throw std::invalid_argument("DubheSelector: null codec");
@@ -101,25 +135,15 @@ std::vector<std::size_t> DubheSelector::select(std::size_t K, stats::Rng& rng) {
   if (N == 0) throw std::logic_error("DubheSelector: register_clients first");
   if (K > N) throw std::invalid_argument("DubheSelector: K > N");
 
-  // Each client proactively joins with its own probability (Eq. 6)...
-  std::vector<std::size_t> joined;
-  std::vector<std::size_t> declined;
+  // Each client proactively joins with its own probability (Eq. 6). In the
+  // experiment plane every draw comes from the caller's single stream; the
+  // deployment-faithful paths draw client-side from per-(client, round)
+  // streams instead and feed the bits to resolve_participation directly.
+  std::vector<std::uint8_t> bits(N, 0);
   for (std::size_t k = 0; k < N; ++k) {
-    if (rng.bernoulli(probability(k, K))) {
-      joined.push_back(k);
-    } else {
-      declined.push_back(k);
-    }
+    bits[k] = rng.bernoulli(probability(k, K)) ? 1 : 0;
   }
-  // ...and the server replenishes or trims uniformly to exactly K (§5.2).
-  if (joined.size() < K) {
-    const auto extra = rng.choose_k_of_n(K - joined.size(), declined.size());
-    for (const std::size_t i : extra) joined.push_back(declined[i]);
-  } else if (joined.size() > K) {
-    rng.shuffle(joined);
-    joined.resize(K);
-  }
-  return joined;
+  return resolve_participation(bits, K, rng);
 }
 
 }  // namespace dubhe::core

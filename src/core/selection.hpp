@@ -53,6 +53,23 @@ class GreedySelector final : public SelectionStrategy {
   std::vector<stats::Distribution> dists_;
 };
 
+/// Eq. 6 evaluated from the decrypted overall registry alone: the form a
+/// *client* computes after decrypting the registry broadcast — it needs only
+/// R_A, its own category index, and the round's K, nothing server-side.
+/// Bitwise identical to DubheSelector::probability, so client-drawn and
+/// server-drawn executions agree on every threshold.
+[[nodiscard]] double proactive_probability(std::span<const std::uint64_t> overall_registry,
+                                           std::size_t category_index, std::size_t K);
+
+/// The server half of §5.2 when the Bernoulli draws happened client-side
+/// (the faithful deployment): replenish uniformly from the decliners, or
+/// trim by uniform shuffle, to exactly K. `joined[k] != 0` means client k
+/// proactively drew participation. Consumes `rng` exactly as
+/// DubheSelector::select does after its draw loop, so the plaintext and
+/// client-drawn paths share one replenish stream.
+[[nodiscard]] std::vector<std::size_t> resolve_participation(
+    std::span<const std::uint8_t> joined, std::size_t K, stats::Rng& rng);
+
 /// Dubhe's proactive probabilistic selection (paper §5.2). This class is the
 /// *plaintext* fast path: it consumes registry category counts directly and
 /// is bit-identical to the secure flow (additive HE is exact), so the large

@@ -56,6 +56,60 @@ std::uint64_t ChannelAccountant::total_bytes() const {
   return total;
 }
 
+std::uint64_t ChannelLedger::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& kind_row : cells) {
+    for (const auto& cell : kind_row) total += cell.messages;
+  }
+  return total;
+}
+
+std::uint64_t ChannelLedger::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& kind_row : cells) {
+    for (const auto& cell : kind_row) total += cell.bytes;
+  }
+  return total;
+}
+
+ChannelLedger ledger_delta(const ChannelLedger& after, const ChannelLedger& before) {
+  ChannelLedger out;
+  for (std::size_t k = 0; k < kMessageKinds; ++k) {
+    for (std::size_t d = 0; d < kDirections; ++d) {
+      const auto& a = after.cells[k][d];
+      const auto& b = before.cells[k][d];
+      if (a.messages < b.messages || a.bytes < b.bytes) {
+        throw std::invalid_argument("ledger_delta: snapshots out of order");
+      }
+      out.cells[k][d] = {a.messages - b.messages, a.bytes - b.bytes};
+    }
+  }
+  return out;
+}
+
+ChannelLedger ChannelAccountant::snapshot() const {
+  ChannelLedger out;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    for (std::size_t d = 0; d < kDirs; ++d) {
+      out.cells[k][d] = {cells_[k][d].messages.load(std::memory_order_relaxed),
+                         cells_[k][d].bytes.load(std::memory_order_relaxed)};
+    }
+  }
+  return out;
+}
+
+void ChannelAccountant::add(const ChannelLedger& ledger) {
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    for (std::size_t d = 0; d < kDirs; ++d) {
+      const auto& cell = ledger.cells[k][d];
+      if (cell.messages != 0 || cell.bytes != 0) {
+        record(static_cast<MessageKind>(k), static_cast<Direction>(d), cell.bytes,
+               cell.messages);
+      }
+    }
+  }
+}
+
 void ChannelAccountant::reset() {
   for (auto& kind_row : cells_) {
     for (auto& cell : kind_row) {

@@ -21,6 +21,43 @@ enum class Direction : std::size_t { kClientToServer = 0, kServerToClient, kCoun
 
 [[nodiscard]] std::string to_string(MessageKind kind);
 
+inline constexpr std::size_t kMessageKinds = static_cast<std::size_t>(MessageKind::kCount_);
+inline constexpr std::size_t kDirections = static_cast<std::size_t>(Direction::kCount_);
+
+/// A plain, copyable point-in-time copy of an accountant's cells. The
+/// multi-round session driver snapshots its accountant at round boundaries
+/// and stores the per-round deltas in the transcript, so §6.4 traffic is
+/// attributable round by round, not just in aggregate.
+struct ChannelLedger {
+  struct Cell {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+
+    bool operator==(const Cell&) const = default;
+  };
+  std::array<std::array<Cell, kDirections>, kMessageKinds> cells{};
+
+  [[nodiscard]] const Cell& at(MessageKind kind, Direction dir) const {
+    return cells.at(static_cast<std::size_t>(kind)).at(static_cast<std::size_t>(dir));
+  }
+  [[nodiscard]] std::uint64_t messages(MessageKind kind, Direction dir) const {
+    return at(kind, dir).messages;
+  }
+  [[nodiscard]] std::uint64_t bytes(MessageKind kind, Direction dir) const {
+    return at(kind, dir).bytes;
+  }
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  bool operator==(const ChannelLedger&) const = default;
+};
+
+/// Cell-wise `after - before`: the traffic recorded between two snapshots of
+/// the same accountant. Throws std::invalid_argument if any cell of `after`
+/// is smaller than `before`'s (the snapshots were taken out of order).
+[[nodiscard]] ChannelLedger ledger_delta(const ChannelLedger& after,
+                                         const ChannelLedger& before);
+
 /// Thread-safe accounting of everything that crosses the (simulated)
 /// network. The FL loop and Dubhe's secure flows record every transfer here,
 /// so the §6.4 communication-overhead table is measured, not estimated.
@@ -35,11 +72,18 @@ class ChannelAccountant {
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
 
+  /// Copies every cell out under relaxed loads (exact between protocol
+  /// phases, when no transport thread is mid-record).
+  [[nodiscard]] ChannelLedger snapshot() const;
+  /// Adds a ledger's cells into this accountant — how a session's internal
+  /// accounting is merged into a caller-supplied channel at the end.
+  void add(const ChannelLedger& ledger);
+
   void reset();
 
  private:
-  static constexpr std::size_t kKinds = static_cast<std::size_t>(MessageKind::kCount_);
-  static constexpr std::size_t kDirs = static_cast<std::size_t>(Direction::kCount_);
+  static constexpr std::size_t kKinds = kMessageKinds;
+  static constexpr std::size_t kDirs = kDirections;
   struct Cell {
     std::atomic<std::uint64_t> messages{0};
     std::atomic<std::uint64_t> bytes{0};

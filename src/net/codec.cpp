@@ -186,36 +186,50 @@ SeedRequest parse_seed_request(const Frame& f, MsgType expected) {
   return m;
 }
 
-Frame make_registration_info(const RegistrationInfo& m) {
+Frame make_round_begin(const RoundBegin& m) {
   Writer w;
-  w.u64(m.client_id);
-  w.u32_size(m.registration.category_index, "category index");
-  w.u32_size(m.registration.group_index, "group index");
-  w.u32_size(m.registration.category.size(), "category size");
-  for (const std::size_t c : m.registration.category) w.u32_size(c, "class id");
-  return Frame{MsgType::kRegistrationInfo, w.take()};
+  w.u64(m.round);
+  return Frame{MsgType::kRoundBegin, w.take()};
 }
 
-RegistrationInfo parse_registration_info(const Frame& f) {
-  check_type(f, MsgType::kRegistrationInfo);
+RoundBegin parse_round_begin(const Frame& f) {
+  check_type(f, MsgType::kRoundBegin);
   Reader r(f.payload);
-  RegistrationInfo m;
-  m.client_id = r.u64();
-  m.registration.category_index = r.u32();
-  m.registration.group_index = r.u32();
-  const std::size_t count = r.u32();
-  if (count * 4 != r.remaining()) {
-    throw WireError(WireErrc::kBadPayload, "registration category count mismatch");
+  RoundBegin m;
+  m.round = r.u64();
+  r.finish();
+  return m;
+}
+
+Frame make_participation(const Participation& m) {
+  for (const std::uint8_t d : m.draws) {
+    if (d > 1) throw WireError(WireErrc::kBadPayload, "participation draw not a bit");
   }
-  m.registration.category.reserve(count);
-  std::size_t prev = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t c = r.u32();
-    if (i > 0 && c <= prev) {
-      throw WireError(WireErrc::kBadPayload, "registration category not increasing");
+  Writer w;
+  w.reserve(20 + m.draws.size());
+  w.u64(m.client_id);
+  w.u64(m.round);
+  w.u32_size(m.draws.size(), "draw count");
+  w.bytes(m.draws);
+  return Frame{MsgType::kParticipation, w.take()};
+}
+
+Participation parse_participation(const Frame& f) {
+  check_type(f, MsgType::kParticipation);
+  Reader r(f.payload);
+  Participation m;
+  m.client_id = r.u64();
+  m.round = r.u64();
+  const std::size_t count = r.u32();
+  if (count != r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "participation draw count mismatch");
+  }
+  const auto bits = r.take(count);
+  m.draws.assign(bits.begin(), bits.end());
+  for (const std::uint8_t d : m.draws) {
+    if (d > 1) {
+      throw WireError(WireErrc::kBadPayload, "participation draw not a bit");
     }
-    m.registration.category.push_back(c);
-    prev = c;
   }
   r.finish();
   return m;

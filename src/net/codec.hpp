@@ -4,7 +4,6 @@
 #include <span>
 #include <vector>
 
-#include "core/registration.hpp"
 #include "fl/channel.hpp"
 #include "net/sizes.hpp"
 #include "net/wire.hpp"
@@ -52,13 +51,26 @@ struct SeedRequest {
   bool operator==(const SeedRequest&) const = default;
 };
 
-/// The plaintext registration entry a client reports alongside its encrypted
-/// registry. This is the experiment-plane shortcut the in-process
-/// DubheSelector already takes (see src/net/README.md — in a deployment the
-/// entry stays client-side and the client self-determines participation).
-struct RegistrationInfo {
+/// Round begin (S->C): the index of the global round whose loop body
+/// follows. The client answers with its kParticipation draws.
+struct RoundBegin {
+  std::uint64_t round = 0;
+
+  bool operator==(const RoundBegin&) const = default;
+};
+
+/// Proactive participation (C->S): the client's own Bernoulli draws for one
+/// round — one 0/1 byte per tentative try, drawn client-side from the
+/// (session seed, client id, round) stream against the Eq. 6 probability
+/// the client computed from the decrypted registry broadcast. This is what
+/// replaced the retired kRegistrationInfo plaintext entry: the server
+/// learns only the check-in bits, never the registration itself.
+struct Participation {
   std::uint64_t client_id = 0;
-  core::Registration registration;
+  std::uint64_t round = 0;
+  std::vector<std::uint8_t> draws;  // draws[h] in {0, 1}, one per try
+
+  bool operator==(const Participation&) const = default;
 };
 
 /// Model weights down (seed = the client's training seed for this round) or
@@ -83,8 +95,11 @@ KeyMaterial parse_key_material(const Frame& f);
 Frame make_seed_request(MsgType type, const SeedRequest& m);  // registration/distribution
 SeedRequest parse_seed_request(const Frame& f, MsgType expected);
 
-Frame make_registration_info(const RegistrationInfo& m);
-RegistrationInfo parse_registration_info(const Frame& f);
+Frame make_round_begin(const RoundBegin& m);
+RoundBegin parse_round_begin(const Frame& f);
+
+Frame make_participation(const Participation& m);
+Participation parse_participation(const Frame& f);
 
 /// Encrypted-vector payloads (registry upload/broadcast, distribution
 /// upload) carry the paillier wire form, which is self-tagged: 'V' for

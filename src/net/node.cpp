@@ -22,22 +22,24 @@ namespace {
 /// homomorphic sum it must carry the *session* key and the expected shape,
 /// otherwise a misbehaving client could silently corrupt the aggregate
 /// (deserialization only validates slots against the key the payload itself
-/// embeds).
-void check_upload(const he::EncryptedVector& v, const he::PublicKey& session_key,
-                  std::size_t want_slots) {
+/// embeds). Clients apply the same checks to the registry broadcast before
+/// trusting its decryption.
+void check_encrypted(const he::EncryptedVector& v, const he::PublicKey& session_key,
+                     std::size_t want_slots) {
   if (!(v.public_key() == session_key) || v.size() != want_slots) {
-    throw WireError(WireErrc::kBadPayload, "upload does not match the session");
+    throw WireError(WireErrc::kBadPayload, "encrypted payload does not match the session");
   }
 }
 
-void check_upload(const he::PackedEncryptedVector& v, const he::PublicKey& session_key,
-                  std::size_t want_logical, const he::PackedCodec& want_codec) {
+void check_encrypted(const he::PackedEncryptedVector& v, const he::PublicKey& session_key,
+                     std::size_t want_logical, const he::PackedCodec& want_codec) {
   // Both geometry fields matter: a forged slots_per_plaintext can keep the
   // ciphertext count identical while shifting every slot boundary.
   if (!(v.public_key() == session_key) || v.logical_size() != want_logical ||
       v.codec().slot_bits() != want_codec.slot_bits() ||
       v.codec().slots_per_plaintext() != want_codec.slots_per_plaintext()) {
-    throw WireError(WireErrc::kBadPayload, "packed upload does not match the session");
+    throw WireError(WireErrc::kBadPayload,
+                    "packed encrypted payload does not match the session");
   }
 }
 
@@ -67,15 +69,222 @@ Frame encrypt_upload(MsgType type, const he::PublicKey& pk, const SessionParams&
   return make_encrypted_vector(type, he::EncryptedVector::encrypt(pk, values, rng));
 }
 
+/// The client's proactive draws for one round: H Bernoulli bits against the
+/// Eq. 6 probability, from the (session seed, client id, round) stream. The
+/// direct reference path and the wire client endpoint both call this — one
+/// implementation, so the streams cannot drift apart.
+std::vector<std::uint8_t> proactive_draws(std::uint64_t session_seed, std::uint64_t round,
+                                          std::uint64_t client_id, double probability,
+                                          std::size_t H) {
+  stats::Rng rng(core::participation_seed(session_seed, round, client_id));
+  std::vector<std::uint8_t> draws(H, 0);
+  for (std::size_t h = 0; h < H; ++h) draws[h] = rng.bernoulli(probability) ? 1 : 0;
+  return draws;
+}
+
 /// Both execution modes run the §5.3.1 determination through the single
-/// authoritative core::multi_time_select loop (only the aggregation step
-/// differs); this just copies its outcome into the transcript.
-void fill_from_outcome(RoundTranscript& t, core::MultiTimeOutcome&& mt) {
-  t.try_emds = std::move(mt.try_emds);
-  t.best_try = mt.best_try;
-  t.selected = std::move(mt.selected);
-  t.population = std::move(mt.population);
-  t.emd_star = mt.emd_star;
+/// authoritative core::multi_time_select loop (only the selection and
+/// aggregation steps differ); this just copies its outcome into the record.
+void fill_from_outcome(RoundRecord& r, core::MultiTimeOutcome&& mt) {
+  r.try_emds = std::move(mt.try_emds);
+  r.best_try = mt.best_try;
+  r.selected = std::move(mt.selected);
+  r.population = std::move(mt.population);
+  r.emd_star = mt.emd_star;
+}
+
+void check_session_params(const SessionParams& params, std::size_t N) {
+  if (params.K == 0) throw std::invalid_argument("session: K == 0");
+  if (params.K > N) throw std::invalid_argument("session: K > N");
+  if (params.rounds == 0) throw std::invalid_argument("session: rounds == 0");
+}
+
+/// Server half of one tentative try: transpose the clients' per-round draw
+/// bits for try h and resolve them to exactly K with the replenish stream.
+/// Both execution modes call this one helper — the byte-identical-transcript
+/// contract depends on them consuming the stream identically.
+std::vector<std::size_t> resolve_try(const std::vector<std::vector<std::uint8_t>>& draws,
+                                     std::size_t h, std::size_t K, stats::Rng& rng) {
+  std::vector<std::uint8_t> bits(draws.size(), 0);
+  for (std::size_t k = 0; k < draws.size(); ++k) bits[k] = draws[k][h];
+  return core::resolve_participation(bits, K, rng);
+}
+
+SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>> links,
+                                      const data::FederatedDataset& dataset,
+                                      const nn::Sequential& prototype,
+                                      const SessionParams& params,
+                                      fl::ChannelAccountant& acct) {
+  const std::size_t N = links.size();
+  const core::RegistryCodec codec(params.num_classes, params.reference_set);
+
+  bigint::Xoshiro256ss he_rng(params.he_seed);
+  core::SecureSelectionSession session(codec, params.sigma, params.secure, N, he_rng,
+                                       nullptr);
+
+  // --- hello: bind links to client ids. -------------------------------------
+  std::vector<std::shared_ptr<Transport>> by_id(N);
+  for (const auto& link : links) {
+    const ClientHello hello = parse_client_hello(expect_frame(*link, MsgType::kClientHello));
+    if (hello.protocol != kWireVersion) {
+      throw WireError(WireErrc::kBadVersion, "client speaks protocol " +
+                                                 std::to_string(hello.protocol));
+    }
+    if (hello.client_id >= N || by_id[hello.client_id] != nullptr) {
+      throw TransportError("run_server_session: bad or duplicate client id " +
+                           std::to_string(hello.client_id));
+    }
+    by_id[hello.client_id] = link;
+  }
+  for (std::size_t id = 0; id < N; ++id) {
+    by_id[id]->send(make_server_hello({session.session_seed(), static_cast<std::uint32_t>(N),
+                                       static_cast<std::uint32_t>(id)}));
+  }
+
+  // --- §5.1 (once per connection): key dispatch + registration. -------------
+  const Frame key_frame =
+      make_key_material({session.keypair().pub, session.keypair().prv});
+  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(key_frame);
+
+  for (std::size_t id = 0; id < N; ++id) {
+    by_id[id]->send(
+        make_seed_request(MsgType::kRegistrationRequest, {session.registration_seed(id), 0}));
+  }
+
+  const he::PackedCodec session_packed(params.secure.key_bits - 1,
+                                       params.secure.packing_slot_bits);
+  SessionTranscript t;
+  std::vector<he::EncryptedVector> uploads;
+  std::vector<he::PackedEncryptedVector> packed_uploads;
+  for (std::size_t id = 0; id < N; ++id) {
+    // Only the ciphertext crosses the wire: the plaintext registration entry
+    // stays on the client (the retired kRegistrationInfo shortcut used to
+    // ship it here), so this aggregator never learns any client's category.
+    const Frame up = expect_frame(*by_id[id], MsgType::kRegistryUpload);
+    if (payload_is_packed(up) != params.secure.use_packing) {
+      throw WireError(WireErrc::kBadPayload, "packing mode mismatch");
+    }
+    if (params.secure.use_packing) {
+      packed_uploads.push_back(parse_packed_encrypted_vector(up, MsgType::kRegistryUpload));
+      check_encrypted(packed_uploads.back(), session.public_key(), codec.length(),
+                      session_packed);
+    } else {
+      uploads.push_back(parse_encrypted_vector(up, MsgType::kRegistryUpload));
+      check_encrypted(uploads.back(), session.public_key(), codec.length());
+    }
+  }
+  // The server only ever adds ciphertexts; the agent (co-located here)
+  // decrypts the sum, and every client receives the encrypted sum broadcast
+  // (and decrypts it itself — that is what its proactive draws feed on).
+  if (params.secure.use_packing) {
+    he::PackedEncryptedVector sum = packed_uploads[0];
+    for (std::size_t k = 1; k < N; ++k) sum += packed_uploads[k];
+    const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
+    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
+    t.overall_registry = session.reduce_registry({&sum, 1});
+  } else {
+    he::EncryptedVector sum = uploads[0];
+    for (std::size_t k = 1; k < N; ++k) sum += uploads[k];
+    const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
+    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
+    t.overall_registry = session.reduce_registry({&sum, 1});
+  }
+  t.setup_ledger = acct.snapshot();
+
+  // --- the per-round loop over the same persistent connections. -------------
+  fl::Server server(prototype);
+  stats::Rng sel_rng(params.select_seed);
+  t.rounds.reserve(params.rounds);
+  for (std::size_t r = 0; r < params.rounds; ++r) {
+    const fl::ChannelLedger before = acct.snapshot();
+    RoundRecord rec;
+
+    // Round begin + the clients' own participation draws. The server never
+    // computes an Eq. 6 probability — it only resolves the volunteered bits
+    // to exactly K with its replenish stream (§5.2 server half).
+    for (std::size_t id = 0; id < N; ++id) {
+      by_id[id]->send(make_round_begin({static_cast<std::uint64_t>(r)}));
+    }
+    std::vector<std::vector<std::uint8_t>> draws(N);
+    for (std::size_t id = 0; id < N; ++id) {
+      const Participation part =
+          parse_participation(expect_frame(*by_id[id], MsgType::kParticipation));
+      if (part.client_id != id || part.round != r) {
+        throw WireError(WireErrc::kBadPayload, "participation from the wrong (client, round)");
+      }
+      if (part.draws.size() != params.H) {
+        throw WireError(WireErrc::kBadPayload, "participation draw count != H");
+      }
+      draws[id] = part.draws;
+    }
+
+    // --- §5.3: multi-time determination with per-try encrypted aggregation.
+    fill_from_outcome(rec, core::multi_time_select(
+        params.num_classes, params.H,
+        [&](std::size_t h) { return resolve_try(draws, h, params.K, sel_rng); },
+        [&](std::size_t h, std::span<const std::size_t> sel) {
+          const std::size_t try_slot = r * params.H + h;
+          for (const std::size_t k : sel) {
+            by_id[k]->send(make_seed_request(
+                MsgType::kDistributionRequest,
+                {session.distribution_seed(try_slot, k), static_cast<std::uint32_t>(h)}));
+          }
+          if (params.secure.use_packing) {
+            std::vector<he::PackedEncryptedVector> ups;
+            ups.reserve(sel.size());
+            for (const std::size_t k : sel) {
+              ups.push_back(parse_packed_encrypted_vector(
+                  expect_frame(*by_id[k], MsgType::kDistributionUpload),
+                  MsgType::kDistributionUpload));
+              check_encrypted(ups.back(), session.public_key(), params.num_classes,
+                              session_packed);
+            }
+            return session.reduce_population(ups);
+          }
+          std::vector<he::EncryptedVector> ups;
+          ups.reserve(sel.size());
+          for (const std::size_t k : sel) {
+            ups.push_back(
+                parse_encrypted_vector(expect_frame(*by_id[k], MsgType::kDistributionUpload),
+                                       MsgType::kDistributionUpload));
+            check_encrypted(ups.back(), session.public_key(), params.num_classes);
+          }
+          return session.reduce_population(ups);
+        }));
+
+    // --- training round over the winning set. -------------------------------
+    const std::uint64_t round_seed = stats::derive_seed(params.round_seed, r);
+    const std::vector<float>& global = server.global_weights();
+    for (const std::size_t k : rec.selected) {
+      by_id[k]->send(make_weights(
+          MsgType::kModelDown, {stats::derive_seed(round_seed, k + 1), global}));
+    }
+    std::vector<std::vector<float>> updates(rec.selected.size());
+    for (std::size_t i = 0; i < rec.selected.size(); ++i) {
+      WeightsMsg up =
+          parse_weights(expect_frame(*by_id[rec.selected[i]], MsgType::kModelUpdate),
+                        MsgType::kModelUpdate);
+      if (up.seed != rec.selected[i]) {
+        throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+      }
+      updates[i] = std::move(up.weights);
+    }
+    server.aggregate(updates);
+    rec.global_weights = server.global_weights();
+    if (params.evaluate) rec.accuracy = server.evaluate(dataset);
+    rec.ledger = fl::ledger_delta(acct.snapshot(), before);
+    t.rounds.push_back(std::move(rec));
+  }
+
+  // --- shutdown: every client acknowledges by closing. ----------------------
+  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(make_shutdown());
+  for (std::size_t id = 0; id < N; ++id) {
+    while (by_id[id]->receive()) {
+      // drain stragglers until the peer closes
+    }
+    by_id[id]->close();
+  }
+  return t;
 }
 
 }  // namespace
@@ -93,7 +302,7 @@ std::uint64_t weights_fingerprint(std::span<const float> w) {
   return h;
 }
 
-std::string format_transcript(const RoundTranscript& t) {
+std::string format_transcript(const SessionTranscript& t) {
   std::string out;
   char buf[64];
   auto add_u64s = [&](const char* name, const auto& xs) {
@@ -121,192 +330,57 @@ std::string format_transcript(const RoundTranscript& t) {
     out += '\n';
   };
   add_u64s("overall_registry", t.overall_registry);
-  add_doubles("try_emds", t.try_emds);
-  std::snprintf(buf, sizeof buf, "best_try=%zu\n", t.best_try);
+  std::snprintf(buf, sizeof buf, "rounds=%zu\n", t.rounds.size());
   out += buf;
-  add_u64s("selected", t.selected);
-  add_doubles("population", t.population);
-  std::snprintf(buf, sizeof buf, "emd_star=%a\n", t.emd_star);
-  out += buf;
-  std::snprintf(buf, sizeof buf, "weights_fnv1a=0x%016" PRIx64 "\n",
-                weights_fingerprint(t.global_weights));
-  out += buf;
-  std::snprintf(buf, sizeof buf, "accuracy=%a\n", t.accuracy);
-  out += buf;
+  for (std::size_t r = 0; r < t.rounds.size(); ++r) {
+    const RoundRecord& rec = t.rounds[r];
+    std::snprintf(buf, sizeof buf, "round=%zu\n", r);
+    out += buf;
+    add_doubles("try_emds", rec.try_emds);
+    std::snprintf(buf, sizeof buf, "best_try=%zu\n", rec.best_try);
+    out += buf;
+    add_u64s("selected", rec.selected);
+    add_doubles("population", rec.population);
+    std::snprintf(buf, sizeof buf, "emd_star=%a\n", rec.emd_star);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "weights_fnv1a=0x%016" PRIx64 "\n",
+                  weights_fingerprint(rec.global_weights));
+    out += buf;
+    std::snprintf(buf, sizeof buf, "accuracy=%a\n", rec.accuracy);
+    out += buf;
+  }
   return out;
 }
 
-RoundTranscript run_server_round(std::span<const std::shared_ptr<Transport>> links,
-                                 const data::FederatedDataset& dataset,
-                                 const nn::Sequential& prototype,
-                                 const SessionParams& params,
-                                 fl::ChannelAccountant* channel) {
+SessionTranscript run_server_session(std::span<const std::shared_ptr<Transport>> links,
+                                     const data::FederatedDataset& dataset,
+                                     const nn::Sequential& prototype,
+                                     const SessionParams& params,
+                                     fl::ChannelAccountant* channel) {
   const std::size_t N = links.size();
   if (N != dataset.num_clients()) {
-    throw std::invalid_argument("run_server_round: one link per dataset client required");
+    throw std::invalid_argument("run_server_session: one link per dataset client required");
   }
-  if (params.K > N) throw std::invalid_argument("run_server_round: K > N");
-  const core::RegistryCodec codec(params.num_classes, params.reference_set);
+  check_session_params(params, N);
 
   // Accounting lives on the transports (exact frame sizes, aggregator
-  // perspective), so the session itself gets no channel.
+  // perspective). A session-local accountant is always attached so the
+  // transcript's per-round ledgers exist even without a caller channel; it
+  // is merged into `channel` at the end and detached on every exit path
+  // (the links may outlive this call).
+  fl::ChannelAccountant acct;
   for (const auto& link : links) {
-    link->set_accountant(channel, fl::Direction::kServerToClient);
+    link->set_accountant(&acct, fl::Direction::kServerToClient);
   }
-
-  bigint::Xoshiro256ss he_rng(params.he_seed);
-  core::SecureSelectionSession session(codec, params.sigma, params.secure, N, he_rng,
-                                       nullptr);
-
-  // --- hello: bind links to client ids. -------------------------------------
-  std::vector<std::shared_ptr<Transport>> by_id(N);
-  for (const auto& link : links) {
-    const ClientHello hello = parse_client_hello(expect_frame(*link, MsgType::kClientHello));
-    if (hello.protocol != kWireVersion) {
-      throw WireError(WireErrc::kBadVersion, "client speaks protocol " +
-                                                 std::to_string(hello.protocol));
-    }
-    if (hello.client_id >= N || by_id[hello.client_id] != nullptr) {
-      throw TransportError("run_server_round: bad or duplicate client id " +
-                           std::to_string(hello.client_id));
-    }
-    by_id[hello.client_id] = link;
+  SessionTranscript t;
+  try {
+    t = server_session_impl(links, dataset, prototype, params, acct);
+  } catch (...) {
+    for (const auto& link : links) link->set_accountant(nullptr, fl::Direction::kServerToClient);
+    throw;
   }
-  for (std::size_t id = 0; id < N; ++id) {
-    by_id[id]->send(make_server_hello({session.session_seed(), static_cast<std::uint32_t>(N),
-                                       static_cast<std::uint32_t>(id)}));
-  }
-
-  // --- §5.1: key dispatch (agent role) + registration. ----------------------
-  const Frame key_frame =
-      make_key_material({session.keypair().pub, session.keypair().prv});
-  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(key_frame);
-
-  for (std::size_t id = 0; id < N; ++id) {
-    by_id[id]->send(
-        make_seed_request(MsgType::kRegistrationRequest, {session.registration_seed(id), 0}));
-  }
-
-  const he::PackedCodec session_packed(params.secure.key_bits - 1,
-                                       params.secure.packing_slot_bits);
-  RoundTranscript t;
-  std::vector<core::Registration> regs(N);
-  std::vector<he::EncryptedVector> uploads;
-  std::vector<he::PackedEncryptedVector> packed_uploads;
-  for (std::size_t id = 0; id < N; ++id) {
-    const RegistrationInfo info =
-        parse_registration_info(expect_frame(*by_id[id], MsgType::kRegistrationInfo));
-    if (info.client_id != id) {
-      throw WireError(WireErrc::kBadPayload, "registration from the wrong client");
-    }
-    // The plaintext entry is as untrusted as the ciphertexts: it must be a
-    // registration this codec could actually have produced, or the bad
-    // value would surface much later as an untyped error inside selection.
-    try {
-      if (info.registration.category_index != codec.index_of(info.registration.category) ||
-          info.registration.group_index !=
-              codec.group_of_index(info.registration.category_index)) {
-        throw std::invalid_argument("inconsistent registration entry");
-      }
-    } catch (const std::invalid_argument& e) {
-      throw WireError(WireErrc::kBadPayload, e.what());
-    } catch (const std::out_of_range& e) {
-      throw WireError(WireErrc::kBadPayload, e.what());
-    }
-    regs[id] = info.registration;
-    const Frame up = expect_frame(*by_id[id], MsgType::kRegistryUpload);
-    if (payload_is_packed(up) != params.secure.use_packing) {
-      throw WireError(WireErrc::kBadPayload, "packing mode mismatch");
-    }
-    if (params.secure.use_packing) {
-      packed_uploads.push_back(parse_packed_encrypted_vector(up, MsgType::kRegistryUpload));
-      check_upload(packed_uploads.back(), session.public_key(), codec.length(),
-                   session_packed);
-    } else {
-      uploads.push_back(parse_encrypted_vector(up, MsgType::kRegistryUpload));
-      check_upload(uploads.back(), session.public_key(), codec.length());
-    }
-  }
-  // The server only ever adds ciphertexts; the agent (co-located here)
-  // decrypts the sum, and every client receives the encrypted sum broadcast.
-  if (params.secure.use_packing) {
-    he::PackedEncryptedVector sum = packed_uploads[0];
-    for (std::size_t k = 1; k < N; ++k) sum += packed_uploads[k];
-    const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
-    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
-    t.overall_registry = session.reduce_registry({&sum, 1});
-  } else {
-    he::EncryptedVector sum = uploads[0];
-    for (std::size_t k = 1; k < N; ++k) sum += uploads[k];
-    const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
-    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
-    t.overall_registry = session.reduce_registry({&sum, 1});
-  }
-
-  // --- §5.2 + §5.3: proactive probabilities + multi-time determination. -----
-  core::DubheSelector selector(&codec, params.sigma);
-  selector.load_overall_registry(t.overall_registry, regs);
-  stats::Rng sel_rng(params.select_seed);
-  fill_from_outcome(t, core::multi_time_select(
-      selector, params.num_classes, params.K, params.H, sel_rng,
-      [&](std::size_t h, std::span<const std::size_t> sel) {
-        for (const std::size_t k : sel) {
-          by_id[k]->send(make_seed_request(
-              MsgType::kDistributionRequest,
-              {session.distribution_seed(h, k), static_cast<std::uint32_t>(h)}));
-        }
-        if (params.secure.use_packing) {
-          std::vector<he::PackedEncryptedVector> ups;
-          ups.reserve(sel.size());
-          for (const std::size_t k : sel) {
-            ups.push_back(parse_packed_encrypted_vector(
-                expect_frame(*by_id[k], MsgType::kDistributionUpload),
-                MsgType::kDistributionUpload));
-            check_upload(ups.back(), session.public_key(), params.num_classes,
-                         session_packed);
-          }
-          return session.reduce_population(ups);
-        }
-        std::vector<he::EncryptedVector> ups;
-        ups.reserve(sel.size());
-        for (const std::size_t k : sel) {
-          ups.push_back(
-              parse_encrypted_vector(expect_frame(*by_id[k], MsgType::kDistributionUpload),
-                                     MsgType::kDistributionUpload));
-          check_upload(ups.back(), session.public_key(), params.num_classes);
-        }
-        return session.reduce_population(ups);
-      }));
-
-  // --- training round over the winning set. ---------------------------------
-  fl::Server server(prototype);
-  const std::vector<float>& global = server.global_weights();
-  for (const std::size_t k : t.selected) {
-    by_id[k]->send(make_weights(
-        MsgType::kModelDown, {stats::derive_seed(params.round_seed, k + 1), global}));
-  }
-  std::vector<std::vector<float>> updates(t.selected.size());
-  for (std::size_t i = 0; i < t.selected.size(); ++i) {
-    WeightsMsg up =
-        parse_weights(expect_frame(*by_id[t.selected[i]], MsgType::kModelUpdate),
-                      MsgType::kModelUpdate);
-    if (up.seed != t.selected[i]) {
-      throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
-    }
-    updates[i] = std::move(up.weights);
-  }
-  server.aggregate(updates);
-  t.global_weights = server.global_weights();
-  if (params.evaluate) t.accuracy = server.evaluate(dataset);
-
-  // --- shutdown: every client acknowledges by closing. ----------------------
-  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(make_shutdown());
-  for (std::size_t id = 0; id < N; ++id) {
-    while (by_id[id]->receive()) {
-      // drain stragglers until the peer closes
-    }
-    by_id[id]->close();
-  }
+  for (const auto& link : links) link->set_accountant(nullptr, fl::Direction::kServerToClient);
+  if (channel != nullptr) channel->add(acct.snapshot());
   return t;
 }
 
@@ -317,16 +391,28 @@ void serve_client(Transport& link, std::size_t client_id,
   const auto samples = dataset.client_samples(client_id);
   const fl::Client client(client_id, {samples.begin(), samples.end()}, &dataset);
   const stats::Distribution& dist = client.label_distribution();
+  // Algorithm 1 runs locally and its result never leaves this endpoint —
+  // the registry crosses the wire encrypted, participation as self-drawn
+  // bits.
+  const core::Registration reg = core::register_client(codec, dist, params.sigma);
+  const he::PackedCodec session_packed(params.secure.key_bits - 1,
+                                       params.secure.packing_slot_bits);
 
   link.send(make_client_hello({static_cast<std::uint64_t>(client_id), kWireVersion}));
 
-  he::PublicKey pk;
+  he::Keypair keys;
   bool have_key = false;
+  std::uint64_t session_seed = 0;
+  bool have_hello = false;
+  // Eq. 6 probability, computable only once the registry broadcast arrived.
+  double probability = 0;
+  bool have_registry = false;
+  std::uint64_t next_round = 0;
   for (;;) {
     auto frame = link.receive();
     if (!frame) {
       // The session ends with an explicit kShutdown; a bare EOF means the
-      // aggregator died mid-round and must not look like success.
+      // aggregator died mid-session and must not look like success.
       throw TransportError("serve_client: server vanished before shutdown");
     }
     switch (frame->type) {
@@ -337,41 +423,75 @@ void serve_client(Transport& link, std::size_t client_id,
         }
         if (hello.num_clients != dataset.num_clients()) {
           // A cohort-size mismatch means the two processes were launched
-          // with different worlds — fail fast instead of completing a round
-          // whose transcript can only diverge.
+          // with different worlds — fail fast instead of completing a
+          // session whose transcript can only diverge.
           throw TransportError("serve_client: cohort size mismatch (server says " +
                                std::to_string(hello.num_clients) + ", local dataset has " +
                                std::to_string(dataset.num_clients()) + ")");
         }
+        session_seed = hello.session_seed;
+        have_hello = true;
         break;
       }
       case MsgType::kKeyMaterial: {
-        // The agent dispatches the full keypair (paper §5.1). This endpoint
-        // only ever *encrypts*; the private half would let it decrypt the
-        // registry broadcast like any cohort member.
-        pk = parse_key_material(*frame).pub;
+        // The agent dispatches the full keypair (paper §5.1). Every cohort
+        // member holds the private half, which is exactly what lets this
+        // endpoint decrypt the registry broadcast and draw its own
+        // participation — the aggregator is the one party without it.
+        const KeyMaterial km = parse_key_material(*frame);
+        keys = {km.pub, km.prv};
         have_key = true;
         break;
       }
       case MsgType::kRegistrationRequest: {
         if (!have_key) throw TransportError("serve_client: registration before keys");
         const SeedRequest req = parse_seed_request(*frame, MsgType::kRegistrationRequest);
-        const core::Registration reg = core::register_client(codec, dist, params.sigma);
-        link.send(make_registration_info({static_cast<std::uint64_t>(client_id), reg}));
-        link.send(encrypt_upload(MsgType::kRegistryUpload, pk, params,
+        link.send(encrypt_upload(MsgType::kRegistryUpload, keys.pub, params,
                                  core::to_onehot(codec, reg), req.seed));
         break;
       }
       case MsgType::kRegistryBroadcast: {
-        // R_A arrives encrypted; nothing to do here — the selector state
-        // lives server-side in this harness (see src/net/README.md).
+        // R_A arrives encrypted; this cohort member decrypts it and derives
+        // its own Eq. 6 participation probability — the client half of §5.2.
+        if (!have_key) throw TransportError("serve_client: broadcast before keys");
+        std::vector<std::uint64_t> overall;
+        if (payload_is_packed(*frame) != params.secure.use_packing) {
+          throw WireError(WireErrc::kBadPayload, "packing mode mismatch");
+        }
+        if (params.secure.use_packing) {
+          const auto v = parse_packed_encrypted_vector(*frame, MsgType::kRegistryBroadcast);
+          check_encrypted(v, keys.pub, codec.length(), session_packed);
+          overall = v.decrypt(keys.prv);
+        } else {
+          const auto v = parse_encrypted_vector(*frame, MsgType::kRegistryBroadcast);
+          check_encrypted(v, keys.pub, codec.length());
+          overall = v.decrypt(keys.prv);
+        }
+        probability = core::proactive_probability(overall, reg.category_index, params.K);
+        have_registry = true;
+        break;
+      }
+      case MsgType::kRoundBegin: {
+        if (!have_hello || !have_registry) {
+          throw TransportError("serve_client: round begin before registration completed");
+        }
+        const RoundBegin rb = parse_round_begin(*frame);
+        if (rb.round != next_round) {
+          throw TransportError("serve_client: server skipped to round " +
+                               std::to_string(rb.round) + " (expected " +
+                               std::to_string(next_round) + ")");
+        }
+        ++next_round;
+        link.send(make_participation(
+            {static_cast<std::uint64_t>(client_id), rb.round,
+             proactive_draws(session_seed, rb.round, client_id, probability, params.H)}));
         break;
       }
       case MsgType::kDistributionRequest: {
         if (!have_key) throw TransportError("serve_client: distribution before keys");
         const SeedRequest req = parse_seed_request(*frame, MsgType::kDistributionRequest);
         link.send(encrypt_upload(
-            MsgType::kDistributionUpload, pk, params,
+            MsgType::kDistributionUpload, keys.pub, params,
             core::quantize_distribution(dist, params.secure.fixed_point_scale), req.seed));
         break;
       }
@@ -394,43 +514,69 @@ void serve_client(Transport& link, std::size_t client_id,
   }
 }
 
-RoundTranscript run_round_direct(const data::FederatedDataset& dataset,
-                                 const nn::Sequential& prototype,
-                                 const SessionParams& params,
-                                 fl::ChannelAccountant* channel) {
+SessionTranscript run_session_direct(const data::FederatedDataset& dataset,
+                                     const nn::Sequential& prototype,
+                                     const SessionParams& params,
+                                     fl::ChannelAccountant* channel) {
+  const std::size_t N = dataset.num_clients();
+  check_session_params(params, N);
   const core::RegistryCodec codec(params.num_classes, params.reference_set);
   const auto& dists = dataset.partition().client_dists;
   bigint::Xoshiro256ss he_rng(params.he_seed);
-  core::SecureSelectionSession session(codec, params.sigma, params.secure,
-                                       dataset.num_clients(), he_rng, channel);
+  // The session-local accountant mirrors the transport-backed driver: it
+  // exists regardless of `channel`, carries the per-round deltas, and is
+  // merged into the caller's channel at the end.
+  fl::ChannelAccountant acct;
+  core::SecureSelectionSession session(codec, params.sigma, params.secure, N, he_rng,
+                                       &acct);
 
-  RoundTranscript t;
+  SessionTranscript t;
   auto reg = session.run_registration(dists);
-  t.overall_registry = reg.overall_registry;
+  t.overall_registry = std::move(reg.overall_registry);
+  t.setup_ledger = acct.snapshot();
 
-  core::DubheSelector selector(&codec, params.sigma);
-  selector.load_overall_registry(std::move(reg.overall_registry),
-                                 std::move(reg.registrations));
-  stats::Rng sel_rng(params.select_seed);
-  fill_from_outcome(t, core::multi_time_select(
-                           selector, params.num_classes, params.K, params.H, sel_rng,
-                           [&](std::size_t, std::span<const std::size_t> sel) {
-                             return session.aggregate_population(dists, sel);
-                           }));
+  // The client half of §5.2, simulated in-process: every client's Eq. 6
+  // probability from the (conceptually broadcast-decrypted) R_A and its own
+  // registration — numerically identical to what each wire endpoint
+  // computes for itself.
+  std::vector<double> probability(N, 0.0);
+  for (std::size_t k = 0; k < N; ++k) {
+    probability[k] = core::proactive_probability(
+        t.overall_registry, reg.registrations[k].category_index, params.K);
+  }
 
   fl::FederatedTrainer trainer(dataset, prototype, params.train, params.train_threads,
-                               channel);
-  const fl::RoundResult rr =
-      trainer.run_round(t.selected, params.round_seed, params.evaluate);
-  t.global_weights = trainer.server().global_weights();
-  if (params.evaluate) t.accuracy = rr.test_accuracy;
+                               &acct);
+  stats::Rng sel_rng(params.select_seed);
+  t.rounds.reserve(params.rounds);
+  for (std::size_t r = 0; r < params.rounds; ++r) {
+    const fl::ChannelLedger before = acct.snapshot();
+    RoundRecord rec;
+    std::vector<std::vector<std::uint8_t>> draws(N);
+    for (std::size_t k = 0; k < N; ++k) {
+      draws[k] = proactive_draws(session.session_seed(), r, k, probability[k], params.H);
+    }
+    fill_from_outcome(rec, core::multi_time_select(
+                               params.num_classes, params.H,
+                               [&](std::size_t h) { return resolve_try(draws, h, params.K, sel_rng); },
+                               [&](std::size_t, std::span<const std::size_t> sel) {
+                                 return session.aggregate_population(dists, sel);
+                               }));
+    const fl::RoundResult rr = trainer.run_round(
+        rec.selected, stats::derive_seed(params.round_seed, r), params.evaluate);
+    rec.global_weights = trainer.server().global_weights();
+    if (params.evaluate) rec.accuracy = rr.test_accuracy;
+    rec.ledger = fl::ledger_delta(acct.snapshot(), before);
+    t.rounds.push_back(std::move(rec));
+  }
+  if (channel != nullptr) channel->add(acct.snapshot());
   return t;
 }
 
-RoundTranscript run_loopback_round(const data::FederatedDataset& dataset,
-                                   const nn::Sequential& prototype,
-                                   const SessionParams& params,
-                                   fl::ChannelAccountant* channel) {
+SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
+                                       const nn::Sequential& prototype,
+                                       const SessionParams& params,
+                                       fl::ChannelAccountant* channel) {
   const std::size_t N = dataset.num_clients();
   std::vector<std::shared_ptr<Transport>> server_side;
   std::vector<std::shared_ptr<Transport>> client_side;
@@ -458,9 +604,9 @@ RoundTranscript run_loopback_round(const data::FederatedDataset& dataset,
       }
     });
   }
-  RoundTranscript t;
+  SessionTranscript t;
   try {
-    t = run_server_round(server_side, dataset, prototype, params, channel);
+    t = run_server_session(server_side, dataset, prototype, params, channel);
   } catch (...) {
     for (auto& link : server_side) link->close();
     for (auto& th : clients) th.join();

@@ -15,7 +15,7 @@ namespace dubhe::net {
 
 /// Everything both ends of the protocol must agree on before a session:
 /// registry codebook, crypto parameters, training hyperparameters, and the
-/// seeds that make a round reproducible. In the multi-process deployment
+/// seeds that make a session reproducible. In the multi-process deployment
 /// (tools/dubhe_node) every process derives this from the same CLI flags;
 /// in tests both sides share the struct.
 struct SessionParams {
@@ -24,78 +24,110 @@ struct SessionParams {
   std::vector<double> sigma{0.7, 0.1, 0.0};
   core::SecureConfig secure;
   fl::TrainConfig train;
-  std::size_t K = 4;  // participants per round
-  std::size_t H = 3;  // tentative tries (multi-time selection, §5.3)
+  std::size_t K = 4;       // participants per round
+  std::size_t H = 3;       // tentative tries (multi-time selection, §5.3)
+  std::size_t rounds = 1;  // global rounds per session (one connection)
   std::uint64_t he_seed = 5;      // keygen + session entropy
-  std::uint64_t select_seed = 9;  // the selector's Bernoulli/replenish stream
-  std::uint64_t round_seed = 1;   // per-client training seeds derive from this
+  std::uint64_t select_seed = 9;  // the server's replenish/trim stream
+  std::uint64_t round_seed = 1;   // per-(round, client) training seeds derive from this
   std::size_t train_threads = 1;  // shards for the direct path's round loop
   bool evaluate = true;
 };
 
-/// The result of one full secure round, with every field deterministic given
-/// (dataset, prototype, SessionParams). The acceptance contract of the net
-/// layer: direct in-process calls, LoopbackTransport, and TcpTransport all
-/// produce bitwise-equal transcripts.
-struct RoundTranscript {
-  std::vector<std::uint64_t> overall_registry;  // R_A
-  std::vector<double> try_emds;                 // || p_{o,h} - p_u ||_1 per try
+/// One global round of a session, with every field deterministic given
+/// (dataset, prototype, SessionParams). Equality and the formatted
+/// transcript cover the protocol-visible content only; `ledger` is a
+/// measurement side channel (control framing exists only where a wire is
+/// materialized, so direct and transport ledgers legitimately differ on the
+/// control row).
+struct RoundRecord {
+  std::vector<double> try_emds;  // || p_{o,h} - p_u ||_1 per try
   std::size_t best_try = 0;
   std::vector<std::size_t> selected;  // S_{h*}
   stats::Distribution population;     // p_o of the winning try (secure aggregate)
   double emd_star = 0;
-  std::vector<float> global_weights;  // after FedAvg of the winning set
+  std::vector<float> global_weights;  // after this round's FedAvg
   double accuracy = 0;                // balanced-test-set top-1 (0 if !evaluate)
+  /// §6.4 traffic attributable to this round, at exact encoded frame sizes.
+  fl::ChannelLedger ledger;
 
-  bool operator==(const RoundTranscript&) const = default;
+  bool operator==(const RoundRecord& o) const {
+    return try_emds == o.try_emds && best_try == o.best_try && selected == o.selected &&
+           population == o.population && emd_star == o.emd_star &&
+           global_weights == o.global_weights && accuracy == o.accuracy;
+  }
+};
+
+/// The result of one full secure session: registration once, then R rounds
+/// over the same connection. The acceptance contract of the net layer:
+/// direct in-process calls, LoopbackTransport, and TcpTransport all produce
+/// bitwise-equal transcripts (ledgers excluded from equality — see
+/// RoundRecord).
+struct SessionTranscript {
+  std::vector<std::uint64_t> overall_registry;  // R_A
+  std::vector<RoundRecord> rounds;
+  /// Traffic of the per-connection setup phase (hello, key dispatch,
+  /// registration + registry broadcast) — everything before round 0.
+  fl::ChannelLedger setup_ledger;
+
+  bool operator==(const SessionTranscript& o) const {
+    return overall_registry == o.overall_registry && rounds == o.rounds;
+  }
 };
 
 /// FNV-1a over the weight bytes — the compact fingerprint the multi-process
 /// smoke test compares across processes.
 [[nodiscard]] std::uint64_t weights_fingerprint(std::span<const float> w);
 
-/// Renders a transcript as stable text (hex floats, one field per line) so
-/// two transcripts can be diffed across process boundaries.
-[[nodiscard]] std::string format_transcript(const RoundTranscript& t);
+/// Renders a transcript as stable text (hex floats, one field per line, one
+/// block per round) so two transcripts can be diffed across process
+/// boundaries. Ledgers are not rendered (see RoundRecord).
+[[nodiscard]] std::string format_transcript(const SessionTranscript& t);
 
-/// Aggregator side: drives one secure-registration + multi-time-selection +
-/// training round over `links` (one established Transport per client;
-/// links[i] need not be client i — the hello exchange binds ids). Blocks
-/// until the round completes and every client was told to shut down.
-/// `dataset` provides the prototype's evaluation set; client data stays on
-/// the client endpoints. Throws TransportError / WireError on a misbehaving
-/// peer.
-RoundTranscript run_server_round(std::span<const std::shared_ptr<Transport>> links,
-                                 const data::FederatedDataset& dataset,
-                                 const nn::Sequential& prototype,
-                                 const SessionParams& params,
-                                 fl::ChannelAccountant* channel = nullptr);
+/// Aggregator side: drives one secure session over `links` (one established
+/// Transport per client; links[i] need not be client i — the hello exchange
+/// binds ids). Registration, key dispatch and the encrypted registry
+/// reduction happen once, then `params.rounds` global rounds (round begin →
+/// client-side participation draws → H tentative tries with per-try
+/// encrypted population aggregation → model down / train / update up →
+/// FedAvg + eval) run over the same connections before shutdown. Blocks
+/// until every client was told to shut down. `dataset` provides the
+/// prototype's evaluation set; client data stays on the client endpoints.
+/// Throws TransportError / WireError on a misbehaving peer.
+SessionTranscript run_server_session(std::span<const std::shared_ptr<Transport>> links,
+                                     const data::FederatedDataset& dataset,
+                                     const nn::Sequential& prototype,
+                                     const SessionParams& params,
+                                     fl::ChannelAccountant* channel = nullptr);
 
 /// Client side: serves one session over `link` as client `client_id` —
 /// hello, key receipt, registration (Algorithm 1 + encrypted upload),
-/// per-try distribution uploads, local training — until the server's
-/// shutdown frame (or peer close). The client touches only its own shard of
-/// `dataset`.
+/// registry-broadcast decryption, then per round: its own proactive
+/// Bernoulli draws (Eq. 6 against the decrypted R_A, seeded from
+/// (session seed, client id, round)), per-try distribution uploads and
+/// local training — until the server's shutdown frame. The client touches
+/// only its own shard of `dataset`.
 void serve_client(Transport& link, std::size_t client_id,
                   const data::FederatedDataset& dataset, const nn::Sequential& prototype,
                   const SessionParams& params);
 
-/// The reference path: the same round executed through direct in-process
-/// calls (SecureSelectionSession + DubheSelector + FederatedTrainer), no
+/// The reference path: the same session executed through direct in-process
+/// calls (SecureSelectionSession + FederatedTrainer, participation drawn
+/// from the same per-(client, round) streams the client endpoints use), no
 /// frames involved. Transport implementations are correct exactly when
 /// their transcript equals this one.
-RoundTranscript run_round_direct(const data::FederatedDataset& dataset,
-                                 const nn::Sequential& prototype,
-                                 const SessionParams& params,
-                                 fl::ChannelAccountant* channel = nullptr);
+SessionTranscript run_session_direct(const data::FederatedDataset& dataset,
+                                     const nn::Sequential& prototype,
+                                     const SessionParams& params,
+                                     fl::ChannelAccountant* channel = nullptr);
 
-/// Convenience harness for tests/benches/selftest: runs run_server_round
+/// Convenience harness for tests/benches/selftest: runs run_server_session
 /// against `dataset.num_clients()` in-process client threads over loopback
 /// pairs. Accounting (if `channel` is given) is attached to the server side
 /// of every pair.
-RoundTranscript run_loopback_round(const data::FederatedDataset& dataset,
-                                   const nn::Sequential& prototype,
-                                   const SessionParams& params,
-                                   fl::ChannelAccountant* channel = nullptr);
+SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
+                                       const nn::Sequential& prototype,
+                                       const SessionParams& params,
+                                       fl::ChannelAccountant* channel = nullptr);
 
 }  // namespace dubhe::net

@@ -20,17 +20,29 @@ std::uint32_t get_u32(const std::uint8_t* in) {
          (static_cast<std::uint32_t>(in[2]) << 8) | static_cast<std::uint32_t>(in[3]);
 }
 
-struct Crc32Table {
-  std::array<std::uint32_t, 256> t{};
-  constexpr Crc32Table() {
+/// Slice-by-8 tables for the reflected IEEE polynomial: t[0] is the classic
+/// byte-at-a-time table; t[j][b] is the CRC of byte b followed by j zero
+/// bytes, so eight input bytes fold into the state with eight independent
+/// lookups per iteration instead of an 8-long serial chain. Same polynomial,
+/// same values — the pinned test vectors and every stored frame stay valid.
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  constexpr Crc32Tables() {
     for (std::uint32_t i = 0; i < 256; ++i) {
       std::uint32_t c = i;
       for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t j = 1; j < 8; ++j) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[j][i] = c;
+      }
     }
   }
 };
-constexpr Crc32Table kCrcTable;
+constexpr Crc32Tables kCrcTable;
 
 /// Validates a complete 16-byte header and returns the payload length it
 /// promises. Truncation is the caller's concern: decode_frame treats
@@ -63,8 +75,10 @@ std::size_t check_header(std::span<const std::uint8_t> h, std::size_t max_payloa
 
 bool is_valid(MsgType type) {
   const auto v = static_cast<std::uint8_t>(type);
+  constexpr auto kRetiredRegistrationInfo = std::uint8_t{5};
   return v >= static_cast<std::uint8_t>(MsgType::kClientHello) &&
-         v <= static_cast<std::uint8_t>(MsgType::kShutdown);
+         v <= static_cast<std::uint8_t>(MsgType::kParticipation) &&
+         v != kRetiredRegistrationInfo;
 }
 
 std::string to_string(MsgType type) {
@@ -73,7 +87,6 @@ std::string to_string(MsgType type) {
     case MsgType::kServerHello: return "server_hello";
     case MsgType::kKeyMaterial: return "key_material";
     case MsgType::kRegistrationRequest: return "registration_request";
-    case MsgType::kRegistrationInfo: return "registration_info";
     case MsgType::kRegistryUpload: return "registry_upload";
     case MsgType::kRegistryBroadcast: return "registry_broadcast";
     case MsgType::kDistributionRequest: return "distribution_request";
@@ -81,6 +94,8 @@ std::string to_string(MsgType type) {
     case MsgType::kModelDown: return "model_down";
     case MsgType::kModelUpdate: return "model_update";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kRoundBegin: return "round_begin";
+    case MsgType::kParticipation: return "participation";
   }
   return "msg_type(" + std::to_string(static_cast<int>(type)) + ")";
 }
@@ -101,9 +116,30 @@ std::string to_string(WireErrc code) {
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  const auto& t = kCrcTable.t;
   std::uint32_t c = 0xFFFFFFFFu;
-  for (const std::uint8_t b : bytes) {
-    c = kCrcTable.t[(c ^ b) & 0xFFu] ^ (c >> 8);
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  // Bytes are composed into words explicitly (little-endian order, matching
+  // the reflected polynomial), so the hot loop is byte-order portable and
+  // free of alignment assumptions.
+  while (n >= 8) {
+    const std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                                  (static_cast<std::uint32_t>(p[1]) << 8) |
+                                  (static_cast<std::uint32_t>(p[2]) << 16) |
+                                  (static_cast<std::uint32_t>(p[3]) << 24));
+    const std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                             (static_cast<std::uint32_t>(p[5]) << 8) |
+                             (static_cast<std::uint32_t>(p[6]) << 16) |
+                             (static_cast<std::uint32_t>(p[7]) << 24);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n != 0; --n) {
+    c = t[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

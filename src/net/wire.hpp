@@ -25,7 +25,11 @@ namespace dubhe::net {
 /// big-endian convention of the paillier serialization layer underneath.
 
 inline constexpr std::array<std::uint8_t, 4> kMagic{'D', 'U', 'B', 'H'};
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2: multi-round sessions (kRoundBegin / kParticipation appended)
+/// and the kRegistrationInfo experiment-plane shortcut retired — clients
+/// Bernoulli-draw their own participation from the decrypted registry
+/// broadcast. A version-1 peer is refused at the first frame (kBadVersion).
+inline constexpr std::uint8_t kWireVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Decoder-side ceiling on a single frame's payload. Frames whose length
 /// prefix exceeds this are rejected before any allocation, so a corrupted
@@ -33,13 +37,16 @@ inline constexpr std::size_t kFrameHeaderBytes = 16;
 inline constexpr std::size_t kDefaultMaxPayload = std::size_t{1} << 26;  // 64 MiB
 
 /// Every message the client <-> aggregator protocol exchanges. Values are
-/// wire-stable: append new types, never renumber.
+/// wire-stable: append new types, never renumber. Retired values stay
+/// reserved forever (a receiver rejects them as kBadType).
 enum class MsgType : std::uint8_t {
   kClientHello = 1,          // C->S: client id + protocol version
   kServerHello = 2,          // S->C: session seed + cohort shape
   kKeyMaterial = 3,          // S->C: Paillier keypair dispatch (agent role)
   kRegistrationRequest = 4,  // S->C: encrypt-your-registry order + stream seed
-  kRegistrationInfo = 5,     // C->S: plaintext registration entry (experiment plane)
+  // 5 was kRegistrationInfo (plaintext registration entry) — retired in
+  // version 2: the entry stays client-side and participation is drawn by
+  // the client itself. The value is reserved, never reuse it.
   kRegistryUpload = 6,       // C->S: encrypted one-hot registry
   kRegistryBroadcast = 7,    // S->C: encrypted registry sum R_A
   kDistributionRequest = 8,  // S->C: encrypt-your-p_l order (one per tentative try)
@@ -47,6 +54,8 @@ enum class MsgType : std::uint8_t {
   kModelDown = 10,           // S->C: global model weights + training seed
   kModelUpdate = 11,         // C->S: locally trained weights
   kShutdown = 12,            // S->C: session over, close the connection
+  kRoundBegin = 13,          // S->C: a global round starts (carries its index)
+  kParticipation = 14,       // C->S: the client's own per-try Bernoulli draws
 };
 
 [[nodiscard]] bool is_valid(MsgType type);

@@ -1,9 +1,12 @@
-// The net layer's acceptance contract: one full secure-registration +
-// multi-time-selection + training round produces byte-identical transcripts
-// whether it runs through direct in-process calls, a LoopbackTransport pair
-// per client, or real TCP sockets on localhost — and the §6.4 byte
-// accounting agrees between the transports and (for the encrypted payload
-// categories) with the in-process session.
+// The net layer's acceptance contract: a full secure session — registration
+// once, then R global rounds of proactive participation + multi-time
+// selection + training over the same persistent connections — produces
+// byte-identical transcripts whether it runs through direct in-process
+// calls, a LoopbackTransport pair per client, or real TCP sockets on
+// localhost. Participation is drawn client-side (no kRegistrationInfo on
+// the wire), and the §6.4 byte accounting agrees per round between the
+// transports and (for the encrypted payload categories) with the
+// in-process session.
 
 #include <gtest/gtest.h>
 
@@ -29,17 +32,17 @@ data::FederatedDataset make_dataset(std::size_t num_clients) {
   return {data::mnist_like(), pc};
 }
 
-net::SessionParams make_params(std::size_t K) {
+net::SessionParams make_params(std::size_t K, std::size_t rounds = 1) {
   net::SessionParams p;
   p.secure.key_bits = 128;  // counts and weights are key-size independent
   p.K = K;
   p.H = 3;
+  p.rounds = rounds;
   p.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
   return p;
 }
 
-void expect_same_transcript(const net::RoundTranscript& a, const net::RoundTranscript& b) {
-  EXPECT_EQ(a.overall_registry, b.overall_registry);
+void expect_same_round(const net::RoundRecord& a, const net::RoundRecord& b) {
   EXPECT_EQ(a.try_emds, b.try_emds);  // exact double equality, no tolerance
   EXPECT_EQ(a.best_try, b.best_try);
   EXPECT_EQ(a.selected, b.selected);
@@ -50,7 +53,37 @@ void expect_same_transcript(const net::RoundTranscript& a, const net::RoundTrans
                         a.global_weights.size() * sizeof(float)),
             0);
   EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+void expect_same_transcript(const net::SessionTranscript& a,
+                            const net::SessionTranscript& b) {
+  EXPECT_EQ(a.overall_registry, b.overall_registry);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    expect_same_round(a.rounds[r], b.rounds[r]);
+  }
   EXPECT_EQ(net::format_transcript(a), net::format_transcript(b));
+}
+
+/// The encrypted payload categories must agree between the in-process
+/// session and the frames that actually crossed a transport. (Distribution
+/// downlink and control framing exist only where an agent/wire is
+/// materialized — see src/net/README.md.)
+void expect_encrypted_categories_equal(const fl::ChannelLedger& direct,
+                                       const fl::ChannelLedger& wire) {
+  using fl::Direction;
+  using fl::MessageKind;
+  for (const auto kind :
+       {MessageKind::kKeyMaterial, MessageKind::kRegistry, MessageKind::kModelWeights}) {
+    EXPECT_EQ(direct.at(kind, Direction::kServerToClient),
+              wire.at(kind, Direction::kServerToClient))
+        << to_string(kind);
+    EXPECT_EQ(direct.at(kind, Direction::kClientToServer),
+              wire.at(kind, Direction::kClientToServer))
+        << to_string(kind);
+  }
+  EXPECT_EQ(direct.at(MessageKind::kDistribution, Direction::kClientToServer),
+            wire.at(MessageKind::kDistribution, Direction::kClientToServer));
 }
 
 TEST(NetRound, LoopbackMatchesDirectBitForBit) {
@@ -59,34 +92,32 @@ TEST(NetRound, LoopbackMatchesDirectBitForBit) {
   const auto params = make_params(3);
 
   fl::ChannelAccountant direct_channel;
-  const auto direct = net::run_round_direct(dataset, proto, params, &direct_channel);
+  const auto direct = net::run_session_direct(dataset, proto, params, &direct_channel);
   fl::ChannelAccountant loop_channel;
-  const auto loopback = net::run_loopback_round(dataset, proto, params, &loop_channel);
+  const auto loopback = net::run_loopback_session(dataset, proto, params, &loop_channel);
 
   expect_same_transcript(direct, loopback);
-  ASSERT_EQ(direct.selected.size(), 3u);
-  EXPECT_GT(direct.accuracy, 0.05);
+  ASSERT_EQ(direct.rounds.size(), 1u);
+  ASSERT_EQ(direct.rounds[0].selected.size(), 3u);
+  EXPECT_GT(direct.rounds[0].accuracy, 0.05);
 
   // Exact-byte agreement between the in-process session's ledger and the
-  // frames that actually crossed the transports, category by category:
-  // key dispatch, registry up/down, model down/up. (Distribution downlink
-  // and control framing exist only where an agent/wire is materialized —
-  // see src/net/README.md.)
-  using fl::Direction;
-  using fl::MessageKind;
-  for (const auto kind :
-       {MessageKind::kKeyMaterial, MessageKind::kRegistry, MessageKind::kModelWeights}) {
-    EXPECT_EQ(direct_channel.bytes(kind, Direction::kServerToClient),
-              loop_channel.bytes(kind, Direction::kServerToClient))
-        << to_string(kind);
-    EXPECT_EQ(direct_channel.bytes(kind, Direction::kClientToServer),
-              loop_channel.bytes(kind, Direction::kClientToServer))
-        << to_string(kind);
-  }
-  EXPECT_EQ(direct_channel.bytes(MessageKind::kDistribution, Direction::kClientToServer),
-            loop_channel.bytes(MessageKind::kDistribution, Direction::kClientToServer));
+  // frames that actually crossed the transports, category by category —
+  // both on the aggregate accountants and on the per-phase ledgers the
+  // transcript carries.
+  expect_encrypted_categories_equal(direct_channel.snapshot(), loop_channel.snapshot());
+  EXPECT_EQ(direct.setup_ledger.at(fl::MessageKind::kRegistry,
+                                   fl::Direction::kClientToServer),
+            loopback.setup_ledger.at(fl::MessageKind::kRegistry,
+                                     fl::Direction::kClientToServer));
+  expect_encrypted_categories_equal(direct.rounds[0].ledger, loopback.rounds[0].ledger);
   // The transports saw real control traffic; the direct path has none.
-  EXPECT_GT(loop_channel.messages(MessageKind::kControl), 0u);
+  EXPECT_GT(loop_channel.messages(fl::MessageKind::kControl), 0u);
+  // The proactive check-in (kRoundBegin down, kParticipation up) is control
+  // traffic: one frame per client per round in each direction at least.
+  EXPECT_GE(loopback.rounds[0].ledger.messages(fl::MessageKind::kControl,
+                                               fl::Direction::kClientToServer),
+            dataset.num_clients());
 }
 
 TEST(NetRound, PackedModeLoopbackMatchesDirect) {
@@ -99,20 +130,26 @@ TEST(NetRound, PackedModeLoopbackMatchesDirect) {
   params.secure.packing_slot_bits = 26;
   params.evaluate = false;  // registry/selection equality is the point here
 
-  const auto direct = net::run_round_direct(dataset, proto, params);
-  const auto loopback = net::run_loopback_round(dataset, proto, params);
+  const auto direct = net::run_session_direct(dataset, proto, params);
+  const auto loopback = net::run_loopback_session(dataset, proto, params);
   expect_same_transcript(direct, loopback);
 }
 
-TEST(NetRound, TcpMatchesLoopbackAndDirect) {
-  // 1 in-test server + 4 client threads over real localhost sockets.
+TEST(NetRound, ThreeRoundPersistentSessionMatchesEverywhere) {
+  // The multi-round tentpole: 1 in-test server + 4 client threads complete
+  // a 3-round session over ONE persistent TCP connection per client —
+  // registration and key dispatch happen once, every round re-draws
+  // participation client-side — and the transcript is byte-identical to
+  // loopback and to the direct in-process path, with per-round ledgers
+  // equal cell-by-cell across the two transports.
   const std::size_t N = 4;
+  const std::size_t R = 3;
   const auto dataset = make_dataset(N);
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
-  const auto params = make_params(2);
+  const auto params = make_params(2, R);
 
   fl::ChannelAccountant tcp_channel;
-  net::RoundTranscript tcp;
+  net::SessionTranscript tcp;
   {
     net::TcpServer server(0);  // ephemeral port
     std::vector<std::thread> clients;
@@ -126,29 +163,40 @@ TEST(NetRound, TcpMatchesLoopbackAndDirect) {
     std::vector<std::shared_ptr<net::Transport>> links;
     links.reserve(N);
     for (std::size_t i = 0; i < N; ++i) links.push_back(server.accept());
-    tcp = net::run_server_round(links, dataset, proto, params, &tcp_channel);
+    tcp = net::run_server_session(links, dataset, proto, params, &tcp_channel);
     for (auto& t : clients) t.join();
   }
 
   fl::ChannelAccountant loop_channel;
-  const auto loopback = net::run_loopback_round(dataset, proto, params, &loop_channel);
-  const auto direct = net::run_round_direct(dataset, proto, params);
+  const auto loopback = net::run_loopback_session(dataset, proto, params, &loop_channel);
+  const auto direct = net::run_session_direct(dataset, proto, params);
 
+  ASSERT_EQ(tcp.rounds.size(), R);
   expect_same_transcript(tcp, loopback);
   expect_same_transcript(tcp, direct);
 
+  // Rounds genuinely progress: FedAvg moved the global model each round.
+  EXPECT_NE(tcp.rounds[0].global_weights, tcp.rounds[R - 1].global_weights);
+
   // The two transports must agree on every ledger cell exactly — same
-  // frames, same bytes, regardless of the medium.
-  using fl::Direction;
-  using fl::MessageKind;
-  for (std::size_t k = 0; k < static_cast<std::size_t>(MessageKind::kCount_); ++k) {
-    const auto kind = static_cast<MessageKind>(k);
-    for (const auto dir : {Direction::kServerToClient, Direction::kClientToServer}) {
-      EXPECT_EQ(tcp_channel.bytes(kind, dir), loop_channel.bytes(kind, dir))
-          << to_string(kind);
-      EXPECT_EQ(tcp_channel.messages(kind, dir), loop_channel.messages(kind, dir))
-          << to_string(kind);
-    }
+  // frames, same bytes, regardless of the medium — in aggregate and round
+  // by round (setup phase included).
+  EXPECT_EQ(tcp_channel.snapshot(), loop_channel.snapshot());
+  EXPECT_EQ(tcp.setup_ledger, loopback.setup_ledger);
+  for (std::size_t r = 0; r < R; ++r) {
+    EXPECT_EQ(tcp.rounds[r].ledger, loopback.rounds[r].ledger) << "round " << r;
+    // Per-round encrypted categories also match the no-frames reference.
+    expect_encrypted_categories_equal(direct.rounds[r].ledger, tcp.rounds[r].ledger);
+  }
+
+  // Per-round model traffic: one down + one up per participant per round.
+  for (std::size_t r = 0; r < R; ++r) {
+    EXPECT_EQ(tcp.rounds[r].ledger.messages(fl::MessageKind::kModelWeights,
+                                            fl::Direction::kServerToClient),
+              params.K);
+    EXPECT_EQ(tcp.rounds[r].ledger.messages(fl::MessageKind::kModelWeights,
+                                            fl::Direction::kClientToServer),
+              params.K);
   }
 }
 

@@ -49,9 +49,35 @@ TEST(Crc32, KnownVector) {
   EXPECT_EQ(net::crc32({}), 0u);
 }
 
+/// The slice-by-8 implementation must compute exactly the classic
+/// byte-at-a-time CRC for every length (all 8 tail residues included) —
+/// same polynomial, same checksum on every frame ever encoded.
+TEST(Crc32, SliceBy8MatchesBytewiseReference) {
+  const auto reference = [](std::span<const std::uint8_t> bytes) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (const std::uint8_t b : bytes) {
+      c ^= b;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  stats::Rng rng(40);
+  const auto big = random_payload(rng, 4096 + 5);
+  for (std::size_t len = 0; len <= 64; ++len) {
+    const auto p = random_payload(rng, len);
+    EXPECT_EQ(net::crc32(p), reference(p)) << "len " << len;
+  }
+  // Unaligned starts exercise the word-composition path at every offset.
+  for (std::size_t off = 0; off < 8; ++off) {
+    const std::span<const std::uint8_t> s{big.data() + off, big.size() - off};
+    EXPECT_EQ(net::crc32(s), reference(s)) << "offset " << off;
+  }
+}
+
 TEST(WireFrame, RoundTripEveryTypeAndSize) {
   stats::Rng rng(41);
-  for (std::uint8_t t = 1; t <= 12; ++t) {
+  for (std::uint8_t t = 1; t <= 14; ++t) {
+    if (!net::is_valid(static_cast<MsgType>(t))) continue;  // 5 is retired
     for (const std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{7},
                                    std::size_t{1024}, std::size_t{65536}}) {
       const Frame frame{static_cast<MsgType>(t), random_payload(rng, size)};
@@ -103,6 +129,10 @@ TEST(WireFrame, AdversarialDecodesFailTyped) {
   bad = bytes;
   bad[5] = 200;
   EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadType);
+  // The retired kRegistrationInfo value (5) is reserved, not accepted.
+  bad = bytes;
+  bad[5] = 5;
+  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadType);
   // Nonzero flags.
   bad = bytes;
   bad[6] = 1;
@@ -152,26 +182,49 @@ TEST(PayloadCodec, ControlMessagesRoundTrip) {
                 MsgType::kDistributionRequest),
             rr);
 
-  net::RegistrationInfo info;
-  info.client_id = 17;
-  info.registration.category_index = 23;
-  info.registration.group_index = 1;
-  info.registration.category = {2, 5, 9};
-  const auto parsed = net::parse_registration_info(net::make_registration_info(info));
-  EXPECT_EQ(parsed.client_id, info.client_id);
-  EXPECT_EQ(parsed.registration.category_index, info.registration.category_index);
-  EXPECT_EQ(parsed.registration.group_index, info.registration.group_index);
-  EXPECT_EQ(parsed.registration.category, info.registration.category);
+  const net::RoundBegin rb{0xFEDCBA9876543210ull};
+  EXPECT_EQ(net::parse_round_begin(net::make_round_begin(rb)), rb);
+
+  const net::Participation part{17, 4, {1, 0, 1}};
+  EXPECT_EQ(net::parse_participation(net::make_participation(part)), part);
 
   // Wrong-type parse and malformed payloads are typed failures.
   EXPECT_EQ(code_of([&] {
               (void)net::parse_server_hello(net::make_client_hello(ch));
             }),
             WireErrc::kBadPayload);
-  Frame evil = net::make_registration_info(info);
-  evil.payload.resize(evil.payload.size() - 2);
-  EXPECT_EQ(code_of([&] { (void)net::parse_registration_info(evil); }),
+}
+
+TEST(PayloadCodec, ParticipationAdversarialDecodes) {
+  const net::Participation part{3, 9, {0, 1, 0, 1}};
+  const Frame good = net::make_participation(part);
+
+  // Trailing byte after the declared draw count.
+  Frame evil = good;
+  evil.payload.push_back(1);
+  EXPECT_EQ(code_of([&] { (void)net::parse_participation(evil); }), WireErrc::kBadPayload);
+  // Truncated draws.
+  evil = good;
+  evil.payload.pop_back();
+  EXPECT_EQ(code_of([&] { (void)net::parse_participation(evil); }), WireErrc::kBadPayload);
+  // A draw must be a bit: a "join twice" byte is rejected, not truncated
+  // into a bool.
+  evil = good;
+  evil.payload.back() = 2;
+  EXPECT_EQ(code_of([&] { (void)net::parse_participation(evil); }), WireErrc::kBadPayload);
+  // The encoder refuses non-bit draws too.
+  EXPECT_EQ(code_of([&] {
+              (void)net::make_participation(net::Participation{0, 0, {0, 7}});
+            }),
             WireErrc::kBadPayload);
+  // Truncated round-begin.
+  Frame rb = net::make_round_begin({5});
+  rb.payload.pop_back();
+  EXPECT_EQ(code_of([&] { (void)net::parse_round_begin(rb); }), WireErrc::kBadPayload);
+  // Round-begin with trailing bytes.
+  rb = net::make_round_begin({5});
+  rb.payload.push_back(0);
+  EXPECT_EQ(code_of([&] { (void)net::parse_round_begin(rb); }), WireErrc::kBadPayload);
 }
 
 TEST(PayloadCodec, WeightsAreBitExact) {

@@ -17,10 +17,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-CTEST_ARGS="--no-tests=error"
+# Hang safety: every ctest invocation gets a global per-test timeout so a
+# deadlocked TCP event loop or a stuck multi-round session fails the run in
+# minutes instead of stalling a CI job until the runner limit.
+CTEST_TIMEOUT="${DUBHE_CTEST_TIMEOUT:-300}"
+CTEST_ARGS="--no-tests=error --timeout $CTEST_TIMEOUT"
 QUICK=0
 if [ "${1:-}" = "--quick" ]; then
-  CTEST_ARGS="-L tier1 --no-tests=error"
+  CTEST_ARGS="-L tier1 --no-tests=error --timeout $CTEST_TIMEOUT"
   QUICK=1
   shift
 fi
@@ -39,7 +43,8 @@ run_preset() {
 
 run_preset release "$@"
 
-# Three full secure rounds (multi-process + selftest) — not a fast suite.
+# Two full 3-round secure sessions (multi-process + selftest) — not a fast
+# suite. The script enforces its own wall-clock timeout (see net_smoke.sh).
 if [ "$QUICK" -eq 0 ]; then
   echo "== multi-process net smoke (release build) =="
   tools/net_smoke.sh build
@@ -54,6 +59,6 @@ cmake --build --preset tsan -j "$(nproc 2>/dev/null || echo 4)" \
   --target test_parallel_crypto --target test_tensor_simd \
   --target test_net_wire --target test_net_round
 ctest --preset tsan -R "test_parallel_crypto|test_tensor_simd|test_net_wire|test_net_round" \
-  --no-tests=error
+  --no-tests=error --timeout "$CTEST_TIMEOUT"
 
 echo "CI OK"

@@ -41,6 +41,7 @@ struct Options {
   std::size_t key_bits = 256;
   std::size_t K = 2;
   std::size_t H = 3;
+  std::size_t rounds = 1;
   std::uint64_t seed = 21;
   bool packing = false;
 };
@@ -56,6 +57,7 @@ Common options (must match across all processes of one session):
   --key-bits B   Paillier modulus bits (default 256)
   --k K          participants per round (default 2)
   --h H          tentative tries (default 3)
+  --rounds R     global rounds per session (default 1)
   --seed S       partition seed (default 21)
   --packing      BatchCrypt-style packed registry/distributions
 Server options:
@@ -109,6 +111,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.K = std::strtoull(v, nullptr, 10);
     } else if (a == "--h" && (v = need_value(i))) {
       opt.H = std::strtoull(v, nullptr, 10);
+    } else if (a == "--rounds" && (v = need_value(i))) {
+      opt.rounds = std::strtoull(v, nullptr, 10);
     } else if (a == "--seed" && (v = need_value(i))) {
       opt.seed = std::strtoull(v, nullptr, 10);
     } else {
@@ -124,6 +128,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
   }
   if (opt.K == 0 || opt.K > opt.clients) {
     std::fprintf(stderr, "error: need 0 < k <= clients\n");
+    return false;
+  }
+  if (opt.rounds == 0) {
+    std::fprintf(stderr, "error: need rounds > 0\n");
     return false;
   }
   return true;
@@ -147,6 +155,7 @@ net::SessionParams make_params(const Options& opt) {
   if (opt.packing) p.secure.packing_slot_bits = 26;  // K * 10^6 fits
   p.K = opt.K;
   p.H = opt.H;
+  p.rounds = opt.rounds;
   p.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
   return p;
 }
@@ -183,7 +192,7 @@ int run_server(const Options& opt) {
   }
   fl::ChannelAccountant channel;
   const auto t =
-      net::run_server_round(links, dataset, proto, make_params(opt), &channel);
+      net::run_server_session(links, dataset, proto, make_params(opt), &channel);
   const std::string text = net::format_transcript(t);
   std::fputs(text.c_str(), stdout);
   std::printf("channel: %llu messages, %llu bytes on the wire\n",
@@ -231,7 +240,7 @@ int run_client(const Options& opt) {
   std::printf("dubhe_node client %zu: connected to %s\n", opt.id,
               link->peer_name().c_str());
   net::serve_client(*link, opt.id, dataset, proto, make_params(opt));
-  std::printf("dubhe_node client %zu: round complete\n", opt.id);
+  std::printf("dubhe_node client %zu: session complete\n", opt.id);
   return 0;
 }
 
@@ -239,8 +248,8 @@ int run_selftest(const Options& opt) {
   const auto dataset = make_dataset(opt);
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
   const auto params = make_params(opt);
-  const auto direct = net::run_round_direct(dataset, proto, params);
-  const auto loopback = net::run_loopback_round(dataset, proto, params);
+  const auto direct = net::run_session_direct(dataset, proto, params);
+  const auto loopback = net::run_loopback_session(dataset, proto, params);
   const std::string text = net::format_transcript(direct);
   if (!(direct == loopback)) {
     std::fprintf(stderr, "SELFTEST FAILED: loopback transcript diverges from direct\n");

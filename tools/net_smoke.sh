@@ -1,16 +1,28 @@
 #!/usr/bin/env sh
 # Multi-process smoke for the net layer: one dubhe_node aggregator plus
-# three client processes complete a secure selection + training round over
-# localhost sockets, and the resulting selection transcript must be
-# byte-identical to the in-process --selftest transcript (which itself
-# asserts direct == loopback). Usage: tools/net_smoke.sh [build-dir]
+# three client processes complete a persistent 3-round secure session
+# (registration once, then round-begin / proactive participation /
+# selection / training per round) over localhost sockets, and the resulting
+# session transcript must be byte-identical to the in-process --selftest
+# transcript (which itself asserts direct == loopback).
+# Usage: tools/net_smoke.sh [build-dir]
 set -eu
+
+# Hang safety: a deadlocked event loop or a stuck session must fail the CI
+# job in minutes, not stall it until the runner limit. Re-exec the whole
+# smoke under coreutils timeout when available (override via
+# NET_SMOKE_TIMEOUT, seconds).
+SMOKE_TIMEOUT="${NET_SMOKE_TIMEOUT:-300}"
+if [ -z "${NET_SMOKE_TIMEOUT_APPLIED:-}" ] && command -v timeout >/dev/null 2>&1; then
+  NET_SMOKE_TIMEOUT_APPLIED=1 exec timeout "$SMOKE_TIMEOUT" "$0" "$@"
+fi
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 NODE="$BUILD/dubhe_node"
 [ -x "$NODE" ] || { echo "error: $NODE not built" >&2; exit 1; }
 
+ROUNDS=3
 TMP="$(mktemp -d)"
 PIDS=""
 # On any exit, reap every dubhe_node we spawned — a half-failed run must not
@@ -21,15 +33,15 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "== dubhe_node multi-process smoke (1 server + 3 clients over localhost) =="
-"$NODE" --server --clients 3 --port 0 --port-file "$TMP/port" \
+echo "== dubhe_node multi-process smoke (1 server + 3 clients, $ROUNDS rounds over localhost) =="
+"$NODE" --server --clients 3 --rounds "$ROUNDS" --port 0 --port-file "$TMP/port" \
         --transcript "$TMP/server.txt" &
 SERVER_PID=$!
 PIDS="$SERVER_PID"
 
 CLIENT_PIDS=""
 for i in 0 1 2; do
-  "$NODE" --client --id "$i" --clients 3 --port-file "$TMP/port" &
+  "$NODE" --client --id "$i" --clients 3 --rounds "$ROUNDS" --port-file "$TMP/port" &
   CLIENT_PIDS="$CLIENT_PIDS $!"
   PIDS="$PIDS $!"
 done
@@ -40,8 +52,8 @@ done
 wait "$SERVER_PID" || { echo "error: the server process failed" >&2; exit 1; }
 PIDS=""
 
-"$NODE" --selftest --clients 3 --transcript "$TMP/selftest.txt" > /dev/null
+"$NODE" --selftest --clients 3 --rounds "$ROUNDS" --transcript "$TMP/selftest.txt" > /dev/null
 
-echo "== transcript check (multi-process vs in-process) =="
+echo "== transcript check (multi-process vs in-process, $ROUNDS rounds) =="
 diff "$TMP/server.txt" "$TMP/selftest.txt"
-echo "net smoke OK: transcripts are byte-identical"
+echo "net smoke OK: $ROUNDS-round session transcripts are byte-identical"
