@@ -13,6 +13,7 @@
 
 #include "bigint/montgomery.hpp"
 #include "bigint/prime.hpp"
+#include "core/cpu.hpp"
 #include "core/parallel.hpp"
 #include "paillier/encrypted_vector.hpp"
 #include "paillier/packing.hpp"
@@ -244,6 +245,7 @@ void print_ops_table() {
        time_op([&] { benchmark::DoNotOptimize(kp.pub.mul_plain(ct_a, scalar)); })},
   };
 
+  std::printf("cpu: %s\n", core::cpu::feature_string().c_str());
   std::printf("== crypto substrate ops/sec (key_bits = %zu) ==\n", kKeyBits);
   std::printf("%-36s %12s %12s\n", "operation", "ms/op", "ops/sec");
   for (const Row& row : rows) {

@@ -1,18 +1,25 @@
 // Micro-benchmarks for the net layer: frame encode/decode throughput, the
-// payload codecs, loopback echo, and TCP localhost echo at 1/2/4/8
-// concurrent connections. The headline table (frames/sec + MB/s) is the
-// standing baseline CHANGES.md records per PR; the google-benchmark suite
-// that follows gives per-op latencies.
+// payload codecs, loopback echo, TCP localhost echo at 1/2/4/8 concurrent
+// connections, and the c10k connection-scaling sweep (100/1k/10k clients
+// multiplexed over a fixed driver pool). The headline tables (frames/sec +
+// MB/s) are the standing baselines CHANGES.md records per PR; the
+// google-benchmark suite that follows gives per-op latencies.
 
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "core/cpu.hpp"
 #include "net/codec.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
@@ -57,6 +64,8 @@ void add_row(const char* what, Rate r) {
 }
 
 void print_net_table() {
+  std::printf("cpu: %s | crc32: %s\n", core::cpu::feature_string().c_str(),
+              net::crc32_backend_name());
   std::printf("== net layer throughput (%zu KiB payload frames) ==\n",
               kPayloadBytes / 1024);
   std::printf("%-36s %14s %12s\n", "path", "frames/sec", "MB/s");
@@ -123,6 +132,151 @@ void print_net_table() {
   std::printf("\n");
 }
 
+// --- connection scaling ------------------------------------------------------
+
+constexpr std::size_t kScalePayload = 4 * 1024;  // per-round protocol frame size
+constexpr std::size_t kScaleFrames = 20000;      // echo round trips per row
+constexpr std::size_t kDriverThreads = 8;
+constexpr std::size_t kScaleWorkers = 4;         // server event-loop shards
+
+/// Raises RLIMIT_NOFILE (soft -> hard) and reports the resulting ceiling.
+/// The 10k row needs >= ~20k descriptors (both socket ends live in this
+/// process).
+rlim_t raise_nofile() {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+    ::getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  return rl.rlim_cur;
+}
+
+/// One scaling row over loopback pairs: no echo threads at all — each driver
+/// thread walks its shard in waves, pushing a frame into every pair's a-side
+/// and pulling it out of the b-side (and back), so 10k "clients" cost 10k
+/// queue pairs, not 10k threads.
+Rate scale_loopback(std::size_t conns, const net::Frame& frame) {
+  std::vector<std::shared_ptr<net::Transport>> a(conns), b(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    auto [x, y] = net::LoopbackTransport::make_pair();
+    a[i] = std::move(x);
+    b[i] = std::move(y);
+  }
+  const std::size_t rounds = std::max<std::size_t>(1, kScaleFrames / conns);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> drivers;
+  for (std::size_t t = 0; t < kDriverThreads; ++t) {
+    drivers.emplace_back([&, t] {
+      const std::size_t lo = conns * t / kDriverThreads;
+      const std::size_t hi = conns * (t + 1) / kDriverThreads;
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = lo; i < hi; ++i) a[i]->send(frame);
+        for (std::size_t i = lo; i < hi; ++i) {
+          benchmark::DoNotOptimize(b[i]->receive());
+          b[i]->send(frame);
+        }
+        for (std::size_t i = lo; i < hi; ++i) benchmark::DoNotOptimize(a[i]->receive());
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+  const double dt = secs(t0);
+  for (auto& x : a) x->close();
+  return measure(2 * rounds * conns, net::frame_wire_size(frame.payload.size()), dt);
+}
+
+/// One scaling row over real sockets against a multi-worker TcpServer.
+/// The client cohort lives in a forked load-generator process — the real
+/// c10k shape, and the only way both sides of 10k connections fit when
+/// RLIMIT_NOFILE cannot be raised past ~20k (each process then budgets its
+/// own 10k descriptors). The child's driver pool plays the clients in waves
+/// (send one frame on every connection of the shard, then collect every
+/// reply); the parent's echo pool walks the server-side transports the same
+/// way. One in-flight frame per connection keeps every kernel buffer
+/// bounded, so the wave pattern cannot deadlock at any cohort size.
+Rate scale_tcp(std::size_t conns, const net::Frame& frame) {
+  net::TcpServer server(0, kScaleWorkers);
+  const std::size_t rounds = std::max<std::size_t>(1, kScaleFrames / conns);
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Load generator. _exit (never exit/return): the child inherited the
+    // parent's TcpServer object, whose destructor would try to join event
+    // loop threads that only exist in the parent.
+    std::vector<std::shared_ptr<net::Transport>> clients(conns);
+    std::vector<std::thread> drivers;
+    for (std::size_t t = 0; t < kDriverThreads; ++t) {
+      const std::size_t lo = conns * t / kDriverThreads;
+      const std::size_t hi = conns * (t + 1) / kDriverThreads;
+      drivers.emplace_back([&, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) {
+          clients[i] = net::TcpTransport::connect("127.0.0.1", server.port());
+        }
+        for (std::size_t r = 0; r < rounds; ++r) {
+          for (std::size_t i = lo; i < hi; ++i) clients[i]->send(frame);
+          for (std::size_t i = lo; i < hi; ++i) {
+            benchmark::DoNotOptimize(clients[i]->receive());
+          }
+        }
+        for (std::size_t i = lo; i < hi; ++i) clients[i]->close();
+      });
+    }
+    for (auto& d : drivers) d.join();
+    ::_exit(0);
+  }
+  if (pid < 0) return {};  // fork failed; caller prints the zero row
+
+  std::vector<std::shared_ptr<net::Transport>> links(conns);
+  for (std::size_t i = 0; i < conns; ++i) links[i] = server.accept();
+  const auto t0 = Clock::now();
+  std::vector<std::thread> echoers;
+  for (std::size_t t = 0; t < kDriverThreads; ++t) {
+    const std::size_t lo = conns * t / kDriverThreads;
+    const std::size_t hi = conns * (t + 1) / kDriverThreads;
+    echoers.emplace_back([&, lo, hi] {
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          auto f = links[i]->receive();
+          if (f) links[i]->send(*f);
+        }
+      }
+    });
+  }
+  for (auto& th : echoers) th.join();
+  const double dt = secs(t0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return measure(2 * rounds * conns, net::frame_wire_size(frame.payload.size()), dt);
+}
+
+void print_scaling_table() {
+  const rlim_t nofile = raise_nofile();
+  std::printf(
+      "== connection scaling (%zu B frames, %zu driver threads, %zu workers, %s) ==\n",
+      kScalePayload, kDriverThreads, kScaleWorkers,
+      core::cpu::has(core::cpu::kEpoll) ? "epoll" : "poll");
+  std::printf("%-36s %14s %12s\n", "path", "frames/sec", "MB/s");
+  const net::Frame frame = test_frame(kScalePayload);
+  for (const std::size_t conns : {std::size_t{100}, std::size_t{1000}, std::size_t{10000}}) {
+    char label[64];
+    std::snprintf(label, sizeof label, "loopback, %zu clients", conns);
+    add_row(label, scale_loopback(conns, frame));
+    std::snprintf(label, sizeof label, "tcp echo, %zu clients", conns);
+    // The load generator is forked, so each process needs one fd per
+    // connection plus listener/wake/poller overhead; skip (with a note)
+    // rather than melt down on a tight rlimit.
+    if (nofile < conns + 64) {
+      std::printf("%-36s   skipped: RLIMIT_NOFILE=%llu < %zu\n", label,
+                  static_cast<unsigned long long>(nofile), conns + 64);
+      continue;
+    }
+    add_row(label, scale_tcp(conns, frame));
+  }
+  std::printf("\n");
+}
+
 void BM_EncodeFrame(benchmark::State& state) {
   const net::Frame frame = test_frame(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
@@ -151,6 +305,17 @@ void BM_Crc32(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_Crc32)->Arg(4096)->Arg(65536);
+
+/// The slice-by-8 tier on its own — the gap between this and BM_Crc32 is
+/// what the PCLMUL tier buys on this host.
+void BM_Crc32Portable(benchmark::State& state) {
+  const net::Frame frame = test_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::crc32_portable(frame.payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32Portable)->Arg(4096)->Arg(65536);
 
 void BM_WeightsCodec(benchmark::State& state) {
   net::WeightsMsg msg;
@@ -189,7 +354,10 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]).starts_with("--benchmark_filter")) filtered = true;
   }
-  if (!filtered) print_net_table();
+  if (!filtered) {
+    print_net_table();
+    print_scaling_table();
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <string_view>
 
+#include "core/cpu.hpp"
 #include "core/parallel.hpp"
 #include "core/selection.hpp"
 #include "data/federated.hpp"
@@ -190,6 +191,8 @@ void print_compute_table() {
   const auto w = proto.get_weights();
   const fl::TrainConfig cfg{.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
 
+  std::printf("cpu: %s | gemm: %s\n", core::cpu::feature_string().c_str(),
+              tensor::simd_backend_name());
   std::printf("== compute backend throughput (gemm %zux%zu, cnn batch 8) ==\n", kGemmN,
               kGemmN);
   std::printf("%-26s %-8s %8s %12s %12s\n", "kernel", "backend", "threads", "ms/op",

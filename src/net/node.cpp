@@ -12,6 +12,7 @@
 #include "fl/client.hpp"
 #include "fl/server.hpp"
 #include "net/codec.hpp"
+#include "net/tcp.hpp"
 #include "stats/rng.hpp"
 
 namespace dubhe::net {
@@ -609,6 +610,53 @@ SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
     t = run_server_session(server_side, dataset, prototype, params, channel);
   } catch (...) {
     for (auto& link : server_side) link->close();
+    for (auto& th : clients) th.join();
+    throw;
+  }
+  for (auto& th : clients) th.join();
+  for (auto& err : client_errors) {
+    if (err != nullptr) std::rethrow_exception(err);
+  }
+  return t;
+}
+
+SessionTranscript run_tcp_session(const data::FederatedDataset& dataset,
+                                  const nn::Sequential& prototype,
+                                  const SessionParams& params, std::size_t workers,
+                                  fl::ChannelAccountant* channel) {
+  const std::size_t N = dataset.num_clients();
+  TcpServer server(0, workers);
+  // Same error discipline as the loopback harness: endpoints trap their
+  // exceptions and close their link; the server path closes everything and
+  // joins before rethrowing.
+  std::vector<std::exception_ptr> client_errors(N);
+  std::vector<std::thread> clients;
+  clients.reserve(N);
+  for (std::size_t id = 0; id < N; ++id) {
+    clients.emplace_back([&, id] {
+      std::shared_ptr<TcpTransport> link;
+      try {
+        link = TcpTransport::connect("127.0.0.1", server.port());
+        serve_client(*link, id, dataset, prototype, params);
+      } catch (...) {
+        client_errors[id] = std::current_exception();
+        if (link != nullptr) link->close();
+      }
+    });
+  }
+  SessionTranscript t;
+  std::vector<std::shared_ptr<Transport>> links;
+  links.reserve(N);
+  try {
+    for (std::size_t i = 0; i < N; ++i) {
+      auto link = server.accept();
+      if (link == nullptr) throw TransportError("run_tcp_session: server stopped");
+      links.push_back(std::move(link));
+    }
+    t = run_server_session(links, dataset, prototype, params, channel);
+  } catch (...) {
+    for (auto& link : links) link->close();
+    server.stop();
     for (auto& th : clients) th.join();
     throw;
   }

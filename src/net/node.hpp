@@ -130,4 +130,15 @@ SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
                                        const SessionParams& params,
                                        fl::ChannelAccountant* channel = nullptr);
 
+/// Same harness over real sockets: a TcpServer with `workers` event-loop
+/// shards on an ephemeral 127.0.0.1 port, one in-process client thread per
+/// dataset shard connecting through TcpTransport. The hello exchange binds
+/// client ids, so accept order (and worker sharding) cannot affect the
+/// transcript — this is how tests assert byte-identical transcripts across
+/// readiness backends and worker counts.
+SessionTranscript run_tcp_session(const data::FederatedDataset& dataset,
+                                  const nn::Sequential& prototype,
+                                  const SessionParams& params, std::size_t workers = 1,
+                                  fl::ChannelAccountant* channel = nullptr);
+
 }  // namespace dubhe::net

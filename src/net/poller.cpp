@@ -1,0 +1,139 @@
+#include "net/poller.hpp"
+
+#include <poll.h>
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <map>
+
+#include "core/cpu.hpp"
+
+namespace dubhe::net {
+
+namespace {
+
+/// poll(2) backend: the interest set lives here and the pollfd array is
+/// rebuilt per wait. O(tracked fds) per iteration — fine for the portable
+/// tier and small cohorts, the wall the epoll backend removes.
+class PollBackend final : public Poller {
+ public:
+  void set(int fd, bool want_read, bool want_write) override {
+    short events = 0;
+    if (want_read) events |= POLLIN;
+    if (want_write) events |= POLLOUT;
+    interest_[fd] = events;
+  }
+
+  void remove(int fd) override { interest_.erase(fd); }
+
+  bool wait(std::vector<Event>& out) override {
+    out.clear();
+    fds_.clear();
+    for (const auto& [fd, events] : interest_) {
+      fds_.push_back({fd, events, 0});
+    }
+    if (::poll(fds_.data(), fds_.size(), -1) < 0) {
+      return errno == EINTR;  // empty event list, loop retries
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(ev);
+    }
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const override { return "poll"; }
+
+ private:
+  std::map<int, short> interest_;
+  std::vector<pollfd> fds_;  // scratch, reused across waits
+};
+
+#if defined(__linux__)
+
+class EpollBackend final : public Poller {
+ public:
+  EpollBackend() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollBackend() override {
+    if (ep_ >= 0) ::close(ep_);
+  }
+
+  [[nodiscard]] bool ok() const { return ep_ >= 0; }
+
+  void set(int fd, bool want_read, bool want_write) override {
+    std::uint32_t events = 0;
+    if (want_read) events |= EPOLLIN;
+    if (want_write) events |= EPOLLOUT;
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    const auto it = interest_.find(fd);
+    if (it != interest_.end()) {
+      if (it->second == events) return;  // interest unchanged, skip the syscall
+      it->second = events;
+      if (::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev) == 0 || errno != ENOENT) return;
+      // ENOENT: the fd was closed (auto-deregistered) and its number reused
+      // by a new connection — fall through and ADD the reincarnation.
+    }
+    interest_[fd] = events;
+    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) < 0 && errno == EEXIST) {
+      ::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+    }
+  }
+
+  void remove(int fd) override {
+    interest_.erase(fd);
+    // Usually a no-op with ENOENT/EBADF: closing an fd deregisters it.
+    ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  bool wait(std::vector<Event>& out) override {
+    out.clear();
+    epoll_event evs[kMaxEvents];
+    const int n = ::epoll_wait(ep_, evs, kMaxEvents, -1);
+    if (n < 0) return errno == EINTR;
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = evs[i].data.fd;
+      ev.readable = (evs[i].events & EPOLLIN) != 0;
+      ev.writable = (evs[i].events & EPOLLOUT) != 0;
+      ev.hangup = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(ev);
+    }
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const override { return "epoll"; }
+
+ private:
+  static constexpr int kMaxEvents = 256;
+
+  int ep_ = -1;
+  std::map<int, std::uint32_t> interest_;  // fd -> last-set events
+};
+
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::create() {
+#if defined(__linux__)
+  if (core::cpu::has(core::cpu::kEpoll)) {
+    auto ep = std::make_unique<EpollBackend>();
+    if (ep->ok()) return ep;
+    // epoll_create1 failed despite the startup probe (fd exhaustion);
+    // fall through to the backend that needs no descriptor of its own.
+  }
+#endif
+  return std::make_unique<PollBackend>();
+}
+
+}  // namespace dubhe::net

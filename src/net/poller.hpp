@@ -1,0 +1,52 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace dubhe::net {
+
+/// Readiness-notification backend for the server event-loop workers. Two
+/// implementations, one semantics:
+///
+///   - epoll(7): the kernel holds the interest set, each iteration costs
+///     O(ready fds) — what a 10k-connection worker needs;
+///   - poll(2): the portable fallback, rebuilding the pollfd array from the
+///     cached interest set on every wait.
+///
+/// Both are level-triggered, so the event loop above them is written once:
+/// a readiness condition that is not fully drained simply reports again.
+/// create() selects at runtime through core::cpu — `DUBHE_CPU=portable`
+/// (or any list without "epoll") forces the poll backend on every host,
+/// which is how CI keeps both tiers green.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;  // POLLERR/POLLHUP-class conditions, always reported
+  };
+
+  virtual ~Poller() = default;
+
+  /// Declares interest in `fd` (add-or-modify; both flags false parks the
+  /// fd — error/hangup conditions still report, which is what a
+  /// backpressured connection wants).
+  virtual void set(int fd, bool want_read, bool want_write) = 0;
+
+  /// Withdraws `fd`. Harmless if it was never set or is already closed
+  /// (the kernel deregisters closed fds from epoll by itself).
+  virtual void remove(int fd) = 0;
+
+  /// Blocks until at least one registered fd is ready and fills `out`
+  /// (cleared first). EINTR yields an empty list and true; false means an
+  /// unrecoverable backend failure — the caller's loop must exit.
+  virtual bool wait(std::vector<Event>& out) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// The backend for this host under the current core::cpu enabled set.
+  static std::unique_ptr<Poller> create();
+};
+
+}  // namespace dubhe::net

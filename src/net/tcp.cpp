@@ -6,12 +6,21 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+#if defined(__linux__)
+#include <sys/eventfd.h>
+#endif
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <map>
+
+#include "net/poller.hpp"
 
 namespace dubhe::net {
 
@@ -34,11 +43,88 @@ void set_nodelay(int fd) {
 }
 
 constexpr std::size_t kReadChunk = 64 * 1024;
+/// Upper bound on iovecs per sendmsg: enough to coalesce dozens of queued
+/// frames into one syscall, comfortably under every IOV_MAX.
+constexpr std::size_t kMaxSendIov = 64;
+/// Deep enough that a 10k-client connect burst is not refused at the
+/// SYN queue before the listener gets scheduled.
+constexpr int kListenBacklog = 4096;
 
-/// All socket writes go through here: MSG_NOSIGNAL turns a dead peer into
-/// EPIPE (handled as an error path) instead of a process-killing SIGPIPE.
-ssize_t socket_write(int fd, const std::uint8_t* buf, std::size_t len) {
-  return ::send(fd, buf, len, MSG_NOSIGNAL);
+/// One queued outbound frame: header and payload kept separate so the drain
+/// path can hand both to sendmsg as iovecs — no coalescing copy, one
+/// syscall per batch of frames.
+struct SendBuf {
+  std::array<std::uint8_t, kFrameHeaderBytes> header{};
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t size() const { return header.size() + payload.size(); }
+};
+
+/// Writes every byte the iovec array describes (blocking socket). Advances
+/// the array in place across partial writes; MSG_NOSIGNAL turns a dead peer
+/// into EPIPE instead of a process-killing SIGPIPE.
+void send_iovs(int fd, iovec* iov, std::size_t iovcnt, const std::string& peer) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write to " + peer);
+    }
+    auto left = static_cast<std::size_t>(n);
+    while (iovcnt > 0 && left >= iov[0].iov_len) {
+      left -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov[0].iov_base = static_cast<std::uint8_t*>(iov[0].iov_base) + left;
+      iov[0].iov_len -= left;
+    }
+  }
+}
+
+/// Wake channels: an eventfd where available (one descriptor, one word of
+/// kernel state), a nonblocking pipe elsewhere. r == w marks an eventfd.
+void open_wake_channel(int& r, int& w) {
+#if defined(__linux__)
+  const int efd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (efd >= 0) {
+    r = w = efd;
+    return;
+  }
+#endif
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) throw_errno("pipe");
+  r = pipefd[0];
+  w = pipefd[1];
+  set_nonblocking(r);
+  set_nonblocking(w);
+}
+
+void close_wake_channel(int& r, int& w) {
+  if (r >= 0) ::close(r);
+  if (w >= 0 && w != r) ::close(w);
+  r = w = -1;
+}
+
+void ring(int r, int w) {
+  // EAGAIN (counter/pipe full) is fine: a wakeup is already pending.
+  if (r == w) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(w, &one, sizeof one);
+  } else {
+    const std::uint8_t b = 0;
+    [[maybe_unused]] const ssize_t n = ::write(w, &b, 1);
+  }
+}
+
+void drain_wake(int r) {
+  std::uint8_t buf[64];  // eventfd reads need >= 8 bytes; pipes drain in gulps
+  while (::read(r, buf, sizeof buf) > 0) {
+  }
 }
 
 }  // namespace
@@ -75,19 +161,16 @@ TcpTransport::~TcpTransport() {
 }
 
 void TcpTransport::send(const Frame& frame) {
-  const std::vector<std::uint8_t> encoded = encode_frame(frame);
+  const auto header = encode_frame_header(frame.type, frame.payload);
   std::lock_guard<std::mutex> lock(send_mu_);
   if (closed_.load()) throw TransportError("TcpTransport: send after close");
-  std::size_t off = 0;
-  while (off < encoded.size()) {
-    const ssize_t n = socket_write(fd_, encoded.data() + off, encoded.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("write to " + peer_);
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  account_sent(frame.type, encoded.size());
+  iovec iov[2];
+  iov[0].iov_base = const_cast<std::uint8_t*>(header.data());
+  iov[0].iov_len = header.size();
+  iov[1].iov_base = const_cast<std::uint8_t*>(frame.payload.data());
+  iov[1].iov_len = frame.payload.size();
+  send_iovs(fd_, iov, frame.payload.empty() ? 1 : 2, peer_);
+  account_sent(frame.type, frame_wire_size(frame.payload.size()));
 }
 
 std::optional<Frame> TcpTransport::receive() {
@@ -127,25 +210,43 @@ void TcpTransport::close() {
 
 struct TcpServer::Conn {
   /// Inbound backpressure: once a connection's inbox holds this many
-  /// undelivered frames, the event loop stops polling its fd for POLLIN
+  /// undelivered frames, its worker stops watching the fd for readability
   /// (kernel buffers then throttle the peer via TCP flow control), and
-  /// receive() wakes the loop when it drains below the mark — so a peer
+  /// receive() wakes the worker when it drains below the mark — so a peer
   /// streaming frames faster than the driver consumes them cannot grow
   /// server memory without bound.
   static constexpr std::size_t kInboxHighWater = 256;
 
   int fd = -1;
   std::string peer;
-  FrameReader reader;  // touched only by the event loop
+  Worker* owner = nullptr;  // assigned before adoption, immutable after
+  FrameReader reader;       // touched only by the owning worker
 
   std::mutex m;
   std::condition_variable cv;
   std::deque<Frame> inbox;
-  std::deque<std::vector<std::uint8_t>> sendq;
-  std::size_t send_off = 0;      // bytes of sendq.front() already written
-  bool peer_gone = false;        // EOF / error seen, or loop tore it down
-  bool want_close = false;       // user close(): flush sendq, then close fd
+  std::deque<SendBuf> sendq;
+  std::size_t send_off = 0;  // bytes of sendq.front() already written
+  bool peer_gone = false;    // EOF / error seen, or loop tore it down
+  bool want_close = false;   // user close(): flush sendq, then close fd
   std::exception_ptr decode_error;  // malformed bytes from the peer
+};
+
+/// One event-loop shard. The listener enqueues freshly accepted connections
+/// into `adopt`; transports enqueue interest changes into `dirty`; the
+/// worker thread drains both at the top of each iteration, so `conns` and
+/// the poller are touched by the worker thread alone.
+struct TcpServer::Worker {
+  std::unique_ptr<Poller> poller;
+  int wake_r = -1, wake_w = -1;
+  std::thread thread;
+  std::atomic<std::size_t> load{0};  // owned connections, for least-loaded pick
+
+  std::mutex mu;  // guards adopt and dirty
+  std::vector<std::shared_ptr<Conn>> adopt;
+  std::vector<std::shared_ptr<Conn>> dirty;
+
+  std::map<int, std::shared_ptr<Conn>> conns;  // worker-thread only
 };
 
 /// The Transport face of one accepted connection. Lifetime: holds the Conn
@@ -157,16 +258,18 @@ class TcpServer::ConnTransport final : public Transport {
       : server_(server), conn_(std::move(conn)) {}
 
   void send(const Frame& frame) override {
-    std::vector<std::uint8_t> encoded = encode_frame(frame);
-    const std::size_t size = encoded.size();
+    SendBuf buf;
+    buf.header = encode_frame_header(frame.type, frame.payload);
+    buf.payload = frame.payload;  // the queue outlives the caller's frame
+    const std::size_t size = frame_wire_size(frame.payload.size());
     {
       std::lock_guard<std::mutex> lock(conn_->m);
       if (conn_->peer_gone || conn_->want_close) {
         throw TransportError("TcpServer: send on a closed connection");
       }
-      conn_->sendq.push_back(std::move(encoded));
+      conn_->sendq.push_back(std::move(buf));
     }
-    server_->wake();
+    server_->notify_conn(conn_);
     account_sent(frame.type, size);
   }
 
@@ -181,7 +284,7 @@ class TcpServer::ConnTransport final : public Transport {
       conn_->inbox.pop_front();
       const bool resume_reads = conn_->inbox.size() == Conn::kInboxHighWater - 1;
       lock.unlock();
-      if (resume_reads) server_->wake();  // fd may be parked above high water
+      if (resume_reads) server_->notify_conn(conn_);  // fd parked above high water
       account_received(frame.type, frame_wire_size(frame.payload.size()));
       return frame;
     }
@@ -195,7 +298,7 @@ class TcpServer::ConnTransport final : public Transport {
       conn_->want_close = true;
     }
     conn_->cv.notify_all();
-    server_->wake();
+    server_->notify_conn(conn_);
   }
 
   [[nodiscard]] std::string peer_name() const override { return conn_->peer; }
@@ -205,7 +308,7 @@ class TcpServer::ConnTransport final : public Transport {
   std::shared_ptr<Conn> conn_;
 };
 
-TcpServer::TcpServer(std::uint16_t port) {
+TcpServer::TcpServer(std::uint16_t port, std::size_t workers) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   const int one = 1;
@@ -215,7 +318,7 @@ TcpServer::TcpServer(std::uint16_t port) {
   addr.sin_port = htons(port);
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listen_fd_, 64) < 0) {
+      ::listen(listen_fd_, kListenBacklog) < 0) {
     const int saved = errno;
     ::close(listen_fd_);
     errno = saved;
@@ -226,26 +329,37 @@ TcpServer::TcpServer(std::uint16_t port) {
   port_ = ntohs(addr.sin_port);
   set_nonblocking(listen_fd_);
 
-  int pipefd[2];
-  if (::pipe(pipefd) < 0) {
+  try {
+    // Failure to arm the parachute is tolerated: shed_connection re-tries.
+    reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    open_wake_channel(wake_r_, wake_w_);
+    const std::size_t n = workers == 0 ? 1 : workers;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto w = std::make_unique<Worker>();
+      w->poller = Poller::create();
+      open_wake_channel(w->wake_r, w->wake_w);
+      w->poller->set(w->wake_r, /*want_read=*/true, /*want_write=*/false);
+      workers_.push_back(std::move(w));
+    }
+  } catch (...) {
+    for (auto& w : workers_) close_wake_channel(w->wake_r, w->wake_w);
+    close_wake_channel(wake_r_, wake_w_);
+    if (reserve_fd_ >= 0) ::close(reserve_fd_);
     ::close(listen_fd_);
-    throw_errno("pipe");
+    throw;
   }
-  wake_r_ = pipefd[0];
-  wake_w_ = pipefd[1];
-  set_nonblocking(wake_r_);
-  set_nonblocking(wake_w_);
 
-  loop_ = std::thread([this] { event_loop(); });
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    wp->thread = std::thread([this, wp] { worker_loop(*wp); });
+  }
+  listener_ = std::thread([this] { listener_loop(); });
 }
 
 TcpServer::~TcpServer() { stop(); }
 
-void TcpServer::wake() {
-  const std::uint8_t b = 0;
-  // EAGAIN (pipe full) is fine: a wakeup is already pending.
-  [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
-}
+const char* TcpServer::backend_name() const { return workers_.front()->poller->name(); }
 
 std::shared_ptr<Transport> TcpServer::accept() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -256,182 +370,315 @@ std::shared_ptr<Transport> TcpServer::accept() {
   return t;
 }
 
-void TcpServer::close_conn_locked(std::shared_ptr<Conn>& conn) {
-  // Caller holds conn->m. Close the descriptor and mark the connection dead;
-  // receivers wake and drain whatever is already in the inbox.
-  if (conn->fd >= 0) {
-    ::close(conn->fd);
-    conn->fd = -1;
+void TcpServer::notify_conn(const std::shared_ptr<Conn>& conn) {
+  if (stopping_.load()) return;  // workers are tearing everything down anyway
+  Worker* w = conn->owner;
+  {
+    std::lock_guard<std::mutex> lock(w->mu);
+    w->dirty.push_back(conn);
   }
-  conn->peer_gone = true;
+  ring(w->wake_r, w->wake_w);
 }
 
-void TcpServer::event_loop() {
-  while (!stopping_.load()) {
-    std::vector<pollfd> fds;
-    std::vector<std::shared_ptr<Conn>> polled;
-    fds.push_back({wake_r_, POLLIN, 0});
-    fds.push_back({listen_fd_, POLLIN, 0});
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto it = conns_.begin(); it != conns_.end();) {
-        auto& conn = it->second;
-        std::lock_guard<std::mutex> conn_lock(conn->m);
-        if (conn->fd < 0) {
-          it = conns_.erase(it);
-          continue;
-        }
-        short events = conn->inbox.size() < Conn::kInboxHighWater ? POLLIN : 0;
-        if (!conn->sendq.empty() || conn->want_close) events |= POLLOUT;
-        fds.push_back({conn->fd, events, 0});
-        polled.push_back(conn);
-        ++it;
-      }
-    }
+bool TcpServer::shed_connection() {
+  // EMFILE parachute. The process is out of descriptors, but the backlog
+  // holds peers that would otherwise wait forever — and a level-triggered
+  // listener re-fires instantly, spinning the loop at 100%. Momentarily
+  // release the reserved descriptor, accept one connection into the freed
+  // slot, and close it immediately: the peer sees a clean close (and can
+  // retry) instead of hanging, and the loop makes progress.
+  if (reserve_fd_ < 0) {
+    reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    if (reserve_fd_ < 0) return false;  // still saturated, caller backs off
+  }
+  ::close(reserve_fd_);
+  reserve_fd_ = -1;
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd >= 0) ::close(fd);
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  return fd >= 0;
+}
 
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+void TcpServer::listener_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[2] = {{wake_r_, POLLIN, 0}, {listen_fd_, POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    if ((fds[0].revents & POLLIN) != 0) drain_wake(wake_r_);
+    if ((fds[1].revents & POLLIN) == 0) continue;
 
-    if ((fds[0].revents & POLLIN) != 0) {  // drain wakeups
-      std::uint8_t buf[64];
-      while (::read(wake_r_, buf, sizeof buf) > 0) {
+    for (;;) {
+      sockaddr_in peer{};
+      socklen_t plen = sizeof peer;
+      const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if ((errno == EMFILE || errno == ENFILE) && shed_connection()) continue;
+        // Hard error with no way to shed: back off briefly instead of
+        // letting the level-triggered listener spin.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        break;
       }
-    }
+      set_nonblocking(fd);
+      set_nodelay(fd);
+      char ip[INET_ADDRSTRLEN] = "?";
+      ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
 
-    if ((fds[1].revents & POLLIN) != 0) {  // accept new connections
-      for (;;) {
-        sockaddr_in peer{};
-        socklen_t plen = sizeof peer;
-        const int fd =
-            ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &plen);
-        if (fd < 0) {
-          if (errno == EINTR || errno == ECONNABORTED) continue;
-          if (errno != EAGAIN && errno != EWOULDBLOCK) {
-            // Hard error (EMFILE/ENFILE/...): the level-triggered listener
-            // would re-fire immediately and spin the loop at 100% — back
-            // off briefly so descriptors can free up.
-            std::this_thread::sleep_for(std::chrono::milliseconds(10));
-          }
-          break;
-        }
-        set_nonblocking(fd);
-        set_nodelay(fd);
-        char ip[INET_ADDRSTRLEN] = "?";
-        ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof ip);
-        auto conn = std::make_shared<Conn>();
-        conn->fd = fd;
-        conn->peer = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
-        auto transport = std::make_shared<ConnTransport>(this, conn);
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          conns_[fd] = conn;
-          pending_.push_back(std::move(transport));
-        }
-        pending_cv_.notify_one();
-      }
-    }
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conn->peer = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
 
-    for (std::size_t i = 0; i < polled.size(); ++i) {
-      auto& conn = polled[i];
-      const short revents = fds[i + 2].revents;
-      if (revents == 0) continue;
-
-      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-        bool eof = (revents & (POLLHUP | POLLERR)) != 0 && (revents & POLLIN) == 0;
-        for (;;) {
-          std::uint8_t buf[kReadChunk];
-          const ssize_t n = ::read(conn->fd, buf, sizeof buf);
-          if (n > 0) {
-            bool over_high_water = false;
-            try {
-              conn->reader.feed({buf, static_cast<std::size_t>(n)});
-              std::lock_guard<std::mutex> lock(conn->m);
-              while (auto frame = conn->reader.next()) {
-                conn->inbox.push_back(std::move(*frame));
-              }
-              over_high_water = conn->inbox.size() >= Conn::kInboxHighWater;
-            } catch (...) {
-              std::lock_guard<std::mutex> lock(conn->m);
-              conn->decode_error = std::current_exception();
-              close_conn_locked(conn);
-              break;
-            }
-            // Enforce the high-water bound inside the burst too: stop
-            // reading this connection (bytes stay in the kernel buffer and
-            // TCP flow control takes over) and let other connections run.
-            if (over_high_water) break;
-            continue;
-          }
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-          if (n < 0 && errno == EINTR) continue;
-          eof = true;  // orderly EOF or hard error
-          break;
-        }
-        if (eof) {
-          std::lock_guard<std::mutex> lock(conn->m);
-          close_conn_locked(conn);
-        }
-        conn->cv.notify_all();
-      }
-
-      if ((revents & POLLOUT) != 0) {
-        std::lock_guard<std::mutex> lock(conn->m);
-        while (conn->fd >= 0 && !conn->sendq.empty()) {
-          const auto& front = conn->sendq.front();
-          const ssize_t n = socket_write(conn->fd, front.data() + conn->send_off,
-                                         front.size() - conn->send_off);
-          if (n < 0) {
-            if (errno == EINTR) continue;
-            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-            close_conn_locked(conn);  // peer reset mid-write
-            conn->cv.notify_all();
-            break;
-          }
-          conn->send_off += static_cast<std::size_t>(n);
-          if (conn->send_off == front.size()) {
-            conn->sendq.pop_front();
-            conn->send_off = 0;
-          }
-        }
-        if (conn->fd >= 0 && conn->want_close && conn->sendq.empty()) {
-          close_conn_locked(conn);
-          conn->cv.notify_all();
+      Worker* best = workers_.front().get();
+      for (const auto& w : workers_) {
+        if (w->load.load(std::memory_order_relaxed) <
+            best->load.load(std::memory_order_relaxed)) {
+          best = w.get();
         }
       }
+      conn->owner = best;
+      best->load.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(best->mu);
+        best->adopt.push_back(conn);
+      }
+      ring(best->wake_r, best->wake_w);
+
+      auto transport = std::make_shared<ConnTransport>(this, std::move(conn));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        pending_.push_back(std::move(transport));
+      }
+      pending_cv_.notify_one();
     }
   }
 
-  // Loop exit — requested via stop() or forced by a hard poll() failure:
-  // either way, mark the server stopping so accept() cannot block forever,
-  // tear every connection down, and wake every waiter.
+  // Exit — stop() or a hard poll failure: make sure everyone else unblocks.
   stopping_.store(true);
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [fd, conn] : conns_) {
-    std::lock_guard<std::mutex> conn_lock(conn->m);
-    close_conn_locked(conn);
+  for (const auto& w : workers_) ring(w->wake_r, w->wake_w);
+  pending_cv_.notify_all();
+}
+
+void TcpServer::retire(Worker& w, int fd) {
+  if (w.conns.erase(fd) == 0) return;
+  w.poller->remove(fd);
+  w.load.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TcpServer::update_conn(Worker& w, const std::shared_ptr<Conn>& conn) {
+  bool readable, writable;
+  {
+    std::lock_guard<std::mutex> lock(conn->m);
+    if (conn->fd < 0) return;  // already torn down; retire() ran at close time
+    readable = conn->inbox.size() < Conn::kInboxHighWater;
+    writable = !conn->sendq.empty() || conn->want_close;
+  }
+  // fd transitions happen on this thread only, so the read outside the
+  // recompute is stable.
+  w.conns.emplace(conn->fd, conn);  // no-op if already adopted
+  w.poller->set(conn->fd, readable, writable);
+}
+
+void TcpServer::handle_read(Worker& w, const std::shared_ptr<Conn>& conn,
+                            bool hangup_only) {
+  bool eof = hangup_only;
+  for (;;) {
+    std::uint8_t buf[kReadChunk];
+    const ssize_t n = ::read(conn->fd, buf, sizeof buf);
+    if (n > 0) {
+      bool over_high_water = false;
+      try {
+        conn->reader.feed({buf, static_cast<std::size_t>(n)});
+        std::lock_guard<std::mutex> lock(conn->m);
+        while (auto frame = conn->reader.next()) {
+          conn->inbox.push_back(std::move(*frame));
+        }
+        over_high_water = conn->inbox.size() >= Conn::kInboxHighWater;
+      } catch (...) {
+        const int fd = conn->fd;
+        {
+          std::lock_guard<std::mutex> lock(conn->m);
+          conn->decode_error = std::current_exception();
+          ::close(conn->fd);
+          conn->fd = -1;
+          conn->peer_gone = true;
+        }
+        retire(w, fd);
+        conn->cv.notify_all();
+        return;
+      }
+      // Enforce the high-water bound inside the burst too: stop reading
+      // this connection (bytes stay in the kernel buffer and TCP flow
+      // control takes over) and let other connections run.
+      if (over_high_water) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    eof = true;  // orderly EOF or hard error
+    break;
+  }
+  if (eof) {
+    const int fd = conn->fd;
+    {
+      std::lock_guard<std::mutex> lock(conn->m);
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->peer_gone = true;
+    }
+    retire(w, fd);
+  }
+  conn->cv.notify_all();
+}
+
+void TcpServer::handle_write(Worker& w, const std::shared_ptr<Conn>& conn) {
+  std::unique_lock<std::mutex> lock(conn->m);
+  bool closed = false;
+  while (conn->fd >= 0 && !conn->sendq.empty()) {
+    // Gather as many queued frames as fit into one sendmsg: two iovecs per
+    // frame (header, payload), the first offset by what a previous partial
+    // write already pushed out.
+    iovec iov[kMaxSendIov];
+    std::size_t cnt = 0;
+    std::size_t skip = conn->send_off;
+    for (const SendBuf& b : conn->sendq) {
+      if (cnt + 2 > kMaxSendIov) break;
+      std::size_t s = skip;
+      skip = 0;
+      if (s < b.header.size()) {
+        iov[cnt].iov_base = const_cast<std::uint8_t*>(b.header.data() + s);
+        iov[cnt].iov_len = b.header.size() - s;
+        ++cnt;
+        s = 0;
+      } else {
+        s -= b.header.size();
+      }
+      if (s < b.payload.size()) {
+        iov[cnt].iov_base = const_cast<std::uint8_t*>(b.payload.data() + s);
+        iov[cnt].iov_len = b.payload.size() - s;
+        ++cnt;
+      }
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      const int fd = conn->fd;  // peer reset mid-write
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->peer_gone = true;
+      retire(w, fd);
+      closed = true;
+      break;
+    }
+    conn->send_off += static_cast<std::size_t>(n);
+    while (!conn->sendq.empty() && conn->send_off >= conn->sendq.front().size()) {
+      conn->send_off -= conn->sendq.front().size();
+      conn->sendq.pop_front();
+    }
+  }
+  if (!closed && conn->fd >= 0 && conn->want_close && conn->sendq.empty()) {
+    const int fd = conn->fd;
+    ::close(conn->fd);
+    conn->fd = -1;
+    conn->peer_gone = true;
+    retire(w, fd);
+    closed = true;
+  }
+  lock.unlock();
+  if (closed) conn->cv.notify_all();
+}
+
+void TcpServer::worker_loop(Worker& w) {
+  std::vector<Poller::Event> events;
+  std::vector<std::shared_ptr<Conn>> batch;
+  while (!stopping_.load()) {
+    // Intake. Adoptions are queued before any dirty mark for the same
+    // connection (a transport only exists after its adopt enqueue), and
+    // update_conn registers on first sight, so processing one combined
+    // batch in FIFO order is safe.
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      batch.insert(batch.end(), w.adopt.begin(), w.adopt.end());
+      batch.insert(batch.end(), w.dirty.begin(), w.dirty.end());
+      w.adopt.clear();
+      w.dirty.clear();
+    }
+    for (const auto& conn : batch) update_conn(w, conn);
+
+    if (!w.poller->wait(events)) break;
+
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == w.wake_r) {
+        drain_wake(w.wake_r);
+        continue;
+      }
+      const auto it = w.conns.find(ev.fd);
+      if (it == w.conns.end()) continue;  // closed earlier in this batch
+      const std::shared_ptr<Conn> conn = it->second;  // handlers may retire it
+      if (ev.readable || ev.hangup) {
+        handle_read(w, conn, ev.hangup && !ev.readable);
+      }
+      if (ev.writable) handle_write(w, conn);
+      // Re-declare interest with whatever state the handlers left behind
+      // (inbox crossing high water, sendq drained, connection closed).
+      if (w.conns.count(ev.fd) != 0) update_conn(w, conn);
+    }
+  }
+
+  // Exit — stop() or a hard poller failure: tear down every owned
+  // connection (and any still waiting for adoption) and wake the waiters.
+  stopping_.store(true);
+  std::vector<std::shared_ptr<Conn>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(w.mu);
+    leftovers.swap(w.adopt);
+    w.dirty.clear();
+  }
+  for (const auto& entry : w.conns) leftovers.push_back(entry.second);
+  w.conns.clear();
+  for (const auto& conn : leftovers) {
+    {
+      std::lock_guard<std::mutex> lock(conn->m);
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+      conn->peer_gone = true;
+    }
     conn->cv.notify_all();
   }
-  conns_.clear();
-  pending_cv_.notify_all();
+  pending_cv_.notify_all();  // a hard failure must not leave accept() hanging
 }
 
 void TcpServer::stop() {
   // Idempotent; not meant to be raced from several threads (the owner —
   // typically the destructor — calls it).
   stopping_.store(true);
-  wake();
-  if (loop_.joinable()) loop_.join();
+  if (wake_w_ >= 0) ring(wake_r_, wake_w_);
+  for (const auto& w : workers_) {
+    if (w->wake_w >= 0) ring(w->wake_r, w->wake_w);
+  }
+  if (listener_.joinable()) listener_.join();
+  for (const auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  if (wake_r_ >= 0) {
-    ::close(wake_r_);
-    ::close(wake_w_);
-    wake_r_ = wake_w_ = -1;
+  if (reserve_fd_ >= 0) {
+    ::close(reserve_fd_);
+    reserve_fd_ = -1;
   }
+  close_wake_channel(wake_r_, wake_w_);
+  for (const auto& w : workers_) close_wake_channel(w->wake_r, w->wake_w);
   pending_cv_.notify_all();
 }
 

@@ -4,7 +4,6 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -20,7 +19,9 @@ namespace dubhe::net {
 /// protocol. connect() resolves only dotted-quad / localhost addresses (the
 /// deployment story here is aggregator + clients on a LAN; no resolver
 /// dependency). TCP_NODELAY is set — frames are request/response sized, and
-/// Nagle coalescing only adds latency.
+/// Nagle coalescing only adds latency. send() writes header and payload as
+/// two iovecs of one sendmsg, so a frame leaves in a single syscall without
+/// being copied into one contiguous buffer first.
 class TcpTransport final : public Transport {
  public:
   /// Throws TransportError if the connection cannot be established.
@@ -46,48 +47,71 @@ class TcpTransport final : public Transport {
   std::atomic<bool> closed_{false};
 };
 
-/// The aggregation server's listener: one background thread runs a poll(2)
-/// event loop over the listening socket and every accepted connection —
-/// nonblocking reads feed per-connection FrameReaders, nonblocking writes
-/// drain per-connection send queues (a slow client backs up its own queue,
-/// never the loop). Each accepted connection is surfaced as a Transport;
-/// send() on it enqueues and wakes the loop via a self-pipe, receive() pops
-/// the connection's inbox.
+/// The aggregation server's front end, structured for c10k:
+///
+///   - one *listener* thread owns the listening socket: it accepts, picks
+///     the least-loaded worker, and hands the connection over through that
+///     worker's wake channel (an EMFILE parachute fd lets it shed load
+///     instead of spinning when the process runs out of descriptors);
+///   - N *worker* threads each run an event loop over their share of the
+///     connections — epoll(7) where available, poll(2) as the portable
+///     fallback, selected at runtime through core::cpu (see net/poller.hpp).
+///     Nonblocking reads feed per-connection FrameReaders; per-connection
+///     send queues drain with scatter-gather sendmsg so a header+payload
+///     frame goes out in one syscall.
+///
+/// Each accepted connection is surfaced as a Transport: send() enqueues and
+/// wakes the owning worker, receive() pops the connection's inbox. A slow
+/// client backs up its own queue, never a loop. The protocol driver above
+/// is synchronous per connection, so session transcripts are byte-identical
+/// at any worker count and under either readiness backend. Architecture
+/// details: src/net/README.md.
 class TcpServer {
  public:
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back with
-  /// port()). Throws TransportError on bind/listen failure.
-  explicit TcpServer(std::uint16_t port = 0);
+  /// port()) and shards connections across `workers` event loops (clamped
+  /// to >= 1). Throws TransportError on bind/listen failure.
+  explicit TcpServer(std::uint16_t port = 0, std::size_t workers = 1);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  /// "epoll" or "poll" — the readiness backend the workers selected.
+  [[nodiscard]] const char* backend_name() const;
 
   /// Blocks until the next client connects (nullptr once stop() was called).
   std::shared_ptr<Transport> accept();
 
-  /// Closes the listener and every connection, and joins the event loop.
+  /// Closes the listener and every connection, and joins all loops.
   /// Called by the destructor; safe to call twice.
   void stop();
 
  private:
   struct Conn;
+  struct Worker;
   class ConnTransport;
 
-  void event_loop();
-  void wake();
-  void close_conn_locked(std::shared_ptr<Conn>& conn);
+  void listener_loop();
+  void worker_loop(Worker& w);
+  void update_conn(Worker& w, const std::shared_ptr<Conn>& conn);
+  void handle_read(Worker& w, const std::shared_ptr<Conn>& conn, bool hangup_only);
+  void handle_write(Worker& w, const std::shared_ptr<Conn>& conn);
+  static void retire(Worker& w, int fd);
+  void notify_conn(const std::shared_ptr<Conn>& conn);
+  bool shed_connection();
 
   int listen_fd_ = -1;
-  int wake_r_ = -1, wake_w_ = -1;
+  int reserve_fd_ = -1;  // EMFILE parachute: see shed_connection
+  int wake_r_ = -1, wake_w_ = -1;  // listener wake channel
   std::uint16_t port_ = 0;
-  std::thread loop_;
+  std::thread listener_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};
 
-  std::mutex mu_;  // guards conns_ and pending_
-  std::map<int, std::shared_ptr<Conn>> conns_;
+  std::mutex mu_;  // guards pending_
   std::deque<std::shared_ptr<Transport>> pending_;
   std::condition_variable pending_cv_;
 };

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <vector>
 
+#include "core/cpu.hpp"
 #include "core/parallel.hpp"
 #include "tensor/simd.hpp"
 
@@ -24,7 +25,10 @@ constexpr std::size_t kMr = 8;
 constexpr std::size_t kNr = 8;
 
 std::atomic<std::size_t> g_compute_threads{0};
-std::atomic<bool> g_simd_enabled{DUBHE_SIMD_AVX2 != 0};
+/// -1 = unresolved. Resolution is lazy (first simd_enabled() call), not
+/// static-init: the default must consult core::cpu, which reads the
+/// DUBHE_CPU environment override.
+std::atomic<int> g_simd_state{-1};
 
 /// Packs op(B) row-major into [k][n_pad] with the padding columns zeroed,
 /// normalizing the transpose. This is the scalar backend's layout: long
@@ -189,13 +193,33 @@ void store_block(const float* acc, std::size_t astride, float* c, std::size_t n,
 
 }  // namespace
 
-bool simd_available() { return DUBHE_SIMD_AVX2 != 0; }
-
-bool set_simd_enabled(bool on) {
-  return g_simd_enabled.exchange(on && simd_available());
+bool simd_available() {
+#if DUBHE_SIMD_AVX2
+  // Compiled in is necessary, not sufficient: the host must actually have
+  // (and the DUBHE_CPU policy must allow) AVX2+FMA, or the vector kernels
+  // would fault — a binary built -mavx2 still runs on a lesser machine as
+  // long as dispatch keeps it on the scalar path.
+  return core::cpu::has(core::cpu::kAvx2) && core::cpu::has(core::cpu::kFma);
+#else
+  return false;
+#endif
 }
 
-bool simd_enabled() { return g_simd_enabled.load(); }
+bool set_simd_enabled(bool on) {
+  const bool prev = simd_enabled();
+  g_simd_state.store((on && simd_available()) ? 1 : 0);
+  return prev;
+}
+
+bool simd_enabled() {
+  int s = g_simd_state.load();
+  if (s < 0) {
+    // Benign race: concurrent first calls resolve to the same value.
+    s = simd_available() ? 1 : 0;
+    g_simd_state.store(s);
+  }
+  return s != 0;
+}
 
 const char* simd_backend_name() { return simd_enabled() ? "avx2" : "scalar"; }
 

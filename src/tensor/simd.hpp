@@ -1,6 +1,7 @@
 #pragma once
 
-// Compile-time SIMD dispatch for the compute kernels.
+// SIMD dispatch for the compute kernels: compiled in at build time,
+// validated at run time.
 //
 // The `DUBHE_SIMD` CMake option (ON by default) defines DUBHE_SIMD_ENABLED
 // and, when the compiler accepts them, adds -mavx2 -mfma to the library
@@ -9,6 +10,12 @@
 // portable scalar kernels and produces a binary with no AVX instructions.
 // The same DUBHE_SIMD_ENABLED gate selects the unrolled CIOS inner loop in
 // bigint::Montgomery (plain C unrolling, bit-identical, ISA-independent).
+//
+// Whether the compiled-in kernels actually *run* is decided through
+// core::cpu at first use: simd_available() additionally requires detected
+// AVX2+FMA under the current DUBHE_CPU policy, so the same binary degrades
+// to scalar on a lesser host (or under DUBHE_CPU=portable) instead of
+// faulting.
 
 #if defined(DUBHE_SIMD_ENABLED) && defined(__AVX2__) && defined(__FMA__)
 #define DUBHE_SIMD_AVX2 1
@@ -18,7 +25,8 @@
 
 namespace dubhe::tensor {
 
-/// True when the AVX2+FMA kernels were compiled into this binary.
+/// True when the AVX2+FMA kernels were compiled into this binary AND the
+/// host offers (and DUBHE_CPU allows) AVX2+FMA — see core/cpu.hpp.
 bool simd_available();
 
 /// Runtime kill-switch over the compiled-in kernels, for benches and parity

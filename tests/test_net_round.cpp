@@ -10,10 +10,20 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
 #include <thread>
+#include <vector>
 
+#include "core/cpu.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
 #include "nn/builders.hpp"
@@ -149,23 +159,20 @@ TEST(NetRound, ThreeRoundPersistentSessionMatchesEverywhere) {
   const auto params = make_params(2, R);
 
   fl::ChannelAccountant tcp_channel;
-  net::SessionTranscript tcp;
-  {
-    net::TcpServer server(0);  // ephemeral port
-    std::vector<std::thread> clients;
-    clients.reserve(N);
-    for (std::size_t id = 0; id < N; ++id) {
-      clients.emplace_back([&, id] {
-        auto link = net::TcpTransport::connect("127.0.0.1", server.port());
-        net::serve_client(*link, id, dataset, proto, params);
-      });
-    }
-    std::vector<std::shared_ptr<net::Transport>> links;
-    links.reserve(N);
-    for (std::size_t i = 0; i < N; ++i) links.push_back(server.accept());
-    tcp = net::run_server_session(links, dataset, proto, params, &tcp_channel);
-    for (auto& t : clients) t.join();
-  }
+  const auto tcp = net::run_tcp_session(dataset, proto, params, 1, &tcp_channel);
+
+  // The same session again at 4 event-loop workers (connections sharded
+  // across loops), and once more with epoll masked out of the enabled CPU
+  // feature set so every worker runs the portable poll(2) backend. The
+  // transcript must be byte-identical in all cases: readiness backend and
+  // shard count are pure transport concerns.
+  const auto tcp_sharded = net::run_tcp_session(dataset, proto, params, 4);
+  expect_same_transcript(tcp_sharded, tcp);
+  const std::uint32_t prev_mask =
+      core::cpu::set_enabled(core::cpu::enabled() & ~core::cpu::kEpoll);
+  const auto tcp_poll = net::run_tcp_session(dataset, proto, params, 4);
+  core::cpu::set_enabled(prev_mask);
+  expect_same_transcript(tcp_poll, tcp);
 
   fl::ChannelAccountant loop_channel;
   const auto loopback = net::run_loopback_session(dataset, proto, params, &loop_channel);
@@ -198,6 +205,87 @@ TEST(NetRound, ThreeRoundPersistentSessionMatchesEverywhere) {
                                             fl::Direction::kClientToServer),
               params.K);
   }
+}
+
+TEST(TcpServerRobustness, BackendSelectionFollowsEnabledFeatures) {
+  // Masking epoll out of the enabled set forces the portable backend on any
+  // host; with the mask restored, an epoll host selects epoll again.
+  const std::uint32_t prev =
+      core::cpu::set_enabled(core::cpu::enabled() & ~core::cpu::kEpoll);
+  {
+    net::TcpServer server(0, 2);
+    EXPECT_STREQ(server.backend_name(), "poll");
+    EXPECT_EQ(server.worker_count(), 2u);
+  }
+  core::cpu::set_enabled(prev);
+  if (core::cpu::has(core::cpu::kEpoll)) {
+    net::TcpServer server(0);
+    EXPECT_STREQ(server.backend_name(), "epoll");
+  }
+}
+
+TEST(TcpServerRobustness, EmfileAcceptShedsInsteadOfHanging) {
+  // Regression test for the EMFILE accept path: when the process is out of
+  // file descriptors the listener must shed the incoming connection through
+  // its reserved emergency fd — accept it, close it, move on — so the
+  // client observes a prompt clean close instead of a connection parked
+  // forever in the backlog while the listener spins.
+  net::TcpServer server(0);
+
+  rlimit old{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &old), 0);
+  rlimit tight{};
+  tight.rlim_cur = 256;  // far above current usage; the fill loop does the rest
+  tight.rlim_max = old.rlim_max;
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &tight), 0);
+
+  // Exhaust every allocatable descriptor slot (holes included), then free
+  // exactly one: the client socket takes it, leaving accept() to hit EMFILE.
+  std::vector<int> fillers;
+  for (;;) {
+    const int fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    if (fd < 0) break;
+    fillers.push_back(fd);
+  }
+  ASSERT_FALSE(fillers.empty());
+  ::close(fillers.back());
+  fillers.pop_back();
+
+  // The kernel completes the TCP handshake from the listen backlog, so
+  // connect() succeeds even though the server cannot accept. The starved
+  // client is raw POSIX on purpose: with zero free descriptors the
+  // sanitizer runtimes cannot open /proc/self/maps, so UBSan's vptr check
+  // on any virtual Transport call here would misfire — and poll(2) gives
+  // the did-it-hang guard without spawning a watchdog thread.
+  const int starved = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(starved, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(starved, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+  pollfd pfd{};
+  pfd.fd = starved;
+  pfd.events = POLLIN;  // EOF surfaces as readable-with-zero-bytes
+  ASSERT_EQ(::poll(&pfd, 1, 10000), 1)
+      << "listener hung instead of shedding the connection under EMFILE";
+  char byte = 0;
+  EXPECT_EQ(::read(starved, &byte, 1), 0);  // shed = accepted then closed, no data
+  ::close(starved);
+
+  for (const int fd : fillers) ::close(fd);
+  ASSERT_EQ(setrlimit(RLIMIT_NOFILE, &old), 0);
+
+  // Capacity restored: the same listener serves real traffic again.
+  auto client = net::TcpTransport::connect("127.0.0.1", server.port());
+  auto link = server.accept();
+  ASSERT_NE(link, nullptr);
+  const net::Frame ping{net::MsgType::kShutdown, {1, 2, 3}};
+  client->send(ping);
+  EXPECT_EQ(link->receive(), ping);
+  client->close();
+  server.stop();
 }
 
 }  // namespace

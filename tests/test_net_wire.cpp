@@ -8,14 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <functional>
 #include <limits>
 #include <thread>
 
+#include "core/cpu.hpp"
 #include "net/codec.hpp"
+#include "net/tcp.hpp"
 #include "net/transport.hpp"
+#include "net/wire.hpp"
 #include "stats/rng.hpp"
 
 namespace dubhe {
@@ -72,6 +77,49 @@ TEST(Crc32, SliceBy8MatchesBytewiseReference) {
     const std::span<const std::uint8_t> s{big.data() + off, big.size() - off};
     EXPECT_EQ(net::crc32(s), reference(s)) << "offset " << off;
   }
+}
+
+/// The dispatched CRC (PCLMUL folding where the host supports it) must equal
+/// the slice-by-8 reference bit for bit at every length 0..8 KiB and at every
+/// buffer offset, covering all fold-chunk / tail-residue combinations. On
+/// hosts without PCLMUL both sides are slice-by-8 and the test is a tautology
+/// — that is fine, the hardware tier is then never reachable anyway.
+TEST(Crc32, HardwareTierMatchesSliceBy8Everywhere) {
+  stats::Rng rng(44);
+  const auto big = random_payload(rng, 8192 + 16);
+  for (std::size_t len = 0; len <= 8192; ++len) {
+    const std::span<const std::uint8_t> s{big.data(), len};
+    ASSERT_EQ(net::crc32(s), net::crc32_portable(s)) << "len " << len;
+  }
+  // Unaligned starts: the PCLMUL kernel loads 16-byte vectors from whatever
+  // address the payload happens to live at.
+  for (std::size_t off = 0; off < 16; ++off) {
+    for (const std::size_t len : {std::size_t{63}, std::size_t{64}, std::size_t{65},
+                                  std::size_t{127}, std::size_t{1024},
+                                  std::size_t{4095}, std::size_t{8192}}) {
+      const std::span<const std::uint8_t> s{big.data() + off, len};
+      ASSERT_EQ(net::crc32(s), net::crc32_portable(s))
+          << "offset " << off << " len " << len;
+    }
+  }
+}
+
+/// Masking PCLMUL out of the enabled set must drop the dispatcher to the
+/// portable tier immediately (per-call dispatch), and the answers must not
+/// change.
+TEST(Crc32, RuntimeTierForcingIsTransparent) {
+  stats::Rng rng(45);
+  const auto payload = random_payload(rng, 4096 + 3);
+  const std::uint32_t want = net::crc32_portable(payload);
+  // "pclmul" iff the kernel is compiled in AND the host offers the feature;
+  // a simd-off build or a pre-PCLMUL machine natively reports "slice8".
+  const std::string native = net::crc32_backend_name();
+  const std::uint32_t prev = core::cpu::set_enabled(0);  // DUBHE_CPU=portable
+  EXPECT_STREQ(net::crc32_backend_name(), "slice8");
+  EXPECT_EQ(net::crc32(payload), want);
+  core::cpu::set_enabled(prev);
+  EXPECT_EQ(net::crc32(payload), want);
+  EXPECT_EQ(net::crc32_backend_name(), native);
 }
 
 TEST(WireFrame, RoundTripEveryTypeAndSize) {
@@ -354,6 +402,99 @@ TEST(Loopback, OrderedDeliveryCloseAndAccounting) {
   EXPECT_EQ(channel.bytes(fl::MessageKind::kModelWeights, fl::Direction::kClientToServer),
             net::frame_wire_size(2048));
   EXPECT_EQ(channel.messages(fl::MessageKind::kControl, fl::Direction::kClientToServer), 1u);
+}
+
+/// c10k-path stress: 32 client connections sharded over 4 event-loop workers,
+/// each flooding frames faster than the server drains them so every inbox
+/// crosses the high-water mark and the worker parks/resumes POLLIN. Asserts
+/// exact per-connection frame count, per-frame byte-identical payloads (i.e.
+/// in-order delivery survives the parked/resumed reads), and a clean EOF.
+/// This test is in the TSan suite: it is the data-race certificate for the
+/// listener -> worker adoption handoff and the cross-thread send/notify path.
+TEST(TcpFlood, MultiWorkerBackpressuredFloodDeliversEverything) {
+  constexpr std::size_t kConns = 32;
+  constexpr std::size_t kFramesPerConn = 400;
+  constexpr std::size_t kPayload = 512;  // > kInboxHighWater frames in flight
+
+  net::TcpServer server(0, 4);
+  ASSERT_EQ(server.worker_count(), 4u);
+
+  const auto payload_for = [](std::size_t conn, std::size_t frame) {
+    std::vector<std::uint8_t> p(kPayload);
+    for (std::size_t k = 0; k < kPayload; ++k) {
+      p[k] = static_cast<std::uint8_t>(conn * 131 + frame * 7 + k);
+    }
+    return p;
+  };
+
+  std::atomic<int> client_failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        auto link = net::TcpTransport::connect("127.0.0.1", server.port());
+        for (std::size_t f = 0; f < kFramesPerConn; ++f) {
+          link->send(Frame{MsgType::kModelUpdate, payload_for(i, f)});
+        }
+        link->close();
+      } catch (...) {
+        client_failures.fetch_add(1);
+      }
+    });
+  }
+
+  std::vector<std::shared_ptr<net::Transport>> links;
+  links.reserve(kConns);
+  for (std::size_t i = 0; i < kConns; ++i) {
+    auto link = server.accept();
+    ASSERT_NE(link, nullptr);
+    links.push_back(std::move(link));
+  }
+  // Let the floods pile up against the inbox high-water mark before any
+  // consumer drains — the whole point is to exercise the parked-read path.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Consumers cannot recover the client index from accept order; the first
+  // frame's leading bytes identify the sender (payload_for is injective in
+  // conn for frame 0: p[0] = conn * 131 mod 256, distinct for conn < 32).
+  std::atomic<std::size_t> total_frames{0};
+  std::atomic<int> consumer_failures{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConns);
+  for (auto& link : links) {
+    consumers.emplace_back([&, link] {
+      std::optional<Frame> first = link->receive();
+      if (!first || first->payload.size() != kPayload) {
+        consumer_failures.fetch_add(1);
+        return;
+      }
+      std::size_t conn = kConns;
+      for (std::size_t c = 0; c < kConns; ++c) {  // 131 is odd => injective mod 256
+        if (first->payload[0] == static_cast<std::uint8_t>(c * 131)) conn = c;
+      }
+      if (conn >= kConns || *first != Frame{MsgType::kModelUpdate, payload_for(conn, 0)}) {
+        consumer_failures.fetch_add(1);
+        return;
+      }
+      std::size_t got = 1;
+      while (auto f = link->receive()) {
+        if (*f != Frame{MsgType::kModelUpdate, payload_for(conn, got)}) {
+          consumer_failures.fetch_add(1);
+          return;
+        }
+        ++got;
+      }
+      total_frames.fetch_add(got);
+    });
+  }
+  for (auto& t : consumers) t.join();
+  for (auto& t : clients) t.join();
+  server.stop();
+
+  EXPECT_EQ(client_failures.load(), 0);
+  EXPECT_EQ(consumer_failures.load(), 0);
+  EXPECT_EQ(total_frames.load(), kConns * kFramesPerConn);
 }
 
 TEST(Loopback, LinkModelAccruesVirtualTime) {

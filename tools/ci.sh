@@ -5,7 +5,9 @@
 # with DUBHE_SIMD=OFF so the portable scalar GEMM / rolled CIOS fallback
 # stays green. The release leg additionally runs the multi-process net
 # smoke (tools/net_smoke.sh: dubhe_node server + 3 client processes over
-# localhost, transcript diffed against the in-process selftest). Data races
+# localhost, transcript diffed against the in-process selftest) and a
+# DUBHE_CPU=portable pass of the dispatch-sensitive suites (slice-by-8
+# CRC, scalar GEMM, poll(2) backend — the no-capability tier). Data races
 # are a separate tool's job: a final ThreadSanitizer pass builds the
 # thread-invariance and transport suites (test_parallel_crypto +
 # test_tensor_simd + test_net_wire + test_net_round) under the `tsan`
@@ -49,6 +51,15 @@ if [ "$QUICK" -eq 0 ]; then
   echo "== multi-process net smoke (release build) =="
   tools/net_smoke.sh build
 fi
+
+# Portable-tier leg: DUBHE_CPU=portable masks every runtime capability, so
+# the release binaries must pass the net + dispatch suites on slice-by-8
+# CRC, scalar GEMM and the poll(2) event-loop backend — the exact
+# configuration a machine without PCLMUL/AVX2/epoll would run.
+echo "== portable capability tier (DUBHE_CPU=portable, release build) =="
+DUBHE_CPU=portable ctest --preset release \
+  -R "test_cpu|test_net_wire|test_net_round|test_tensor_simd" \
+  --no-tests=error --timeout "$CTEST_TIMEOUT"
 
 run_preset asan "$@"
 run_preset simd-off "$@"

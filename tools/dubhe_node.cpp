@@ -43,6 +43,7 @@ struct Options {
   std::size_t H = 3;
   std::size_t rounds = 1;
   std::uint64_t seed = 21;
+  std::size_t workers = 1;
   bool packing = false;
 };
 
@@ -64,6 +65,8 @@ Server options:
   --port P       listen port; 0 = ephemeral (default 45711)
   --port-file F  write the bound port to F (atomically) once listening
   --transcript F write the round transcript to F
+  --workers W    event-loop worker shards (default 1; DUBHE_CPU=portable
+                 forces the poll backend inside each shard)
 Client options:
   --id K         this client's index in [0, N)
   --port-file F  wait for F and read the port from it
@@ -115,6 +118,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.rounds = std::strtoull(v, nullptr, 10);
     } else if (a == "--seed" && (v = need_value(i))) {
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--workers" && (v = need_value(i))) {
+      opt.workers = std::strtoull(v, nullptr, 10);
     } else {
       // A matched flag that failed need_value lands here too with v null —
       // the missing-value message already printed, don't call it unknown.
@@ -173,9 +178,12 @@ bool write_file(const std::string& path, const std::string& content) {
 int run_server(const Options& opt) {
   const auto dataset = make_dataset(opt);
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
-  net::TcpServer server(static_cast<std::uint16_t>(opt.port));
-  std::printf("dubhe_node server: listening on 127.0.0.1:%u, waiting for %zu clients\n",
-              server.port(), opt.clients);
+  net::TcpServer server(static_cast<std::uint16_t>(opt.port), opt.workers);
+  std::printf(
+      "dubhe_node server: listening on 127.0.0.1:%u (%s backend, %zu worker%s), "
+      "waiting for %zu clients\n",
+      server.port(), server.backend_name(), server.worker_count(),
+      server.worker_count() == 1 ? "" : "s", opt.clients);
   if (!opt.port_file.empty() &&
       !write_file(opt.port_file, std::to_string(server.port()) + "\n")) {
     std::fprintf(stderr, "error: cannot write %s\n", opt.port_file.c_str());

@@ -34,8 +34,10 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== dubhe_node multi-process smoke (1 server + 3 clients, $ROUNDS rounds over localhost) =="
-"$NODE" --server --clients 3 --rounds "$ROUNDS" --port 0 --port-file "$TMP/port" \
-        --transcript "$TMP/server.txt" &
+# --workers 2 shards the three connections across two event-loop workers;
+# the transcript diff below proves sharding is transcript-invisible.
+"$NODE" --server --clients 3 --rounds "$ROUNDS" --workers 2 --port 0 \
+        --port-file "$TMP/port" --transcript "$TMP/server.txt" &
 SERVER_PID=$!
 PIDS="$SERVER_PID"
 
