@@ -124,16 +124,25 @@ int main() {
     session.aggregate_population(part.client_dists, sel);
   }
 
-  sim::Table comm({"message kind", "count", "bytes", "paper count"});
-  comm.add_row({"key material", std::to_string(channel.messages(fl::MessageKind::kKeyMaterial)),
-                sim::fmt_bytes(static_cast<double>(channel.bytes(fl::MessageKind::kKeyMaterial))),
-                "N = " + std::to_string(N)});
-  comm.add_row({"registry (up+down)", std::to_string(channel.messages(fl::MessageKind::kRegistry)),
-                sim::fmt_bytes(static_cast<double>(channel.bytes(fl::MessageKind::kRegistry))),
-                "2N = " + std::to_string(2 * N)});
-  comm.add_row({"p_l multi-time", std::to_string(channel.messages(fl::MessageKind::kDistribution)),
-                sim::fmt_bytes(static_cast<double>(channel.bytes(fl::MessageKind::kDistribution))),
-                "~HK = " + std::to_string(H * K)});
+  // The per-kind byte column now splits into ciphertext material versus
+  // everything else (framing, length prefixes, public-key echoes) — the
+  // ledger's encrypted_bytes accounting introduced with wire v3.
+  sim::Table comm({"message kind", "count", "bytes", "encrypted", "plaintext",
+                  "paper count"});
+  const auto split_row = [&](const char* name, fl::MessageKind kind,
+                             const std::string& paper) {
+    const auto total = channel.bytes(kind);
+    const auto enc = channel.encrypted_bytes(kind);
+    comm.add_row({name, std::to_string(channel.messages(kind)),
+                  sim::fmt_bytes(static_cast<double>(total)),
+                  sim::fmt_bytes(static_cast<double>(enc)),
+                  sim::fmt_bytes(static_cast<double>(total - enc)), paper});
+  };
+  split_row("key material", fl::MessageKind::kKeyMaterial, "N = " + std::to_string(N));
+  split_row("registry (up+down)", fl::MessageKind::kRegistry,
+            "2N = " + std::to_string(2 * N));
+  split_row("p_l multi-time", fl::MessageKind::kDistribution,
+            "~HK = " + std::to_string(H * K));
   comm.print(std::cout);
 
   std::cout << "\nCrypto time inside the session: encrypt "

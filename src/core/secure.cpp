@@ -114,6 +114,22 @@ std::size_t SecureSelectionSession::encrypted_distribution_bytes() const {
   return net::wire_size_encrypted_vector(keypair_.pub, codec_.num_classes());
 }
 
+std::size_t SecureSelectionSession::registry_ciphertext_bytes() const {
+  if (cfg_.use_packing) {
+    const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
+    return net::ciphertext_bytes_packed_vector(keypair_.pub, packed, codec_.length());
+  }
+  return net::ciphertext_bytes_encrypted_vector(keypair_.pub, codec_.length());
+}
+
+std::size_t SecureSelectionSession::distribution_ciphertext_bytes() const {
+  if (cfg_.use_packing) {
+    const he::PackedCodec packed(cfg_.key_bits - 1, cfg_.packing_slot_bits);
+    return net::ciphertext_bytes_packed_vector(keypair_.pub, packed, codec_.num_classes());
+  }
+  return net::ciphertext_bytes_encrypted_vector(keypair_.pub, codec_.num_classes());
+}
+
 std::vector<std::uint64_t> SecureSelectionSession::reduce_registry(
     std::span<const he::EncryptedVector> cts) {
   if (cts.empty()) throw std::invalid_argument("reduce_registry: empty cohort");
@@ -218,10 +234,11 @@ SecureSelectionSession::RegistrationOutcome SecureSelectionSession::run_registra
   for (const double d : durations) timings_.encrypt_seconds += d;
   timings_.vectors_encrypted += N;
   if (channel_ != nullptr) {
+    const std::size_t ct_bytes = registry_ciphertext_bytes();
     channel_->record(fl::MessageKind::kRegistry, fl::Direction::kClientToServer,
-                     wire_bytes * N, N);
+                     wire_bytes * N, N, ct_bytes * N);
     channel_->record(fl::MessageKind::kRegistry, fl::Direction::kServerToClient,
-                     wire_bytes * N, N);
+                     wire_bytes * N, N, ct_bytes * N);
   }
   return out;
 }
@@ -231,6 +248,7 @@ stats::Distribution SecureSelectionSession::aggregate_population(
   if (selected.empty()) throw std::invalid_argument("aggregate_population: empty set");
   const std::size_t C = codec_.num_classes();
   const std::size_t wire_bytes = encrypted_distribution_bytes();
+  const std::size_t ct_bytes = distribution_ciphertext_bytes();
 
   // Clients quantize p_l to fixed point and encrypt; the server folds each
   // ciphertext into a running sum (one vector alive at a time, as before
@@ -253,7 +271,7 @@ stats::Distribution SecureSelectionSession::aggregate_population(
       ++timings_.vectors_encrypted;
       if (channel_ != nullptr) {
         channel_->record(fl::MessageKind::kDistribution, fl::Direction::kClientToServer,
-                         wire_bytes);
+                         wire_bytes, 1, ct_bytes);
       }
       if (first) {
         sum = std::move(ct);
@@ -264,7 +282,7 @@ stats::Distribution SecureSelectionSession::aggregate_population(
     }
     if (channel_ != nullptr) {  // server -> agent
       channel_->record(fl::MessageKind::kDistribution, fl::Direction::kServerToClient,
-                       wire_bytes);
+                       wire_bytes, 1, ct_bytes);
     }
     po = reduce_population({&sum, 1});
   } else {
@@ -278,7 +296,7 @@ stats::Distribution SecureSelectionSession::aggregate_population(
       ++timings_.vectors_encrypted;
       if (channel_ != nullptr) {
         channel_->record(fl::MessageKind::kDistribution, fl::Direction::kClientToServer,
-                         wire_bytes);
+                         wire_bytes, 1, ct_bytes);
       }
       if (first) {
         sum = std::move(ct);
@@ -289,7 +307,7 @@ stats::Distribution SecureSelectionSession::aggregate_population(
     }
     if (channel_ != nullptr) {
       channel_->record(fl::MessageKind::kDistribution, fl::Direction::kServerToClient,
-                       wire_bytes);
+                       wire_bytes, 1, ct_bytes);
     }
     po = reduce_population({&sum, 1});
   }

@@ -14,15 +14,19 @@
 namespace dubhe::core {
 
 /// Cryptosystem parameters for the secure flows. The paper's deployment is
-/// key_bits = 2048, one ciphertext per registry slot (python-paillier); the
-/// packing option is the BatchCrypt-style extension quantified in
-/// bench/micro_crypto.
+/// key_bits = 2048, one ciphertext per registry slot (python-paillier);
+/// packing (BatchCrypt-style, quantified in bench/micro_crypto) is the
+/// default wire form since wire v3 — a 2048-bit key with 32-bit slots
+/// carries ~63 logical values per ciphertext, so registry/distribution
+/// frames shrink ~50x. Set use_packing = false for the paper's per-slot
+/// layout (the A/B baseline; decrypted values are identical either way).
 struct SecureConfig {
   std::size_t key_bits = 2048;
-  bool use_packing = false;
-  /// Slot width when packing. 20 bits admits > 10^6 one-hot additions per
-  /// slot, far beyond any realistic client population.
-  std::size_t packing_slot_bits = 20;
+  bool use_packing = true;
+  /// Slot width when packing. 32 bits holds fixed-point distribution sums
+  /// (scale 10^6 x cohorts into the thousands) and > 10^9 one-hot registry
+  /// additions per slot, far beyond any realistic client population.
+  std::size_t packing_slot_bits = 32;
   /// Fixed-point scale for encrypting real-valued label distributions.
   std::uint64_t fixed_point_scale = 1'000'000;
   /// Shard cap forwarded to the shared core::ParallelRuntime for the
@@ -43,6 +47,21 @@ struct SecureConfig {
   /// Deterministic given the session RNG; thread-count invariance holds
   /// either way.
   bool use_fixed_base = false;
+  /// Fraction of model-update coordinates shipped encrypted (top-k by
+  /// global-weight magnitude, see core/selective.hpp). 0 keeps today's
+  /// plaintext kModelUpdate path bit-for-bit; 1 encrypts every coordinate
+  /// (the fully-encrypted bound); anything in between ships the top
+  /// ceil(rate * n) coordinates as packed ciphertexts and the rest as
+  /// quantized plaintext behind an index bitmap (kModelUpdateSparse).
+  double update_he_rate = 0.0;
+  /// Quantization width of each update coordinate when update_he_rate > 0
+  /// (both the encrypted and the plaintext portion quantize identically,
+  /// so the merged model is the same for every rate > 0). Range [2, 32].
+  std::size_t update_quant_bits = 16;
+  /// Fixed-point scale for update quantization: a weight delta d encodes
+  /// as round(d * scale) clamped to the signed quant_bits range. 65536
+  /// with 16 bits covers deltas in (-0.5, 0.5) at ~1.5e-5 resolution.
+  double update_quant_scale = 65536.0;
 };
 
 /// Fixed-point quantization of a label distribution (§5.3): round each
@@ -117,6 +136,11 @@ class SecureSelectionSession {
   [[nodiscard]] std::size_t encrypted_registry_bytes() const;
   /// Exact wire size of one client's encrypted label distribution frame.
   [[nodiscard]] std::size_t encrypted_distribution_bytes() const;
+  /// Ciphertext-material share of those frames (the ledger's
+  /// encrypted_bytes column) — what net::encrypted_payload_bytes measures
+  /// on the real frame, predicted without building it.
+  [[nodiscard]] std::size_t registry_ciphertext_bytes() const;
+  [[nodiscard]] std::size_t distribution_ciphertext_bytes() const;
 
   /// --- the split halves the transport-backed driver runs on --------------
   /// The in-process flows above are composed from these: per-client

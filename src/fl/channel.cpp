@@ -17,10 +17,14 @@ std::string to_string(MessageKind kind) {
 }
 
 void ChannelAccountant::record(MessageKind kind, Direction dir, std::size_t bytes,
-                               std::size_t count) {
+                               std::size_t count, std::size_t encrypted_bytes) {
+  if (encrypted_bytes > bytes) {
+    throw std::invalid_argument("record: encrypted_bytes exceeds bytes");
+  }
   auto& cell = cells_.at(static_cast<std::size_t>(kind)).at(static_cast<std::size_t>(dir));
   cell.messages.fetch_add(count, std::memory_order_relaxed);
   cell.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  cell.encrypted_bytes.fetch_add(encrypted_bytes, std::memory_order_relaxed);
 }
 
 std::uint64_t ChannelAccountant::messages(MessageKind kind, Direction dir) const {
@@ -44,6 +48,17 @@ std::uint64_t ChannelAccountant::bytes(MessageKind kind) const {
   return bytes(kind, Direction::kClientToServer) + bytes(kind, Direction::kServerToClient);
 }
 
+std::uint64_t ChannelAccountant::encrypted_bytes(MessageKind kind, Direction dir) const {
+  return cells_.at(static_cast<std::size_t>(kind))
+      .at(static_cast<std::size_t>(dir))
+      .encrypted_bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ChannelAccountant::encrypted_bytes(MessageKind kind) const {
+  return encrypted_bytes(kind, Direction::kClientToServer) +
+         encrypted_bytes(kind, Direction::kServerToClient);
+}
+
 std::uint64_t ChannelAccountant::total_messages() const {
   std::uint64_t total = 0;
   for (std::size_t k = 0; k < kKinds; ++k) total += messages(static_cast<MessageKind>(k));
@@ -53,6 +68,16 @@ std::uint64_t ChannelAccountant::total_messages() const {
 std::uint64_t ChannelAccountant::total_bytes() const {
   std::uint64_t total = 0;
   for (std::size_t k = 0; k < kKinds; ++k) total += bytes(static_cast<MessageKind>(k));
+  return total;
+}
+
+std::uint64_t ChannelAccountant::total_encrypted_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    for (std::size_t d = 0; d < kDirs; ++d) {
+      total += encrypted_bytes(static_cast<MessageKind>(k), static_cast<Direction>(d));
+    }
+  }
   return total;
 }
 
@@ -72,16 +97,26 @@ std::uint64_t ChannelLedger::total_bytes() const {
   return total;
 }
 
+std::uint64_t ChannelLedger::total_encrypted_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& kind_row : cells) {
+    for (const auto& cell : kind_row) total += cell.encrypted_bytes;
+  }
+  return total;
+}
+
 ChannelLedger ledger_delta(const ChannelLedger& after, const ChannelLedger& before) {
   ChannelLedger out;
   for (std::size_t k = 0; k < kMessageKinds; ++k) {
     for (std::size_t d = 0; d < kDirections; ++d) {
       const auto& a = after.cells[k][d];
       const auto& b = before.cells[k][d];
-      if (a.messages < b.messages || a.bytes < b.bytes) {
+      if (a.messages < b.messages || a.bytes < b.bytes ||
+          a.encrypted_bytes < b.encrypted_bytes) {
         throw std::invalid_argument("ledger_delta: snapshots out of order");
       }
-      out.cells[k][d] = {a.messages - b.messages, a.bytes - b.bytes};
+      out.cells[k][d] = {a.messages - b.messages, a.bytes - b.bytes,
+                         a.encrypted_bytes - b.encrypted_bytes};
     }
   }
   return out;
@@ -92,7 +127,8 @@ ChannelLedger ChannelAccountant::snapshot() const {
   for (std::size_t k = 0; k < kKinds; ++k) {
     for (std::size_t d = 0; d < kDirs; ++d) {
       out.cells[k][d] = {cells_[k][d].messages.load(std::memory_order_relaxed),
-                         cells_[k][d].bytes.load(std::memory_order_relaxed)};
+                         cells_[k][d].bytes.load(std::memory_order_relaxed),
+                         cells_[k][d].encrypted_bytes.load(std::memory_order_relaxed)};
     }
   }
   return out;
@@ -104,7 +140,7 @@ void ChannelAccountant::add(const ChannelLedger& ledger) {
       const auto& cell = ledger.cells[k][d];
       if (cell.messages != 0 || cell.bytes != 0) {
         record(static_cast<MessageKind>(k), static_cast<Direction>(d), cell.bytes,
-               cell.messages);
+               cell.messages, cell.encrypted_bytes);
       }
     }
   }
@@ -115,6 +151,7 @@ void ChannelAccountant::reset() {
     for (auto& cell : kind_row) {
       cell.messages.store(0, std::memory_order_relaxed);
       cell.bytes.store(0, std::memory_order_relaxed);
+      cell.encrypted_bytes.store(0, std::memory_order_relaxed);
     }
   }
 }

@@ -32,6 +32,11 @@ struct ChannelLedger {
   struct Cell {
     std::uint64_t messages = 0;
     std::uint64_t bytes = 0;
+    // Portion of `bytes` that is ciphertext material (Paillier ciphertext
+    // payload bytes, excluding framing, lengths, and public-key echoes).
+    // The remainder — bytes - encrypted_bytes — is the plaintext share of
+    // the channel, which is what the selective-encryption tradeoff trades.
+    std::uint64_t encrypted_bytes = 0;
 
     bool operator==(const Cell&) const = default;
   };
@@ -46,8 +51,15 @@ struct ChannelLedger {
   [[nodiscard]] std::uint64_t bytes(MessageKind kind, Direction dir) const {
     return at(kind, dir).bytes;
   }
+  [[nodiscard]] std::uint64_t encrypted_bytes(MessageKind kind, Direction dir) const {
+    return at(kind, dir).encrypted_bytes;
+  }
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_encrypted_bytes() const;
+  [[nodiscard]] std::uint64_t total_plaintext_bytes() const {
+    return total_bytes() - total_encrypted_bytes();
+  }
 
   bool operator==(const ChannelLedger&) const = default;
 };
@@ -63,14 +75,20 @@ struct ChannelLedger {
 /// so the §6.4 communication-overhead table is measured, not estimated.
 class ChannelAccountant {
  public:
-  void record(MessageKind kind, Direction dir, std::size_t bytes, std::size_t count = 1);
+  /// `encrypted_bytes` is the ciphertext-material share of `bytes` (see
+  /// ChannelLedger::Cell); callers that ship no ciphertext leave it 0.
+  void record(MessageKind kind, Direction dir, std::size_t bytes, std::size_t count = 1,
+              std::size_t encrypted_bytes = 0);
 
   [[nodiscard]] std::uint64_t messages(MessageKind kind) const;
   [[nodiscard]] std::uint64_t bytes(MessageKind kind) const;
   [[nodiscard]] std::uint64_t messages(MessageKind kind, Direction dir) const;
   [[nodiscard]] std::uint64_t bytes(MessageKind kind, Direction dir) const;
+  [[nodiscard]] std::uint64_t encrypted_bytes(MessageKind kind) const;
+  [[nodiscard]] std::uint64_t encrypted_bytes(MessageKind kind, Direction dir) const;
   [[nodiscard]] std::uint64_t total_messages() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_encrypted_bytes() const;
 
   /// Copies every cell out under relaxed loads (exact between protocol
   /// phases, when no transport thread is mid-record).
@@ -87,6 +105,7 @@ class ChannelAccountant {
   struct Cell {
     std::atomic<std::uint64_t> messages{0};
     std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> encrypted_bytes{0};
   };
   std::array<std::array<Cell, kDirs>, kKinds> cells_;
 };

@@ -290,7 +290,187 @@ WeightsMsg parse_weights(const Frame& f, MsgType expected) {
   return m;
 }
 
+namespace {
+
+/// Shared validation of a sparse update's fixed header fields; returns the
+/// plaintext-value byte width. `k` is the encrypted coordinate count.
+std::size_t check_sparse_header(std::size_t n, std::size_t k, std::uint8_t quant_bits) {
+  if (n == 0) {
+    throw WireError(WireErrc::kBadPayload, "sparse update: empty update");
+  }
+  if (k == 0 || k > n) {
+    throw WireError(WireErrc::kBadPayload,
+                    "sparse update: encrypted count " + std::to_string(k) +
+                        " outside [1, " + std::to_string(n) + "]");
+  }
+  if (quant_bits < 2 || quant_bits > 32) {
+    throw WireError(WireErrc::kBadPayload, "sparse update: quant_bits " +
+                                               std::to_string(quant_bits) +
+                                               " outside [2, 32]");
+  }
+  return (static_cast<std::size_t>(quant_bits) + 7) / 8;
+}
+
+/// Validates a sparse update's index bitmap against its header: exact
+/// length, popcount == k, and no bits set at indices >= n (a non-canonical
+/// encoding would otherwise let two distinct byte strings mean the same
+/// update).
+void check_sparse_bitmap(std::span<const std::uint8_t> bitmap, std::size_t n,
+                         std::size_t k) {
+  if (bitmap.size() != (n + 7) / 8) {
+    throw WireError(WireErrc::kBadPayload, "sparse update: bitmap length mismatch");
+  }
+  std::size_t ones = 0;
+  for (const std::uint8_t b : bitmap) ones += static_cast<std::size_t>(std::popcount(b));
+  if (ones != k) {
+    throw WireError(WireErrc::kBadPayload,
+                    "sparse update: bitmap popcount " + std::to_string(ones) +
+                        " does not match encrypted count " + std::to_string(k));
+  }
+  if (n % 8 != 0) {
+    const std::uint8_t tail_mask =
+        static_cast<std::uint8_t>(0xFFu << (n % 8));  // bits >= n in the last byte
+    if ((bitmap.back() & tail_mask) != 0) {
+      throw WireError(WireErrc::kBadPayload,
+                      "sparse update: bitmap bit set past the last coordinate");
+    }
+  }
+}
+
+}  // namespace
+
+Frame make_model_update_sparse(const ModelUpdateSparse& m) {
+  const std::size_t n = m.total_count;
+  const std::size_t k = m.encrypted.logical_size();
+  const std::size_t width = check_sparse_header(n, k, m.quant_bits);
+  check_sparse_bitmap(m.bitmap, n, k);
+  if (m.plain_values.size() != n - k) {
+    throw WireError(WireErrc::kBadPayload, "sparse update: plaintext count mismatch");
+  }
+  const std::uint64_t cap = std::uint64_t{1} << m.quant_bits;
+  for (const std::uint64_t v : m.plain_values) {
+    if (v >= cap) {
+      throw WireError(WireErrc::kBadPayload, "sparse update: plaintext value overflows " +
+                                                 std::to_string(m.quant_bits) + " bits");
+    }
+  }
+  const auto packed = he::serialize(m.encrypted);
+  Writer w;
+  w.reserve(17 + m.bitmap.size() + width * m.plain_values.size() + packed.size());
+  w.u64(m.client_id);
+  w.u32(m.total_count);
+  w.u32_size(k, "encrypted count");
+  w.u8(m.quant_bits);
+  w.bytes(m.bitmap);
+  for (const std::uint64_t v : m.plain_values) {
+    for (std::size_t b = width; b-- > 0;) {
+      w.u8(static_cast<std::uint8_t>(v >> (8 * b)));
+    }
+  }
+  w.bytes(packed);
+  return Frame{MsgType::kModelUpdateSparse, w.take()};
+}
+
+ModelUpdateSparse parse_model_update_sparse(const Frame& f) {
+  check_type(f, MsgType::kModelUpdateSparse);
+  Reader r(f.payload);
+  ModelUpdateSparse m;
+  m.client_id = r.u64();
+  m.total_count = r.u32();
+  const std::size_t k = r.u32();
+  const auto qb = static_cast<std::uint8_t>(r.take(1)[0]);
+  m.quant_bits = qb;
+  const std::size_t n = m.total_count;
+  const std::size_t width = check_sparse_header(n, k, qb);
+  const auto bitmap = r.take((n + 7) / 8);
+  check_sparse_bitmap(bitmap, n, k);
+  m.bitmap.assign(bitmap.begin(), bitmap.end());
+  m.plain_values.reserve(n - k);
+  const std::uint64_t cap = std::uint64_t{1} << qb;
+  for (std::size_t i = 0; i < n - k; ++i) {
+    const auto raw = r.take(width);
+    std::uint64_t v = 0;
+    for (const std::uint8_t byte : raw) v = (v << 8) | byte;
+    if (v >= cap) {
+      throw WireError(WireErrc::kBadPayload,
+                      "sparse update: plaintext value overflows quant_bits");
+    }
+    m.plain_values.push_back(v);
+  }
+  m.encrypted = as_payload_error(
+      [&] { return he::deserialize_packed_encrypted_vector(r.rest()); });
+  if (m.encrypted.logical_size() != k) {
+    throw WireError(WireErrc::kBadPayload,
+                    "sparse update: packed vector logical size " +
+                        std::to_string(m.encrypted.logical_size()) +
+                        " does not match encrypted count " + std::to_string(k));
+  }
+  r.finish();
+  return m;
+}
+
 Frame make_shutdown() { return Frame{MsgType::kShutdown, {}}; }
+
+namespace {
+
+/// Bounds-checked big-endian u32 peek used by encrypted_payload_bytes.
+bool peek_u32(std::span<const std::uint8_t> p, std::size_t off, std::uint64_t& out) {
+  if (p.size() < off + 4) return false;
+  out = (static_cast<std::uint64_t>(p[off]) << 24) |
+        (static_cast<std::uint64_t>(p[off + 1]) << 16) |
+        (static_cast<std::uint64_t>(p[off + 2]) << 8) |
+        static_cast<std::uint64_t>(p[off + 3]);
+  return true;
+}
+
+/// Ciphertext bytes of a self-tagged 'V'/'K' encrypted-vector payload:
+/// total minus the tag/count header, the embedded public key ('P' + u32
+/// length + magnitude), and the per-ciphertext u32 length prefixes. 0 on
+/// any malformation.
+std::uint64_t encrypted_vector_payload_bytes(std::span<const std::uint8_t> p) {
+  if (p.empty() || (p[0] != 'V' && p[0] != 'K')) return 0;
+  // 'V': tag, u32 slots, pk, slots x (u32 len + ct)
+  // 'K': tag, u32 logical, u32 slot_bits, u32 slots_per_pt, u32 ct_count,
+  //      pk, ct_count x (u32 len + ct)
+  const std::size_t count_off = (p[0] == 'V') ? 1 : 13;
+  const std::size_t pk_off = count_off + 4;
+  std::uint64_t count = 0;
+  std::uint64_t n_len = 0;
+  if (!peek_u32(p, count_off, count)) return 0;
+  if (p.size() < pk_off + 5 || p[pk_off] != 'P') return 0;
+  if (!peek_u32(p, pk_off + 1, n_len)) return 0;
+  const std::uint64_t header = pk_off + 5 + n_len + 4 * count;
+  if (p.size() < header) return 0;
+  return p.size() - header;
+}
+
+}  // namespace
+
+std::size_t encrypted_payload_bytes(const Frame& f) {
+  switch (f.type) {
+    case MsgType::kRegistryUpload:
+    case MsgType::kRegistryBroadcast:
+    case MsgType::kDistributionUpload:
+      return static_cast<std::size_t>(encrypted_vector_payload_bytes(f.payload));
+    case MsgType::kModelUpdateSparse: {
+      // Skip the fixed header, bitmap, and plaintext section; what is left
+      // is the embedded 'K' packed vector.
+      const std::span<const std::uint8_t> p = f.payload;
+      std::uint64_t n = 0;
+      std::uint64_t k = 0;
+      if (!peek_u32(p, 8, n) || !peek_u32(p, 12, k) || p.size() < 17 || k > n) return 0;
+      const std::uint64_t width = (static_cast<std::uint64_t>(p[16]) + 7) / 8;
+      const std::uint64_t prefix = 17 + (n + 7) / 8 + (n - k) * width;
+      if (p.size() <= prefix) return 0;
+      return static_cast<std::size_t>(
+          encrypted_vector_payload_bytes(p.subspan(static_cast<std::size_t>(prefix))));
+    }
+    default:
+      // kKeyMaterial ships key material, not ciphertext; everything else is
+      // control-plane or plaintext weights.
+      return 0;
+  }
+}
 
 fl::MessageKind account_kind(MsgType type) {
   switch (type) {
@@ -299,7 +479,8 @@ fl::MessageKind account_kind(MsgType type) {
     case MsgType::kRegistryBroadcast: return fl::MessageKind::kRegistry;
     case MsgType::kDistributionUpload: return fl::MessageKind::kDistribution;
     case MsgType::kModelDown:
-    case MsgType::kModelUpdate: return fl::MessageKind::kModelWeights;
+    case MsgType::kModelUpdate:
+    case MsgType::kModelUpdateSparse: return fl::MessageKind::kModelWeights;
     default: return fl::MessageKind::kControl;
   }
 }

@@ -113,7 +113,38 @@ he::PackedEncryptedVector parse_packed_encrypted_vector(const Frame& f, MsgType 
 Frame make_weights(MsgType type, const WeightsMsg& m);  // kModelDown / kModelUpdate
 WeightsMsg parse_weights(const Frame& f, MsgType expected);
 
+/// Selectively encrypted model update (wire v3, kModelUpdateSparse): the
+/// client quantizes its weight delta to `quant_bits`-bit biased-unsigned
+/// values, encrypts the top-k coordinates (by global-weight magnitude, a
+/// mask both ends derive identically) as one packed vector, and ships the
+/// remaining n-k coordinates as plaintext behind an index bitmap. Wire
+/// layout (big-endian): u64 client_id, u32 total_count, u32
+/// encrypted_count, u8 quant_bits, ceil(n/8) bitmap bytes (bit i set =
+/// coordinate i encrypted; bits >= n must be clear), the n-k plaintext
+/// values at ceil(quant_bits/8) bytes each in ascending index order, then
+/// the packed vector in its self-tagged 'K' form.
+struct ModelUpdateSparse {
+  std::uint64_t client_id = 0;
+  std::uint32_t total_count = 0;
+  std::uint8_t quant_bits = 0;
+  std::vector<std::uint8_t> bitmap;         // ceil(total_count / 8) bytes
+  std::vector<std::uint64_t> plain_values;  // unmasked coords, ascending index
+  he::PackedEncryptedVector encrypted;      // logical size = popcount(bitmap)
+};
+
+Frame make_model_update_sparse(const ModelUpdateSparse& m);
+ModelUpdateSparse parse_model_update_sparse(const Frame& f);
+
 Frame make_shutdown();
+
+/// Ciphertext-material bytes inside a frame's payload: the raw Paillier
+/// ciphertext bytes of a 'V'/'K' encrypted-vector payload or of the packed
+/// section of a kModelUpdateSparse payload — excluding framing, length
+/// prefixes, bitmaps, plaintext values, and public-key echoes. Never
+/// throws: returns 0 for messages that carry no ciphertext and for
+/// malformed payloads (which the typed parsers reject separately). This is
+/// what the transports feed the ledger's plaintext/encrypted byte split.
+[[nodiscard]] std::size_t encrypted_payload_bytes(const Frame& f);
 
 /// Exact wire sizes of the §6.4-accounted messages live in net/sizes.hpp
 /// (re-exported via the include above), so `core`/`fl` can use them without

@@ -7,8 +7,10 @@
 #include <thread>
 
 #include "core/multitime.hpp"
+#include "core/parallel.hpp"
 #include "core/registration.hpp"
 #include "core/selection.hpp"
+#include "core/selective.hpp"
 #include "fl/client.hpp"
 #include "fl/server.hpp"
 #include "net/codec.hpp"
@@ -68,6 +70,60 @@ Frame encrypt_upload(MsgType type, const he::PublicKey& pk, const SessionParams&
                                  he::PackedEncryptedVector::encrypt(pk, packed, values, rng));
   }
   return make_encrypted_vector(type, he::EncryptedVector::encrypt(pk, values, rng));
+}
+
+/// Geometry of one round's selectively encrypted updates (wire v3,
+/// kModelUpdateSparse), derived identically on every endpoint from data
+/// they already share: the global weights broadcast in kModelDown, the
+/// session's SecureConfig, and the cohort size N. Zero mask bytes cross
+/// the wire, all clients' packed ciphertext slots line up for homomorphic
+/// addition, and the server can reject an upload whose bitmap disagrees.
+struct SparseUpdatePlan {
+  std::size_t n = 0;                     // total coordinates
+  std::size_t k = 0;                     // encrypted coordinates
+  std::vector<std::uint32_t> mask;       // encrypted indices, ascending
+  std::vector<std::uint32_t> plain_idx;  // the complement, ascending
+  std::vector<std::uint8_t> bitmap;
+  he::PackedCodec codec{1, 1};
+};
+
+SparseUpdatePlan sparse_plan(std::span<const float> global, const core::SecureConfig& sc,
+                             std::size_t num_clients) {
+  SparseUpdatePlan plan;
+  plan.n = global.size();
+  plan.k = core::update_encrypted_count(plan.n, sc.update_he_rate);
+  plan.mask = core::topk_mask_indices(global, plan.k);
+  plan.bitmap = core::make_update_bitmap(plan.mask, plan.n);
+  plan.plain_idx.reserve(plan.n - plan.k);
+  for (std::uint32_t i = 0; i < plan.n; ++i) {
+    if ((plan.bitmap[i / 8] & (1u << (i % 8))) == 0) plan.plain_idx.push_back(i);
+  }
+  plan.codec = he::PackedCodec(sc.key_bits - 1,
+                               core::update_slot_bits(sc.update_quant_bits, num_clients));
+  return plan;
+}
+
+/// Client half: split a quantized update along the plan's mask, encrypt
+/// the top-k portion under the round's derived stream, frame the rest as
+/// plaintext behind the bitmap.
+Frame make_sparse_update(std::uint64_t client_id, const SparseUpdatePlan& plan,
+                         std::span<const std::uint64_t> quantized,
+                         const he::PublicKey& pk, std::uint8_t quant_bits,
+                         std::uint64_t seed) {
+  std::vector<std::uint64_t> enc_vals(plan.k);
+  for (std::size_t j = 0; j < plan.k; ++j) enc_vals[j] = quantized[plan.mask[j]];
+  ModelUpdateSparse m;
+  m.client_id = client_id;
+  m.total_count = static_cast<std::uint32_t>(plan.n);
+  m.quant_bits = quant_bits;
+  m.bitmap = plan.bitmap;
+  m.plain_values.resize(plan.plain_idx.size());
+  for (std::size_t j = 0; j < plan.plain_idx.size(); ++j) {
+    m.plain_values[j] = quantized[plan.plain_idx[j]];
+  }
+  bigint::Xoshiro256ss rng(seed);
+  m.encrypted = he::PackedEncryptedVector::encrypt(pk, plan.codec, enc_vals, rng);
+  return make_model_update_sparse(m);
 }
 
 /// The client's proactive draws for one round: H Bernoulli bits against the
@@ -260,17 +316,56 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
       by_id[k]->send(make_weights(
           MsgType::kModelDown, {stats::derive_seed(round_seed, k + 1), global}));
     }
-    std::vector<std::vector<float>> updates(rec.selected.size());
-    for (std::size_t i = 0; i < rec.selected.size(); ++i) {
-      WeightsMsg up =
-          parse_weights(expect_frame(*by_id[rec.selected[i]], MsgType::kModelUpdate),
-                        MsgType::kModelUpdate);
-      if (up.seed != rec.selected[i]) {
-        throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+    if (params.secure.update_he_rate > 0.0) {
+      // Wire v3 selective encryption: each participant ships a
+      // kModelUpdateSparse — quantized, top-k coordinates packed into
+      // ciphertexts, the rest plaintext. The server homomorphically sums
+      // the encrypted portions (it never sees a top-k coordinate in the
+      // clear), plain-sums the rest, and the agent decrypts only the
+      // aggregate before the FedAvg merge.
+      const SparseUpdatePlan plan = sparse_plan(global, params.secure, N);
+      const auto qb = static_cast<std::uint8_t>(params.secure.update_quant_bits);
+      const std::size_t m = rec.selected.size();
+      std::vector<std::uint64_t> sums(plan.n, 0);
+      he::PackedEncryptedVector enc_sum;
+      for (std::size_t i = 0; i < m; ++i) {
+        ModelUpdateSparse up = parse_model_update_sparse(
+            expect_frame(*by_id[rec.selected[i]], MsgType::kModelUpdateSparse));
+        if (up.client_id != rec.selected[i]) {
+          throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+        }
+        if (up.total_count != plan.n || up.quant_bits != qb || up.bitmap != plan.bitmap) {
+          throw WireError(WireErrc::kBadPayload,
+                          "sparse update does not match the round's shared mask");
+        }
+        check_encrypted(up.encrypted, session.public_key(), plan.k, plan.codec);
+        for (std::size_t j = 0; j < plan.plain_idx.size(); ++j) {
+          sums[plan.plain_idx[j]] += up.plain_values[j];
+        }
+        if (i == 0) {
+          enc_sum = std::move(up.encrypted);
+        } else {
+          enc_sum += up.encrypted;
+        }
       }
-      updates[i] = std::move(up.weights);
+      const std::vector<std::uint64_t> enc_sums = session.reduce_registry({&enc_sum, 1});
+      for (std::size_t j = 0; j < plan.k; ++j) sums[plan.mask[j]] = enc_sums[j];
+      server.set_global_weights(core::merge_quantized_updates(
+          global, sums, m, params.secure.update_quant_bits,
+          params.secure.update_quant_scale));
+    } else {
+      std::vector<std::vector<float>> updates(rec.selected.size());
+      for (std::size_t i = 0; i < rec.selected.size(); ++i) {
+        WeightsMsg up =
+            parse_weights(expect_frame(*by_id[rec.selected[i]], MsgType::kModelUpdate),
+                          MsgType::kModelUpdate);
+        if (up.seed != rec.selected[i]) {
+          throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+        }
+        updates[i] = std::move(up.weights);
+      }
+      server.aggregate(updates);
     }
-    server.aggregate(updates);
     rec.global_weights = server.global_weights();
     if (params.evaluate) rec.accuracy = server.evaluate(dataset);
     rec.ledger = fl::ledger_delta(acct.snapshot(), before);
@@ -498,10 +593,31 @@ void serve_client(Transport& link, std::size_t client_id,
       }
       case MsgType::kModelDown: {
         const WeightsMsg down = parse_weights(*frame, MsgType::kModelDown);
-        WeightsMsg up;
-        up.seed = client_id;
-        up.weights = client.train(prototype, down.weights, params.train, down.seed);
-        link.send(make_weights(MsgType::kModelUpdate, up));
+        std::vector<float> trained =
+            client.train(prototype, down.weights, params.train, down.seed);
+        if (params.secure.update_he_rate > 0.0) {
+          if (!have_key || !have_hello || next_round == 0) {
+            throw TransportError("serve_client: model down before the session is live");
+          }
+          // The round this kModelDown belongs to is the one whose
+          // kRoundBegin we last acknowledged; its index seeds the
+          // update-encryption stream both endpoints derive independently.
+          const std::uint64_t round = next_round - 1;
+          const SparseUpdatePlan plan =
+              sparse_plan(down.weights, params.secure, dataset.num_clients());
+          const auto q =
+              core::quantize_update(down.weights, trained, params.secure.update_quant_bits,
+                                    params.secure.update_quant_scale);
+          link.send(make_sparse_update(
+              static_cast<std::uint64_t>(client_id), plan, q, keys.pub,
+              static_cast<std::uint8_t>(params.secure.update_quant_bits),
+              core::update_encryption_seed(session_seed, round, client_id)));
+        } else {
+          WeightsMsg up;
+          up.seed = client_id;
+          up.weights = std::move(trained);
+          link.send(make_weights(MsgType::kModelUpdate, up));
+        }
         break;
       }
       case MsgType::kShutdown: {
@@ -563,10 +679,51 @@ SessionTranscript run_session_direct(const data::FederatedDataset& dataset,
                                [&](std::size_t, std::span<const std::size_t> sel) {
                                  return session.aggregate_population(dists, sel);
                                }));
-    const fl::RoundResult rr = trainer.run_round(
-        rec.selected, stats::derive_seed(params.round_seed, r), params.evaluate);
-    rec.global_weights = trainer.server().global_weights();
-    if (params.evaluate) rec.accuracy = rr.test_accuracy;
+    if (params.secure.update_he_rate > 0.0) {
+      // Reference path for selective encryption. Paillier decryption of a
+      // homomorphic sum is exact (update_slot_bits guarantees no slot
+      // overflow for up to N additions), so decrypt(sum(encrypt(q_i)))
+      // == sum(q_i) and the direct path computes the u64 sums without
+      // doing the crypto — value-identical to the wire paths by
+      // construction. Traffic is recorded predictively at the exact frame
+      // sizes and ciphertext shares the transports would measure.
+      const std::vector<float> global = trainer.server().global_weights();
+      const SparseUpdatePlan plan = sparse_plan(global, params.secure, N);
+      const std::uint64_t round_seed = stats::derive_seed(params.round_seed, r);
+      const std::size_t m = rec.selected.size();
+      std::vector<std::vector<std::uint64_t>> qs(m);
+      core::parallel_for(m, params.train_threads, [&](std::size_t i) {
+        const fl::Client& c = trainer.client(rec.selected[i]);
+        const auto trained = c.train(prototype, global, params.train,
+                                     stats::derive_seed(round_seed, c.id() + 1));
+        qs[i] = core::quantize_update(global, trained, params.secure.update_quant_bits,
+                                      params.secure.update_quant_scale);
+      });
+      std::vector<std::uint64_t> sums(plan.n, 0);
+      for (const auto& q : qs) {
+        for (std::size_t i = 0; i < plan.n; ++i) sums[i] += q[i];
+      }
+      trainer.server().set_global_weights(core::merge_quantized_updates(
+          global, sums, m, params.secure.update_quant_bits,
+          params.secure.update_quant_scale));
+      const std::size_t down_bytes = net::wire_size_weights(global.size());
+      const std::size_t up_bytes = net::wire_size_model_update_sparse(
+          session.public_key(), plan.codec, plan.n, plan.k,
+          params.secure.update_quant_bits);
+      const std::size_t up_ct =
+          net::ciphertext_bytes_packed_vector(session.public_key(), plan.codec, plan.k);
+      acct.record(fl::MessageKind::kModelWeights, fl::Direction::kServerToClient,
+                  down_bytes * m, m);
+      acct.record(fl::MessageKind::kModelWeights, fl::Direction::kClientToServer,
+                  up_bytes * m, m, up_ct * m);
+      rec.global_weights = trainer.server().global_weights();
+      if (params.evaluate) rec.accuracy = trainer.server().evaluate(dataset);
+    } else {
+      const fl::RoundResult rr = trainer.run_round(
+          rec.selected, stats::derive_seed(params.round_seed, r), params.evaluate);
+      rec.global_weights = trainer.server().global_weights();
+      if (params.evaluate) rec.accuracy = rr.test_accuracy;
+    }
     rec.ledger = fl::ledger_delta(acct.snapshot(), before);
     t.rounds.push_back(std::move(rec));
   }

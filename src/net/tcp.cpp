@@ -170,13 +170,13 @@ void TcpTransport::send(const Frame& frame) {
   iov[1].iov_base = const_cast<std::uint8_t*>(frame.payload.data());
   iov[1].iov_len = frame.payload.size();
   send_iovs(fd_, iov, frame.payload.empty() ? 1 : 2, peer_);
-  account_sent(frame.type, frame_wire_size(frame.payload.size()));
+  account_sent(frame, frame_wire_size(frame.payload.size()));
 }
 
 std::optional<Frame> TcpTransport::receive() {
   for (;;) {
     if (auto frame = reader_.next()) {
-      account_received(frame->type, frame_wire_size(frame->payload.size()));
+      account_received(*frame, frame_wire_size(frame->payload.size()));
       return frame;
     }
     std::uint8_t buf[kReadChunk];
@@ -270,7 +270,7 @@ class TcpServer::ConnTransport final : public Transport {
       conn_->sendq.push_back(std::move(buf));
     }
     server_->notify_conn(conn_);
-    account_sent(frame.type, size);
+    account_sent(frame, size);
   }
 
   std::optional<Frame> receive() override {
@@ -285,7 +285,7 @@ class TcpServer::ConnTransport final : public Transport {
       const bool resume_reads = conn_->inbox.size() == Conn::kInboxHighWater - 1;
       lock.unlock();
       if (resume_reads) server_->notify_conn(conn_);  // fd parked above high water
-      account_received(frame.type, frame_wire_size(frame.payload.size()));
+      account_received(frame, frame_wire_size(frame.payload.size()));
       return frame;
     }
     if (conn_->decode_error != nullptr) std::rethrow_exception(conn_->decode_error);

@@ -9,18 +9,20 @@ void Transport::set_accountant(fl::ChannelAccountant* accountant, fl::Direction 
   outbound_ = outbound;
 }
 
-void Transport::account_sent(MsgType type, std::size_t frame_bytes) const {
+void Transport::account_sent(const Frame& frame, std::size_t frame_bytes) const {
   if (accountant_ != nullptr) {
-    accountant_->record(account_kind(type), outbound_, frame_bytes);
+    accountant_->record(account_kind(frame.type), outbound_, frame_bytes, 1,
+                        encrypted_payload_bytes(frame));
   }
 }
 
-void Transport::account_received(MsgType type, std::size_t frame_bytes) const {
+void Transport::account_received(const Frame& frame, std::size_t frame_bytes) const {
   if (accountant_ != nullptr) {
     const auto inbound = outbound_ == fl::Direction::kServerToClient
                              ? fl::Direction::kClientToServer
                              : fl::Direction::kServerToClient;
-    accountant_->record(account_kind(type), inbound, frame_bytes);
+    accountant_->record(account_kind(frame.type), inbound, frame_bytes, 1,
+                        encrypted_payload_bytes(frame));
   }
 }
 
@@ -47,7 +49,7 @@ void LoopbackTransport::send(const Frame& frame) {
     q.frames.push_back(std::move(encoded));
   }
   q.cv.notify_one();
-  account_sent(frame.type, size);
+  account_sent(frame, size);
 }
 
 std::optional<Frame> LoopbackTransport::receive() {
@@ -61,7 +63,7 @@ std::optional<Frame> LoopbackTransport::receive() {
     q.frames.pop_front();
   }
   Frame frame = decode_frame(encoded);
-  account_received(frame.type, encoded.size());
+  account_received(frame, encoded.size());
   return frame;
 }
 

@@ -44,14 +44,15 @@ class Transport {
 
   /// Attaches a §6.4 ledger to this endpoint: every frame sent is recorded
   /// under (account_kind(type), outbound) and every frame received under the
-  /// opposite direction, with the *exact* encoded frame size. Attach to one
+  /// opposite direction, with the *exact* encoded frame size and its
+  /// ciphertext-material share (encrypted_payload_bytes). Attach to one
   /// side only (the aggregator's) when both ends share an accountant, or
   /// every message is counted twice.
   void set_accountant(fl::ChannelAccountant* accountant, fl::Direction outbound);
 
  protected:
-  void account_sent(MsgType type, std::size_t frame_bytes) const;
-  void account_received(MsgType type, std::size_t frame_bytes) const;
+  void account_sent(const Frame& frame, std::size_t frame_bytes) const;
+  void account_received(const Frame& frame, std::size_t frame_bytes) const;
 
  private:
   fl::ChannelAccountant* accountant_ = nullptr;

@@ -222,7 +222,7 @@ bool is_valid(MsgType type) {
   const auto v = static_cast<std::uint8_t>(type);
   constexpr auto kRetiredRegistrationInfo = std::uint8_t{5};
   return v >= static_cast<std::uint8_t>(MsgType::kClientHello) &&
-         v <= static_cast<std::uint8_t>(MsgType::kParticipation) &&
+         v <= static_cast<std::uint8_t>(MsgType::kModelUpdateSparse) &&
          v != kRetiredRegistrationInfo;
 }
 
@@ -241,6 +241,7 @@ std::string to_string(MsgType type) {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kRoundBegin: return "round_begin";
     case MsgType::kParticipation: return "participation";
+    case MsgType::kModelUpdateSparse: return "model_update_sparse";
   }
   return "msg_type(" + std::to_string(static_cast<int>(type)) + ")";
 }

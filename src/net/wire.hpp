@@ -29,7 +29,11 @@ inline constexpr std::array<std::uint8_t, 4> kMagic{'D', 'U', 'B', 'H'};
 /// and the kRegistrationInfo experiment-plane shortcut retired — clients
 /// Bernoulli-draw their own participation from the decrypted registry
 /// broadcast. A version-1 peer is refused at the first frame (kBadVersion).
-inline constexpr std::uint8_t kWireVersion = 2;
+/// Version 3: kModelUpdateSparse appended — top-k selectively encrypted
+/// model updates (quantized, packed ciphertexts for the top-k coordinates
+/// plus a plaintext remainder behind an index bitmap). A version-2 peer is
+/// refused at the first frame (kBadVersion).
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Decoder-side ceiling on a single frame's payload. Frames whose length
 /// prefix exceeds this are rejected before any allocation, so a corrupted
@@ -56,6 +60,7 @@ enum class MsgType : std::uint8_t {
   kShutdown = 12,            // S->C: session over, close the connection
   kRoundBegin = 13,          // S->C: a global round starts (carries its index)
   kParticipation = 14,       // C->S: the client's own per-try Bernoulli draws
+  kModelUpdateSparse = 15,   // C->S: quantized update, top-k coords encrypted
 };
 
 [[nodiscard]] bool is_valid(MsgType type);

@@ -130,19 +130,105 @@ TEST(NetRound, LoopbackMatchesDirectBitForBit) {
             dataset.num_clients());
 }
 
-TEST(NetRound, PackedModeLoopbackMatchesDirect) {
+TEST(NetRound, PlainSlotModeIsValueIdenticalToPackedDefault) {
+  // Packed distributions are the wire-v3 default; the paper's per-slot
+  // layout stays available as the A/B baseline. Both modes must agree with
+  // their own loopback run AND with each other: packing changes the
+  // ciphertext layout, never a decrypted value.
   const auto dataset = make_dataset(6);
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
   auto params = make_params(2);
-  params.secure.use_packing = true;
-  // Distribution slots accumulate fixed_point_scale per selected client:
-  // 2 * 10^6 needs 21 bits, so widen past the 20-bit default.
-  params.secure.packing_slot_bits = 26;
   params.evaluate = false;  // registry/selection equality is the point here
 
+  const auto packed_direct = net::run_session_direct(dataset, proto, params);
+  const auto packed_loopback = net::run_loopback_session(dataset, proto, params);
+  expect_same_transcript(packed_direct, packed_loopback);
+
+  auto plain = params;
+  plain.secure.use_packing = false;
+  const auto plain_direct = net::run_session_direct(dataset, proto, plain);
+  const auto plain_loopback = net::run_loopback_session(dataset, proto, plain);
+  expect_same_transcript(plain_direct, plain_loopback);
+
+  expect_same_transcript(packed_direct, plain_direct);
+}
+
+TEST(NetRound, SelectiveUpdateSessionMatchesEverywhere) {
+  // he_rate > 0 switches the model uplink to kModelUpdateSparse: top-k
+  // coordinates as packed ciphertexts, the rest quantized plaintext behind
+  // the shared bitmap. The transcript must stay byte-identical across
+  // direct, loopback, and TCP — and the ledger's plaintext/encrypted byte
+  // split must agree cell-by-cell between the two transports (Cell equality
+  // includes the encrypted_bytes column).
+  const std::size_t N = 4;
+  const std::size_t R = 2;
+  const auto dataset = make_dataset(N);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  auto params = make_params(2, R);
+  params.secure.update_he_rate = 0.5;
+
+  fl::ChannelAccountant tcp_channel;
+  const auto tcp = net::run_tcp_session(dataset, proto, params, 1, &tcp_channel);
+  fl::ChannelAccountant loop_channel;
+  const auto loopback = net::run_loopback_session(dataset, proto, params, &loop_channel);
   const auto direct = net::run_session_direct(dataset, proto, params);
-  const auto loopback = net::run_loopback_session(dataset, proto, params);
-  expect_same_transcript(direct, loopback);
+
+  expect_same_transcript(tcp, loopback);
+  expect_same_transcript(tcp, direct);
+  ASSERT_EQ(tcp.rounds.size(), R);
+  EXPECT_NE(tcp.rounds[0].global_weights, tcp.rounds[R - 1].global_weights);
+  EXPECT_GT(tcp.rounds[R - 1].accuracy, 0.05);
+
+  EXPECT_EQ(tcp_channel.snapshot(), loop_channel.snapshot());
+  for (std::size_t r = 0; r < R; ++r) {
+    EXPECT_EQ(tcp.rounds[r].ledger, loopback.rounds[r].ledger) << "round " << r;
+  }
+
+  // The uplink now carries ciphertext material; the model downlink stays
+  // plaintext. The direct path's predictive accounting must equal what
+  // net::encrypted_payload_bytes measured on the real frames.
+  const auto& led = tcp.rounds[0].ledger;
+  EXPECT_GT(led.encrypted_bytes(fl::MessageKind::kModelWeights,
+                                fl::Direction::kClientToServer),
+            0u);
+  EXPECT_EQ(led.encrypted_bytes(fl::MessageKind::kModelWeights,
+                                fl::Direction::kServerToClient),
+            0u);
+  for (std::size_t r = 0; r < R; ++r) {
+    expect_encrypted_categories_equal(direct.rounds[r].ledger, tcp.rounds[r].ledger);
+  }
+}
+
+TEST(NetRound, EncryptedUpdateBytesGrowWithHeRate) {
+  // The he_rate sweep contract: encrypted uplink bytes are zero at rate 0
+  // (bit-for-bit the plaintext path) and grow monotonically with the rate,
+  // while the merged model is identical for every rate > 0 — encrypted and
+  // plaintext coordinates quantize the same way, so the rate buys privacy,
+  // not a different model.
+  const auto dataset = make_dataset(4);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  std::uint64_t prev_encrypted = 0;
+  std::vector<float> quantized_merge;
+  for (const double rate : {0.0, 0.1, 0.5, 1.0}) {
+    auto params = make_params(2);
+    params.secure.update_he_rate = rate;
+    params.evaluate = false;
+    fl::ChannelAccountant channel;
+    const auto t = net::run_session_direct(dataset, proto, params, &channel);
+    const std::uint64_t enc = channel.encrypted_bytes(
+        fl::MessageKind::kModelWeights, fl::Direction::kClientToServer);
+    if (rate == 0.0) {
+      EXPECT_EQ(enc, 0u);
+    } else {
+      EXPECT_GT(enc, prev_encrypted) << "he_rate " << rate;
+      if (quantized_merge.empty()) {
+        quantized_merge = t.rounds[0].global_weights;
+      } else {
+        EXPECT_EQ(t.rounds[0].global_weights, quantized_merge) << "he_rate " << rate;
+      }
+    }
+    prev_encrypted = enc;
+  }
 }
 
 TEST(NetRound, ThreeRoundPersistentSessionMatchesEverywhere) {

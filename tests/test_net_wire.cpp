@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "core/cpu.hpp"
+#include "core/selective.hpp"
 #include "net/codec.hpp"
 #include "net/tcp.hpp"
 #include "net/transport.hpp"
@@ -124,7 +125,7 @@ TEST(Crc32, RuntimeTierForcingIsTransparent) {
 
 TEST(WireFrame, RoundTripEveryTypeAndSize) {
   stats::Rng rng(41);
-  for (std::uint8_t t = 1; t <= 14; ++t) {
+  for (std::uint8_t t = 1; t <= 15; ++t) {
     if (!net::is_valid(static_cast<MsgType>(t))) continue;  // 5 is retired
     for (const std::size_t size : {std::size_t{0}, std::size_t{1}, std::size_t{7},
                                    std::size_t{1024}, std::size_t{65536}}) {
@@ -371,6 +372,141 @@ TEST_F(EncryptedPayloads, PackedEncryptedVectorRoundTrip) {
   auto evil = bytes;
   evil[6] ^= 0xFF;  // geometry field
   EXPECT_THROW((void)he::deserialize_packed_encrypted_vector(evil), std::invalid_argument);
+}
+
+/// A representative kModelUpdateSparse: n = 12 coordinates, the top k = 4
+/// encrypted (mask {1, 3, 6, 10}), 16-bit quantization. Built through the
+/// same core::selective helpers the session endpoints use.
+class SparseUpdatePayloads : public EncryptedPayloads {
+ protected:
+  net::ModelUpdateSparse make_update() {
+    bigint::Xoshiro256ss rng(31337);
+    net::ModelUpdateSparse m;
+    m.client_id = 0xC0FFEE;
+    m.total_count = kN;
+    m.quant_bits = 16;
+    m.bitmap = core::make_update_bitmap(kMask, kN);
+    m.plain_values = {7, 65535, 0, 32768, 1, 2, 3, 4};  // n - k = 8 values
+    m.encrypted = he::PackedEncryptedVector::encrypt(
+        kp_.pub, codec(), std::vector<std::uint64_t>{40000, 1, 65535, 12345}, rng);
+    return m;
+  }
+  he::PackedCodec codec(std::size_t logical = 4) const {
+    (void)logical;
+    return he::PackedCodec(kp_.pub.key_bits() - 1, core::update_slot_bits(16, 8));
+  }
+  static constexpr std::size_t kN = 12;
+  static constexpr std::uint32_t kMaskArr[4] = {1, 3, 6, 10};
+  static constexpr std::span<const std::uint32_t> kMask{kMaskArr};
+};
+
+TEST_F(SparseUpdatePayloads, RoundTripAndExactPredictedSize) {
+  const net::ModelUpdateSparse m = make_update();
+  const Frame f = net::make_model_update_sparse(m);
+  EXPECT_EQ(f.type, MsgType::kModelUpdateSparse);
+
+  // sizes.hpp predicts the encoded frame byte-for-byte (satellite 2).
+  EXPECT_EQ(net::frame_wire_size(f.payload.size()),
+            net::wire_size_model_update_sparse(kp_.pub, codec(), kN, 4, 16));
+
+  // The ciphertext-material share the ledger records is exactly the packed
+  // section's raw ciphertext bytes, predicted without building the frame.
+  EXPECT_EQ(net::encrypted_payload_bytes(f),
+            net::ciphertext_bytes_packed_vector(kp_.pub, codec(), 4));
+  EXPECT_GT(net::encrypted_payload_bytes(f), 0u);
+  EXPECT_LT(net::encrypted_payload_bytes(f), f.payload.size());
+
+  const net::ModelUpdateSparse back = net::parse_model_update_sparse(f);
+  EXPECT_EQ(back.client_id, m.client_id);
+  EXPECT_EQ(back.total_count, m.total_count);
+  EXPECT_EQ(back.quant_bits, m.quant_bits);
+  EXPECT_EQ(back.bitmap, m.bitmap);
+  EXPECT_EQ(back.plain_values, m.plain_values);
+  EXPECT_EQ(back.encrypted.ciphertexts(), m.encrypted.ciphertexts());
+  EXPECT_EQ(back.encrypted.decrypt(kp_.prv), m.encrypted.decrypt(kp_.prv));
+  EXPECT_EQ(net::account_kind(MsgType::kModelUpdateSparse), fl::MessageKind::kModelWeights);
+}
+
+TEST_F(SparseUpdatePayloads, AdversarialDecodesFailTyped) {
+  const net::ModelUpdateSparse m = make_update();
+  const Frame good = net::make_model_update_sparse(m);
+  // Header is 8 + 4 + 4 + 1 = 17 bytes, bitmap ceil(12/8) = 2 bytes, then
+  // 8 plaintext values at 2 bytes each => the embedded 'K' starts at 35.
+  const std::size_t k_off = 17 + 2 + 16;
+  ASSERT_EQ(good.payload[k_off], 'K');
+
+  // Truncated inside the bitmap.
+  Frame evil = good;
+  evil.payload.resize(17 + 1);
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // Bitmap popcount disagrees with the declared encrypted count.
+  evil = good;
+  evil.payload[17] |= 0x01;  // coordinate 0 was plaintext; now 5 bits set
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // Set a tail bit past n: bit 13 of a 12-coordinate bitmap must be clear.
+  evil = good;
+  evil.payload[18] ^= 0x24;  // clear bit 10 (in-mask), set bit 13 — popcount kept
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // Encrypted count out of range (k > n).
+  evil = good;
+  evil.payload[15] = 13;  // k field is the BE u32 at offset 12
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // k = 0 is the plaintext path's job, never a sparse frame.
+  evil = good;
+  evil.payload[15] = 0;
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // Slot-count mismatch: the packed section's logical size must equal k.
+  net::ModelUpdateSparse wrong = m;
+  {
+    bigint::Xoshiro256ss rng(31338);
+    wrong.encrypted = he::PackedEncryptedVector::encrypt(
+        kp_.pub, codec(), std::vector<std::uint64_t>{1, 2, 3}, rng);  // 3 slots, k = 4
+  }
+  EXPECT_EQ(code_of([&] { (void)net::make_model_update_sparse(wrong); }),
+            WireErrc::kBadPayload);
+  evil = good;
+  evil.payload[k_off + 4] = 3;  // lie about the embedded logical size instead
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // Non-canonical ciphertext width: grow the first ciphertext's length
+  // prefix and pad a leading zero byte — same value, different encoding.
+  evil = good;
+  {
+    const std::size_t pk_off = k_off + 17;
+    ASSERT_EQ(evil.payload[pk_off], 'P');
+    const std::size_t n_len = (std::size_t{evil.payload[pk_off + 1]} << 24) |
+                              (std::size_t{evil.payload[pk_off + 2]} << 16) |
+                              (std::size_t{evil.payload[pk_off + 3]} << 8) |
+                              std::size_t{evil.payload[pk_off + 4]};
+    const std::size_t ct_len_off = pk_off + 5 + n_len;
+    evil.payload[ct_len_off + 3] += 1;  // ciphertext lengths are < 255 here
+    evil.payload.insert(evil.payload.begin() +
+                            static_cast<std::ptrdiff_t>(ct_len_off + 4),
+                        0x00);
+    EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+              WireErrc::kBadPayload);
+    // The accounting peek must never throw, even on this hostile frame.
+    EXPECT_NO_THROW((void)net::encrypted_payload_bytes(evil));
+  }
+  // Plaintext value overflowing quant_bits is refused at the encoder.
+  wrong = m;
+  wrong.plain_values[0] = 65536;
+  EXPECT_EQ(code_of([&] { (void)net::make_model_update_sparse(wrong); }),
+            WireErrc::kBadPayload);
+  // Trailing garbage after the packed section.
+  evil = good;
+  evil.payload.push_back(0);
+  EXPECT_EQ(code_of([&] { (void)net::parse_model_update_sparse(evil); }),
+            WireErrc::kBadPayload);
+  // Truncated frames yield 0 from the peek, not an exception.
+  evil = good;
+  evil.payload.resize(10);
+  EXPECT_EQ(net::encrypted_payload_bytes(evil), 0u);
 }
 
 TEST(Loopback, OrderedDeliveryCloseAndAccounting) {

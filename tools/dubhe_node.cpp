@@ -44,7 +44,8 @@ struct Options {
   std::size_t rounds = 1;
   std::uint64_t seed = 21;
   std::size_t workers = 1;
-  bool packing = false;
+  bool plain = false;
+  double he_rate = 0.0;
 };
 
 const char* kUsage = R"(dubhe_node — run one Dubhe FL participant as a process
@@ -60,7 +61,10 @@ Common options (must match across all processes of one session):
   --h H          tentative tries (default 3)
   --rounds R     global rounds per session (default 1)
   --seed S       partition seed (default 21)
-  --packing      BatchCrypt-style packed registry/distributions
+  --plain        per-slot (unpacked) registry/distribution ciphertexts —
+                 the paper's python-paillier layout; packed is the default
+  --he-rate X    fraction of model-update coordinates shipped encrypted
+                 (top-k by |global weight|; default 0 = plaintext updates)
 Server options:
   --port P       listen port; 0 = ephemeral (default 45711)
   --port-file F  write the bound port to F (atomically) once listening
@@ -91,8 +95,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.mode = Options::Mode::kClient;
     } else if (a == "--selftest") {
       opt.mode = Options::Mode::kSelftest;
-    } else if (a == "--packing") {
-      opt.packing = true;
+    } else if (a == "--plain") {
+      opt.plain = true;
     } else if (a == "--help" || a == "-h") {
       std::fputs(kUsage, stdout);
       std::exit(0);
@@ -118,6 +122,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.rounds = std::strtoull(v, nullptr, 10);
     } else if (a == "--seed" && (v = need_value(i))) {
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--he-rate" && (v = need_value(i))) {
+      opt.he_rate = std::strtod(v, nullptr);
     } else if (a == "--workers" && (v = need_value(i))) {
       opt.workers = std::strtoull(v, nullptr, 10);
     } else {
@@ -139,6 +145,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
     std::fprintf(stderr, "error: need rounds > 0\n");
     return false;
   }
+  if (opt.he_rate < 0.0 || opt.he_rate > 1.0) {
+    std::fprintf(stderr, "error: need 0 <= he-rate <= 1\n");
+    return false;
+  }
   return true;
 }
 
@@ -156,8 +166,8 @@ data::FederatedDataset make_dataset(const Options& opt) {
 net::SessionParams make_params(const Options& opt) {
   net::SessionParams p;
   p.secure.key_bits = opt.key_bits;
-  p.secure.use_packing = opt.packing;
-  if (opt.packing) p.secure.packing_slot_bits = 26;  // K * 10^6 fits
+  p.secure.use_packing = !opt.plain;
+  p.secure.update_he_rate = opt.he_rate;
   p.K = opt.K;
   p.H = opt.H;
   p.rounds = opt.rounds;

@@ -59,3 +59,35 @@ PIDS=""
 echo "== transcript check (multi-process vs in-process, $ROUNDS rounds) =="
 diff "$TMP/server.txt" "$TMP/selftest.txt"
 echo "net smoke OK: $ROUNDS-round session transcripts are byte-identical"
+
+# Second leg: packed-first wire (the default) carrying selectively encrypted
+# model updates — half the coordinates as packed ciphertexts
+# (kModelUpdateSparse). Same invariant: the multi-process transcript must
+# equal the in-process selftest byte for byte.
+echo "== dubhe_node packed + he-rate 0.5 smoke (1 server + 3 clients, $ROUNDS rounds) =="
+rm -f "$TMP/port"
+"$NODE" --server --clients 3 --rounds "$ROUNDS" --workers 2 --he-rate 0.5 --port 0 \
+        --port-file "$TMP/port" --transcript "$TMP/server_he.txt" &
+SERVER_PID=$!
+PIDS="$SERVER_PID"
+
+CLIENT_PIDS=""
+for i in 0 1 2; do
+  "$NODE" --client --id "$i" --clients 3 --rounds "$ROUNDS" --he-rate 0.5 \
+          --port-file "$TMP/port" &
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+  PIDS="$PIDS $!"
+done
+
+for pid in $CLIENT_PIDS; do
+  wait "$pid" || { echo "error: a client process failed (he-rate leg)" >&2; exit 1; }
+done
+wait "$SERVER_PID" || { echo "error: the server process failed (he-rate leg)" >&2; exit 1; }
+PIDS=""
+
+"$NODE" --selftest --clients 3 --rounds "$ROUNDS" --he-rate 0.5 \
+        --transcript "$TMP/selftest_he.txt" > /dev/null
+
+echo "== transcript check (packed + he-rate 0.5, multi-process vs in-process) =="
+diff "$TMP/server_he.txt" "$TMP/selftest_he.txt"
+echo "net smoke OK: selective-encryption session transcripts are byte-identical"
