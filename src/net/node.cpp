@@ -1,10 +1,12 @@
 #include "net/node.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "core/multitime.hpp"
 #include "core/parallel.hpp"
@@ -46,17 +48,134 @@ void check_encrypted(const he::PackedEncryptedVector& v, const he::PublicKey& se
   }
 }
 
-Frame expect_frame(Transport& link, MsgType type) {
-  auto frame = link.receive();
-  if (!frame) {
-    throw TransportError("peer closed while waiting for " + to_string(type));
+/// Thrown inside a round's determination when a selected client failed its
+/// distribution sweep: the sweep is always finished first (so every sent
+/// request has its response consumed and the per-connection queues stay
+/// balanced), the offenders are quarantined, and the whole determination
+/// re-runs over the survivors. The replenish stream (sel_rng) continues —
+/// the restart point is a deterministic function of the fault plan, which
+/// keeps churn transcripts identical across transports.
+struct RestartRound {};
+
+constexpr std::uint64_t kUnknown = QuarantineRecord::kUnknownClient;
+constexpr std::uint64_t kSetup = QuarantineRecord::kSetupRound;
+
+/// The server's view of the cohort once the hello exchange bound links to
+/// ids: per-client link + frame-sequence counters, and the quarantine
+/// machinery. Any per-client failure — timeout, disconnect, malformed
+/// frame, sequence violation — drops that client (typed record, link
+/// closed) instead of aborting the session.
+class ServerCohort {
+ public:
+  ServerCohort(std::size_t n, std::vector<QuarantineRecord>& quarantined)
+      : links_(n), quarantined_(quarantined) {}
+
+  void bind(std::size_t id, std::shared_ptr<Transport> t) {
+    links_[id].t = std::move(t);
+    links_[id].recv_seq = 1;  // the hello (seq 0) was already consumed
   }
-  if (frame->type != type) {
-    throw WireError(WireErrc::kBadPayload,
-                    "expected " + to_string(type) + ", got " + to_string(frame->type));
+
+  [[nodiscard]] bool alive(std::size_t id) const { return links_[id].t != nullptr; }
+
+  [[nodiscard]] std::vector<std::size_t> alive_ids() const {
+    std::vector<std::size_t> ids;
+    ids.reserve(links_.size());
+    for (std::size_t id = 0; id < links_.size(); ++id) {
+      if (alive(id)) ids.push_back(id);
+    }
+    return ids;
   }
-  return std::move(*frame);
-}
+
+  void quarantine(std::uint64_t id, std::uint64_t round, SessionPhase phase,
+                  QuarantineReason reason) {
+    quarantined_.push_back({id, round, phase, reason});
+    if (id < links_.size() && links_[id].t != nullptr) {
+      // Close immediately: a quarantined client's late frames must never be
+      // read (they would desynchronize the per-phase receive sweeps).
+      links_[id].t->close();
+      links_[id].t = nullptr;
+    }
+  }
+
+  /// Sends with this link's next outbound sequence number. A dead channel
+  /// quarantines the client (kDisconnect) and returns false.
+  bool send(std::size_t id, Frame frame, std::uint64_t round, SessionPhase phase) {
+    if (!alive(id)) return false;
+    frame.seq = links_[id].send_seq;
+    try {
+      links_[id].t->send(frame);
+    } catch (const TransportError&) {
+      quarantine(id, round, phase, QuarantineReason::kDisconnect);
+      return false;
+    }
+    ++links_[id].send_seq;
+    return true;
+  }
+
+  /// Receives one frame of the expected type under the phase deadline,
+  /// enforcing the monotonic-sequence rule (a replayed frame is a typed
+  /// quarantine, never a silent duplicate). Any failure quarantines the
+  /// client and returns nullopt.
+  std::optional<Frame> recv(std::size_t id, MsgType want, std::chrono::milliseconds deadline,
+                            std::uint64_t round, SessionPhase phase) {
+    if (!alive(id)) return std::nullopt;
+    try {
+      auto frame = links_[id].t->receive(deadline);
+      if (!frame) {
+        quarantine(id, round, phase, QuarantineReason::kDisconnect);
+        return std::nullopt;
+      }
+      if (frame->seq != links_[id].recv_seq) {
+        quarantine(id, round, phase, QuarantineReason::kReplay);
+        return std::nullopt;
+      }
+      ++links_[id].recv_seq;
+      if (frame->type != want) {
+        quarantine(id, round, phase, QuarantineReason::kBadFrame);
+        return std::nullopt;
+      }
+      return frame;
+    } catch (const TransportTimeout&) {
+      quarantine(id, round, phase, QuarantineReason::kTimeout);
+    } catch (const TransportError&) {
+      quarantine(id, round, phase, QuarantineReason::kDisconnect);
+    } catch (const WireError&) {
+      // Transport-level decode garbage (bad CRC, framing cut mid-stream).
+      quarantine(id, round, phase, QuarantineReason::kBadFrame);
+    }
+    return std::nullopt;
+  }
+
+  /// Shutdown drain with a deadline (the zombie guard): frames are read and
+  /// discarded — sequence rules no longer matter, the session is over —
+  /// until the peer closes or the deadline expires.
+  void shutdown_drain(std::size_t id, std::chrono::milliseconds deadline) {
+    if (!alive(id)) return;
+    try {
+      while (links_[id].t->receive(deadline)) {
+        // drain stragglers until the peer closes
+      }
+      links_[id].t->close();
+      links_[id].t = nullptr;
+    } catch (const TransportTimeout&) {
+      quarantine(id, kSetup, SessionPhase::kShutdown, QuarantineReason::kTimeout);
+    } catch (const TransportError&) {
+      quarantine(id, kSetup, SessionPhase::kShutdown, QuarantineReason::kDisconnect);
+    } catch (const WireError&) {
+      quarantine(id, kSetup, SessionPhase::kShutdown, QuarantineReason::kBadFrame);
+    }
+  }
+
+ private:
+  struct LiveLink {
+    std::shared_ptr<Transport> t;
+    std::uint16_t send_seq = 0;
+    std::uint16_t recv_seq = 0;
+  };
+
+  std::vector<LiveLink> links_;
+  std::vector<QuarantineRecord>& quarantined_;
+};
 
 /// Client-side encryption of one upload (registry one-hot or quantized
 /// distribution) under the session's packing mode, seeded from the server's
@@ -174,76 +293,135 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
                                       fl::ChannelAccountant& acct) {
   const std::size_t N = links.size();
   const core::RegistryCodec codec(params.num_classes, params.reference_set);
+  const SessionTimeouts& to = params.timeouts;
 
   bigint::Xoshiro256ss he_rng(params.he_seed);
   core::SecureSelectionSession session(codec, params.sigma, params.secure, N, he_rng,
                                        nullptr);
 
-  // --- hello: bind links to client ids. -------------------------------------
-  std::vector<std::shared_ptr<Transport>> by_id(N);
+  SessionTranscript t;
+  ServerCohort cohort(N, t.quarantined);
+
+  // --- hello: bind links to client ids. A link that cannot produce a valid
+  // hello has no id yet, so its record carries kUnknownClient; the link is
+  // closed and never joins the cohort.
   for (const auto& link : links) {
-    const ClientHello hello = parse_client_hello(expect_frame(*link, MsgType::kClientHello));
-    if (hello.protocol != kWireVersion) {
-      throw WireError(WireErrc::kBadVersion, "client speaks protocol " +
-                                                 std::to_string(hello.protocol));
+    try {
+      auto frame = link->receive(to.registration);
+      QuarantineReason bad = QuarantineReason::kBadFrame;
+      if (!frame) {
+        bad = QuarantineReason::kDisconnect;
+      } else if (frame->seq != 0) {
+        bad = QuarantineReason::kReplay;
+      } else if (frame->type == MsgType::kClientHello) {
+        const ClientHello hello = parse_client_hello(*frame);
+        if (hello.protocol == kWireVersion && hello.client_id < N &&
+            !cohort.alive(hello.client_id)) {
+          cohort.bind(hello.client_id, link);
+          continue;
+        }
+      }
+      link->close();
+      cohort.quarantine(kUnknown, kSetup, SessionPhase::kHello, bad);
+    } catch (const TransportTimeout&) {
+      link->close();
+      cohort.quarantine(kUnknown, kSetup, SessionPhase::kHello, QuarantineReason::kTimeout);
+    } catch (const TransportError&) {
+      link->close();
+      cohort.quarantine(kUnknown, kSetup, SessionPhase::kHello,
+                        QuarantineReason::kDisconnect);
+    } catch (const WireError&) {
+      link->close();
+      cohort.quarantine(kUnknown, kSetup, SessionPhase::kHello, QuarantineReason::kBadFrame);
     }
-    if (hello.client_id >= N || by_id[hello.client_id] != nullptr) {
-      throw TransportError("run_server_session: bad or duplicate client id " +
-                           std::to_string(hello.client_id));
-    }
-    by_id[hello.client_id] = link;
   }
   for (std::size_t id = 0; id < N; ++id) {
-    by_id[id]->send(make_server_hello({session.session_seed(), static_cast<std::uint32_t>(N),
-                                       static_cast<std::uint32_t>(id)}));
+    cohort.send(id,
+                make_server_hello({session.session_seed(), static_cast<std::uint32_t>(N),
+                                   static_cast<std::uint32_t>(id)}),
+                kSetup, SessionPhase::kHello);
   }
 
   // --- §5.1 (once per connection): key dispatch + registration. -------------
   const Frame key_frame =
       make_key_material({session.keypair().pub, session.keypair().prv});
-  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(key_frame);
-
   for (std::size_t id = 0; id < N; ++id) {
-    by_id[id]->send(
-        make_seed_request(MsgType::kRegistrationRequest, {session.registration_seed(id), 0}));
+    cohort.send(id, key_frame, kSetup, SessionPhase::kRegistration);
+  }
+  for (std::size_t id = 0; id < N; ++id) {
+    cohort.send(id,
+                make_seed_request(MsgType::kRegistrationRequest,
+                                  {session.registration_seed(id), 0}),
+                kSetup, SessionPhase::kRegistration);
   }
 
   const he::PackedCodec session_packed(params.secure.key_bits - 1,
                                        params.secure.packing_slot_bits);
-  SessionTranscript t;
   std::vector<he::EncryptedVector> uploads;
   std::vector<he::PackedEncryptedVector> packed_uploads;
   for (std::size_t id = 0; id < N; ++id) {
     // Only the ciphertext crosses the wire: the plaintext registration entry
     // stays on the client (the retired kRegistrationInfo shortcut used to
     // ship it here), so this aggregator never learns any client's category.
-    const Frame up = expect_frame(*by_id[id], MsgType::kRegistryUpload);
-    if (payload_is_packed(up) != params.secure.use_packing) {
-      throw WireError(WireErrc::kBadPayload, "packing mode mismatch");
+    // An upload that does not parse is a framing failure; one that parses
+    // but does not match the session (key, shape, packing geometry) is a
+    // ciphertext failure.
+    auto up = cohort.recv(id, MsgType::kRegistryUpload, to.registration, kSetup,
+                          SessionPhase::kRegistration);
+    if (!up) continue;
+    bool mode_ok = false;
+    try {
+      mode_ok = payload_is_packed(*up) == params.secure.use_packing;
+    } catch (const WireError&) {
+      // not an encrypted-vector payload at all — still a ciphertext problem
     }
-    if (params.secure.use_packing) {
-      packed_uploads.push_back(parse_packed_encrypted_vector(up, MsgType::kRegistryUpload));
-      check_encrypted(packed_uploads.back(), session.public_key(), codec.length(),
-                      session_packed);
-    } else {
-      uploads.push_back(parse_encrypted_vector(up, MsgType::kRegistryUpload));
-      check_encrypted(uploads.back(), session.public_key(), codec.length());
+    if (!mode_ok) {
+      cohort.quarantine(id, kSetup, SessionPhase::kRegistration,
+                        QuarantineReason::kBadCiphertext);
+      continue;
+    }
+    bool parsed = false;
+    try {
+      if (params.secure.use_packing) {
+        auto v = parse_packed_encrypted_vector(*up, MsgType::kRegistryUpload);
+        parsed = true;
+        check_encrypted(v, session.public_key(), codec.length(), session_packed);
+        packed_uploads.push_back(std::move(v));
+      } else {
+        auto v = parse_encrypted_vector(*up, MsgType::kRegistryUpload);
+        parsed = true;
+        check_encrypted(v, session.public_key(), codec.length());
+        uploads.push_back(std::move(v));
+      }
+    } catch (const WireError&) {
+      cohort.quarantine(id, kSetup, SessionPhase::kRegistration,
+                        parsed ? QuarantineReason::kBadCiphertext
+                               : QuarantineReason::kBadFrame);
     }
   }
+  if (packed_uploads.empty() && uploads.empty()) {
+    throw TransportError("run_server_session: every client was quarantined during setup");
+  }
   // The server only ever adds ciphertexts; the agent (co-located here)
-  // decrypts the sum, and every client receives the encrypted sum broadcast
-  // (and decrypts it itself — that is what its proactive draws feed on).
+  // decrypts the sum, and every surviving client receives the encrypted sum
+  // broadcast (and decrypts it itself — that is what its proactive draws
+  // feed on). The registry is the survivors' registry: a quarantined client
+  // contributes nothing.
   if (params.secure.use_packing) {
     he::PackedEncryptedVector sum = packed_uploads[0];
-    for (std::size_t k = 1; k < N; ++k) sum += packed_uploads[k];
+    for (std::size_t k = 1; k < packed_uploads.size(); ++k) sum += packed_uploads[k];
     const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
-    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
+    for (std::size_t id = 0; id < N; ++id) {
+      cohort.send(id, bcast, kSetup, SessionPhase::kRegistration);
+    }
     t.overall_registry = session.reduce_registry({&sum, 1});
   } else {
     he::EncryptedVector sum = uploads[0];
-    for (std::size_t k = 1; k < N; ++k) sum += uploads[k];
+    for (std::size_t k = 1; k < uploads.size(); ++k) sum += uploads[k];
     const Frame bcast = make_encrypted_vector(MsgType::kRegistryBroadcast, sum);
-    for (std::size_t id = 0; id < N; ++id) by_id[id]->send(bcast);
+    for (std::size_t id = 0; id < N; ++id) {
+      cohort.send(id, bcast, kSetup, SessionPhase::kRegistration);
+    }
     t.overall_registry = session.reduce_registry({&sum, 1});
   }
   t.setup_ledger = acct.snapshot();
@@ -254,67 +432,146 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
   t.rounds.reserve(params.rounds);
   for (std::size_t r = 0; r < params.rounds; ++r) {
     const fl::ChannelLedger before = acct.snapshot();
+    const std::size_t qmark = t.quarantined.size();
     RoundRecord rec;
 
     // Round begin + the clients' own participation draws. The server never
     // computes an Eq. 6 probability — it only resolves the volunteered bits
     // to exactly K with its replenish stream (§5.2 server half).
     for (std::size_t id = 0; id < N; ++id) {
-      by_id[id]->send(make_round_begin({static_cast<std::uint64_t>(r)}));
+      cohort.send(id, make_round_begin({static_cast<std::uint64_t>(r)}), r,
+                  SessionPhase::kParticipation);
     }
     std::vector<std::vector<std::uint8_t>> draws(N);
     for (std::size_t id = 0; id < N; ++id) {
-      const Participation part =
-          parse_participation(expect_frame(*by_id[id], MsgType::kParticipation));
-      if (part.client_id != id || part.round != r) {
-        throw WireError(WireErrc::kBadPayload, "participation from the wrong (client, round)");
+      if (!cohort.alive(id)) continue;
+      auto f = cohort.recv(id, MsgType::kParticipation, to.upload, r,
+                           SessionPhase::kParticipation);
+      if (!f) continue;
+      Participation part;
+      try {
+        part = parse_participation(*f);
+      } catch (const WireError&) {
+        cohort.quarantine(id, r, SessionPhase::kParticipation,
+                          QuarantineReason::kBadFrame);
+        continue;
       }
-      if (part.draws.size() != params.H) {
-        throw WireError(WireErrc::kBadPayload, "participation draw count != H");
+      // Parsable frame but nonsensical volunteering — wrong (client, round)
+      // binding, wrong try count, or non-bit draws — is its own category.
+      bool ok = part.client_id == id && part.round == r && part.draws.size() == params.H;
+      for (const std::uint8_t d : part.draws) ok = ok && d <= 1;
+      if (!ok) {
+        cohort.quarantine(id, r, SessionPhase::kParticipation,
+                          QuarantineReason::kBadParticipation);
+        continue;
       }
-      draws[id] = part.draws;
+      draws[id] = std::move(part.draws);
     }
 
     // --- §5.3: multi-time determination with per-try encrypted aggregation.
-    fill_from_outcome(rec, core::multi_time_select(
-        params.num_classes, params.H,
-        [&](std::size_t h) { return resolve_try(draws, h, params.K, sel_rng); },
-        [&](std::size_t h, std::span<const std::size_t> sel) {
-          const std::size_t try_slot = r * params.H + h;
-          for (const std::size_t k : sel) {
-            by_id[k]->send(make_seed_request(
-                MsgType::kDistributionRequest,
-                {session.distribution_seed(try_slot, k), static_cast<std::uint32_t>(h)}));
-          }
-          if (params.secure.use_packing) {
-            std::vector<he::PackedEncryptedVector> ups;
-            ups.reserve(sel.size());
-            for (const std::size_t k : sel) {
-              ups.push_back(parse_packed_encrypted_vector(
-                  expect_frame(*by_id[k], MsgType::kDistributionUpload),
-                  MsgType::kDistributionUpload));
-              check_encrypted(ups.back(), session.public_key(), params.num_classes,
-                              session_packed);
-            }
-            return session.reduce_population(ups);
-          }
-          std::vector<he::EncryptedVector> ups;
-          ups.reserve(sel.size());
-          for (const std::size_t k : sel) {
-            ups.push_back(
-                parse_encrypted_vector(expect_frame(*by_id[k], MsgType::kDistributionUpload),
-                                       MsgType::kDistributionUpload));
-            check_encrypted(ups.back(), session.public_key(), params.num_classes);
-          }
-          return session.reduce_population(ups);
-        }));
+    // A selected client that fails its sweep costs the whole determination:
+    // the sweep finishes first (every surviving response consumed, queues
+    // balanced), the offender is already quarantined, and the determination
+    // re-runs over the survivors with K capped at the cohort that is left.
+    for (;;) {
+      const std::vector<std::size_t> ids = cohort.alive_ids();
+      if (ids.empty()) {
+        throw TransportError("run_server_session: every client was quarantined by round " +
+                             std::to_string(r));
+      }
+      const std::size_t Keff = std::min(params.K, ids.size());
+      try {
+        fill_from_outcome(
+            rec,
+            core::multi_time_select(
+                params.num_classes, params.H,
+                [&](std::size_t h) {
+                  // The survivors' volunteered bits, resolved to exactly
+                  // Keff; positions map back to real client ids.
+                  std::vector<std::uint8_t> bits(ids.size(), 0);
+                  for (std::size_t i = 0; i < ids.size(); ++i) bits[i] = draws[ids[i]][h];
+                  std::vector<std::size_t> sel =
+                      core::resolve_participation(bits, Keff, sel_rng);
+                  for (std::size_t& s : sel) s = ids[s];
+                  return sel;
+                },
+                [&](std::size_t h, std::span<const std::size_t> sel) {
+                  const std::size_t try_slot = r * params.H + h;
+                  bool failed = false;
+                  for (const std::size_t k : sel) {
+                    if (!cohort.send(k,
+                                     make_seed_request(
+                                         MsgType::kDistributionRequest,
+                                         {session.distribution_seed(try_slot, k),
+                                          static_cast<std::uint32_t>(h)}),
+                                     r, SessionPhase::kDistribution)) {
+                      failed = true;
+                    }
+                  }
+                  std::vector<he::PackedEncryptedVector> packed_ups;
+                  std::vector<he::EncryptedVector> plain_ups;
+                  for (const std::size_t k : sel) {
+                    auto up = cohort.recv(k, MsgType::kDistributionUpload, to.upload, r,
+                                          SessionPhase::kDistribution);
+                    if (!up) {
+                      failed = true;
+                      continue;
+                    }
+                    bool mode_ok = false;
+                    try {
+                      mode_ok = payload_is_packed(*up) == params.secure.use_packing;
+                    } catch (const WireError&) {
+                    }
+                    if (!mode_ok) {
+                      cohort.quarantine(k, r, SessionPhase::kDistribution,
+                                        QuarantineReason::kBadCiphertext);
+                      failed = true;
+                      continue;
+                    }
+                    bool parsed = false;
+                    try {
+                      if (params.secure.use_packing) {
+                        auto v = parse_packed_encrypted_vector(*up,
+                                                               MsgType::kDistributionUpload);
+                        parsed = true;
+                        check_encrypted(v, session.public_key(), params.num_classes,
+                                        session_packed);
+                        packed_ups.push_back(std::move(v));
+                      } else {
+                        auto v = parse_encrypted_vector(*up, MsgType::kDistributionUpload);
+                        parsed = true;
+                        check_encrypted(v, session.public_key(), params.num_classes);
+                        plain_ups.push_back(std::move(v));
+                      }
+                    } catch (const WireError&) {
+                      cohort.quarantine(k, r, SessionPhase::kDistribution,
+                                        parsed ? QuarantineReason::kBadCiphertext
+                                               : QuarantineReason::kBadFrame);
+                      failed = true;
+                    }
+                  }
+                  if (failed) throw RestartRound{};
+                  if (params.secure.use_packing) return session.reduce_population(packed_ups);
+                  return session.reduce_population(plain_ups);
+                }));
+        break;
+      } catch (const RestartRound&) {
+        rec = RoundRecord{};
+      }
+    }
 
-    // --- training round over the winning set. -------------------------------
+    // --- training round over the winning set (FedAvg over what arrives). ----
     const std::uint64_t round_seed = stats::derive_seed(params.round_seed, r);
     const std::vector<float>& global = server.global_weights();
+    std::vector<std::size_t> recipients;
+    recipients.reserve(rec.selected.size());
     for (const std::size_t k : rec.selected) {
-      by_id[k]->send(make_weights(
-          MsgType::kModelDown, {stats::derive_seed(round_seed, k + 1), global}));
+      if (cohort.send(k,
+                      make_weights(MsgType::kModelDown,
+                                   {stats::derive_seed(round_seed, k + 1), global}),
+                      r, SessionPhase::kUpdate)) {
+        recipients.push_back(k);
+      }
     }
     if (params.secure.update_he_rate > 0.0) {
       // Wire v3 selective encryption: each participant ships a
@@ -322,64 +579,108 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
       // ciphertexts, the rest plaintext. The server homomorphically sums
       // the encrypted portions (it never sees a top-k coordinate in the
       // clear), plain-sums the rest, and the agent decrypts only the
-      // aggregate before the FedAvg merge.
+      // aggregate before the FedAvg merge — which reweights over the m
+      // updates that actually arrived. If none did, the round keeps the
+      // previous global model.
       const SparseUpdatePlan plan = sparse_plan(global, params.secure, N);
       const auto qb = static_cast<std::uint8_t>(params.secure.update_quant_bits);
-      const std::size_t m = rec.selected.size();
+      std::size_t m = 0;
       std::vector<std::uint64_t> sums(plan.n, 0);
       he::PackedEncryptedVector enc_sum;
-      for (std::size_t i = 0; i < m; ++i) {
-        ModelUpdateSparse up = parse_model_update_sparse(
-            expect_frame(*by_id[rec.selected[i]], MsgType::kModelUpdateSparse));
-        if (up.client_id != rec.selected[i]) {
-          throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+      for (const std::size_t k : recipients) {
+        auto f = cohort.recv(k, MsgType::kModelUpdateSparse, to.update, r,
+                             SessionPhase::kUpdate);
+        if (!f) continue;
+        ModelUpdateSparse up;
+        try {
+          up = parse_model_update_sparse(*f);
+        } catch (const WireError&) {
+          cohort.quarantine(k, r, SessionPhase::kUpdate, QuarantineReason::kBadFrame);
+          continue;
+        }
+        if (up.client_id != k) {
+          cohort.quarantine(k, r, SessionPhase::kUpdate, QuarantineReason::kBadFrame);
+          continue;
         }
         if (up.total_count != plan.n || up.quant_bits != qb || up.bitmap != plan.bitmap) {
-          throw WireError(WireErrc::kBadPayload,
-                          "sparse update does not match the round's shared mask");
+          cohort.quarantine(k, r, SessionPhase::kUpdate,
+                            QuarantineReason::kBadCiphertext);
+          continue;
         }
-        check_encrypted(up.encrypted, session.public_key(), plan.k, plan.codec);
+        bool shape_ok = true;
+        try {
+          check_encrypted(up.encrypted, session.public_key(), plan.k, plan.codec);
+        } catch (const WireError&) {
+          shape_ok = false;
+        }
+        if (!shape_ok) {
+          cohort.quarantine(k, r, SessionPhase::kUpdate, QuarantineReason::kBadCiphertext);
+          continue;
+        }
         for (std::size_t j = 0; j < plan.plain_idx.size(); ++j) {
           sums[plan.plain_idx[j]] += up.plain_values[j];
         }
-        if (i == 0) {
+        if (m == 0) {
           enc_sum = std::move(up.encrypted);
         } else {
           enc_sum += up.encrypted;
         }
+        ++m;
       }
-      const std::vector<std::uint64_t> enc_sums = session.reduce_registry({&enc_sum, 1});
-      for (std::size_t j = 0; j < plan.k; ++j) sums[plan.mask[j]] = enc_sums[j];
-      server.set_global_weights(core::merge_quantized_updates(
-          global, sums, m, params.secure.update_quant_bits,
-          params.secure.update_quant_scale));
+      if (m > 0) {
+        const std::vector<std::uint64_t> enc_sums = session.reduce_registry({&enc_sum, 1});
+        for (std::size_t j = 0; j < plan.k; ++j) sums[plan.mask[j]] = enc_sums[j];
+        server.set_global_weights(core::merge_quantized_updates(
+            global, sums, m, params.secure.update_quant_bits,
+            params.secure.update_quant_scale));
+      }
     } else {
-      std::vector<std::vector<float>> updates(rec.selected.size());
-      for (std::size_t i = 0; i < rec.selected.size(); ++i) {
-        WeightsMsg up =
-            parse_weights(expect_frame(*by_id[rec.selected[i]], MsgType::kModelUpdate),
-                          MsgType::kModelUpdate);
-        if (up.seed != rec.selected[i]) {
-          throw WireError(WireErrc::kBadPayload, "model update from the wrong client");
+      std::vector<std::vector<float>> updates;
+      updates.reserve(recipients.size());
+      for (const std::size_t k : recipients) {
+        auto f = cohort.recv(k, MsgType::kModelUpdate, to.update, r, SessionPhase::kUpdate);
+        if (!f) continue;
+        WeightsMsg up;
+        try {
+          up = parse_weights(*f, MsgType::kModelUpdate);
+        } catch (const WireError&) {
+          cohort.quarantine(k, r, SessionPhase::kUpdate, QuarantineReason::kBadFrame);
+          continue;
         }
-        updates[i] = std::move(up.weights);
+        if (up.seed != k) {
+          cohort.quarantine(k, r, SessionPhase::kUpdate, QuarantineReason::kBadFrame);
+          continue;
+        }
+        updates.push_back(std::move(up.weights));
       }
-      server.aggregate(updates);
+      if (!updates.empty()) server.aggregate(updates);
     }
     rec.global_weights = server.global_weights();
     if (params.evaluate) rec.accuracy = server.evaluate(dataset);
+    for (std::size_t i = qmark; i < t.quarantined.size(); ++i) {
+      rec.dropped.push_back(t.quarantined[i].client_id);
+    }
+    std::sort(rec.dropped.begin(), rec.dropped.end());
     rec.ledger = fl::ledger_delta(acct.snapshot(), before);
     t.rounds.push_back(std::move(rec));
   }
 
-  // --- shutdown: every client acknowledges by closing. ----------------------
-  for (std::size_t id = 0; id < N; ++id) by_id[id]->send(make_shutdown());
+  // --- shutdown: every surviving client acknowledges by closing; the drain
+  // deadline is the zombie guard (a peer that never acknowledges gets a
+  // typed record and a closed link instead of wedging teardown).
   for (std::size_t id = 0; id < N; ++id) {
-    while (by_id[id]->receive()) {
-      // drain stragglers until the peer closes
-    }
-    by_id[id]->close();
+    cohort.send(id, make_shutdown(), kSetup, SessionPhase::kShutdown);
   }
+  for (std::size_t id = 0; id < N; ++id) cohort.shutdown_drain(id, to.drain);
+
+  // Hello order (and with it record order) can depend on TCP accept order;
+  // the canonical sort makes the quarantine list — and the transcript —
+  // transport-independent for a given fault plan.
+  std::sort(t.quarantined.begin(), t.quarantined.end(),
+            [](const QuarantineRecord& a, const QuarantineRecord& b) {
+              return std::tie(a.client_id, a.round, a.phase, a.reason) <
+                     std::tie(b.client_id, b.round, b.phase, b.reason);
+            });
   return t;
 }
 
@@ -444,6 +745,30 @@ std::string format_transcript(const SessionTranscript& t) {
     out += buf;
     std::snprintf(buf, sizeof buf, "accuracy=%a\n", rec.accuracy);
     out += buf;
+    // Only rendered when churn happened, so a fault-free transcript is
+    // byte-identical to the pre-quarantine format.
+    if (!rec.dropped.empty()) add_u64s("dropped", rec.dropped);
+  }
+  for (const QuarantineRecord& q : t.quarantined) {
+    out += "quarantined=client:";
+    if (q.client_id == QuarantineRecord::kUnknownClient) {
+      out += '?';
+    } else {
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(q.client_id));
+      out += buf;
+    }
+    out += " round:";
+    if (q.round == QuarantineRecord::kSetupRound) {
+      out += "setup";
+    } else {
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(q.round));
+      out += buf;
+    }
+    out += " phase:";
+    out += to_string(q.phase);
+    out += " reason:";
+    out += to_string(q.reason);
+    out += '\n';
   }
   return out;
 }
@@ -494,7 +819,18 @@ void serve_client(Transport& link, std::size_t client_id,
   const he::PackedCodec session_packed(params.secure.key_bits - 1,
                                        params.secure.packing_slot_bits);
 
-  link.send(make_client_hello({static_cast<std::uint64_t>(client_id), kWireVersion}));
+  // Frame sequencing (wire v4): every outbound frame carries this
+  // connection's next sequence number, and every inbound frame must carry
+  // the exact successor of the last one seen — a duplicated or reordered
+  // server frame is a replay, never a silently accepted repeat.
+  std::uint16_t send_seq = 0;
+  std::uint16_t recv_seq = 0;
+  auto send = [&](Frame f) {
+    f.seq = send_seq++;
+    link.send(f);
+  };
+
+  send(make_client_hello({static_cast<std::uint64_t>(client_id), kWireVersion}));
 
   he::Keypair keys;
   bool have_key = false;
@@ -511,6 +847,10 @@ void serve_client(Transport& link, std::size_t client_id,
       // aggregator died mid-session and must not look like success.
       throw TransportError("serve_client: server vanished before shutdown");
     }
+    if (frame->seq != recv_seq) {
+      throw WireError(WireErrc::kReplayed, "serve_client: server frame out of sequence");
+    }
+    ++recv_seq;
     switch (frame->type) {
       case MsgType::kServerHello: {
         const ServerHello hello = parse_server_hello(*frame);
@@ -542,8 +882,8 @@ void serve_client(Transport& link, std::size_t client_id,
       case MsgType::kRegistrationRequest: {
         if (!have_key) throw TransportError("serve_client: registration before keys");
         const SeedRequest req = parse_seed_request(*frame, MsgType::kRegistrationRequest);
-        link.send(encrypt_upload(MsgType::kRegistryUpload, keys.pub, params,
-                                 core::to_onehot(codec, reg), req.seed));
+        send(encrypt_upload(MsgType::kRegistryUpload, keys.pub, params,
+                            core::to_onehot(codec, reg), req.seed));
         break;
       }
       case MsgType::kRegistryBroadcast: {
@@ -578,7 +918,7 @@ void serve_client(Transport& link, std::size_t client_id,
                                std::to_string(next_round) + ")");
         }
         ++next_round;
-        link.send(make_participation(
+        send(make_participation(
             {static_cast<std::uint64_t>(client_id), rb.round,
              proactive_draws(session_seed, rb.round, client_id, probability, params.H)}));
         break;
@@ -586,7 +926,7 @@ void serve_client(Transport& link, std::size_t client_id,
       case MsgType::kDistributionRequest: {
         if (!have_key) throw TransportError("serve_client: distribution before keys");
         const SeedRequest req = parse_seed_request(*frame, MsgType::kDistributionRequest);
-        link.send(encrypt_upload(
+        send(encrypt_upload(
             MsgType::kDistributionUpload, keys.pub, params,
             core::quantize_distribution(dist, params.secure.fixed_point_scale), req.seed));
         break;
@@ -608,7 +948,7 @@ void serve_client(Transport& link, std::size_t client_id,
           const auto q =
               core::quantize_update(down.weights, trained, params.secure.update_quant_bits,
                                     params.secure.update_quant_scale);
-          link.send(make_sparse_update(
+          send(make_sparse_update(
               static_cast<std::uint64_t>(client_id), plan, q, keys.pub,
               static_cast<std::uint8_t>(params.secure.update_quant_bits),
               core::update_encryption_seed(session_seed, round, client_id)));
@@ -616,7 +956,7 @@ void serve_client(Transport& link, std::size_t client_id,
           WeightsMsg up;
           up.seed = client_id;
           up.weights = std::move(trained);
-          link.send(make_weights(MsgType::kModelUpdate, up));
+          send(make_weights(MsgType::kModelUpdate, up));
         }
         break;
       }
@@ -735,7 +1075,19 @@ SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
                                        const nn::Sequential& prototype,
                                        const SessionParams& params,
                                        fl::ChannelAccountant* channel) {
+  return run_loopback_session(dataset, prototype, params, std::span<const FaultPlan>{},
+                              channel);
+}
+
+SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
+                                       const nn::Sequential& prototype,
+                                       const SessionParams& params,
+                                       std::span<const FaultPlan> plans,
+                                       fl::ChannelAccountant* channel) {
   const std::size_t N = dataset.num_clients();
+  if (!plans.empty() && plans.size() != N) {
+    throw std::invalid_argument("run_loopback_session: one fault plan per client required");
+  }
   std::vector<std::shared_ptr<Transport>> server_side;
   std::vector<std::shared_ptr<Transport>> client_side;
   server_side.reserve(N);
@@ -748,16 +1100,21 @@ SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
   // A protocol error on either side must surface as the typed exception,
   // not std::terminate: client endpoints trap their exceptions, and the
   // server side closes every pair (unblocking the endpoints) and joins
-  // before rethrowing.
+  // before rethrowing. A client running an enabled fault plan is *expected*
+  // to die mid-session — its exception is swallowed; the server-side
+  // quarantine record is the observable outcome.
   std::vector<std::exception_ptr> client_errors(N);
   std::vector<std::thread> clients;
   clients.reserve(N);
   for (std::size_t id = 0; id < N; ++id) {
     clients.emplace_back([&, id] {
+      const bool faulty = id < plans.size() && plans[id].enabled();
+      std::shared_ptr<Transport> endpoint = client_side[id];
+      if (faulty) endpoint = std::make_shared<FaultyTransport>(endpoint, plans[id]);
       try {
-        serve_client(*client_side[id], id, dataset, prototype, params);
+        serve_client(*endpoint, id, dataset, prototype, params);
       } catch (...) {
-        client_errors[id] = std::current_exception();
+        if (!faulty) client_errors[id] = std::current_exception();
         client_side[id]->close();
       }
     });
@@ -781,22 +1138,37 @@ SessionTranscript run_tcp_session(const data::FederatedDataset& dataset,
                                   const nn::Sequential& prototype,
                                   const SessionParams& params, std::size_t workers,
                                   fl::ChannelAccountant* channel) {
+  return run_tcp_session(dataset, prototype, params, std::span<const FaultPlan>{}, workers,
+                         channel);
+}
+
+SessionTranscript run_tcp_session(const data::FederatedDataset& dataset,
+                                  const nn::Sequential& prototype,
+                                  const SessionParams& params,
+                                  std::span<const FaultPlan> plans, std::size_t workers,
+                                  fl::ChannelAccountant* channel) {
   const std::size_t N = dataset.num_clients();
+  if (!plans.empty() && plans.size() != N) {
+    throw std::invalid_argument("run_tcp_session: one fault plan per client required");
+  }
   TcpServer server(0, workers);
   // Same error discipline as the loopback harness: endpoints trap their
   // exceptions and close their link; the server path closes everything and
-  // joins before rethrowing.
+  // joins before rethrowing; fault-plan clients are expected to die.
   std::vector<std::exception_ptr> client_errors(N);
   std::vector<std::thread> clients;
   clients.reserve(N);
   for (std::size_t id = 0; id < N; ++id) {
     clients.emplace_back([&, id] {
-      std::shared_ptr<TcpTransport> link;
+      const bool faulty = id < plans.size() && plans[id].enabled();
+      std::shared_ptr<Transport> link;
       try {
         link = TcpTransport::connect("127.0.0.1", server.port());
-        serve_client(*link, id, dataset, prototype, params);
+        std::shared_ptr<Transport> endpoint = link;
+        if (faulty) endpoint = std::make_shared<FaultyTransport>(endpoint, plans[id]);
+        serve_client(*endpoint, id, dataset, prototype, params);
       } catch (...) {
-        client_errors[id] = std::current_exception();
+        if (!faulty) client_errors[id] = std::current_exception();
         if (link != nullptr) link->close();
       }
     });

@@ -8,10 +8,25 @@
 #include "core/secure.hpp"
 #include "data/federated.hpp"
 #include "fl/trainer.hpp"
+#include "net/fault.hpp"
 #include "net/transport.hpp"
 #include "nn/sequential.hpp"
 
 namespace dubhe::net {
+
+/// Per-phase receive deadlines of the session driver (0 = wait forever).
+/// Defaults are generous — they exist to bound a *silent* peer, not to race
+/// an honest one, so they never fire on the happy path (which keeps the
+/// empty-fault-plan transcript byte-identical to the deadline-free driver)
+/// and stay safe under sanitizer slowdowns.
+struct SessionTimeouts {
+  std::chrono::milliseconds registration{30000};  // hello + registry upload
+  std::chrono::milliseconds upload{30000};   // participation / per-try distribution
+  std::chrono::milliseconds update{120000};  // model update (covers local training)
+  std::chrono::milliseconds drain{5000};     // shutdown drain (zombie guard)
+
+  bool operator==(const SessionTimeouts&) const = default;
+};
 
 /// Everything both ends of the protocol must agree on before a session:
 /// registry codebook, crypto parameters, training hyperparameters, and the
@@ -32,6 +47,25 @@ struct SessionParams {
   std::uint64_t round_seed = 1;   // per-(round, client) training seeds derive from this
   std::size_t train_threads = 1;  // shards for the direct path's round loop
   bool evaluate = true;
+  SessionTimeouts timeouts;  // server-side per-phase receive deadlines
+};
+
+/// One quarantined client: who, when (round + phase), and why. A
+/// misbehaving client costs the cohort one participant, never the round —
+/// the server records the drop here and proceeds with the survivors.
+struct QuarantineRecord {
+  /// client_id when the failure happened before the hello bound an id.
+  static constexpr std::uint64_t kUnknownClient = ~std::uint64_t{0};
+  /// round for failures outside the round loop (hello, registration,
+  /// shutdown drain).
+  static constexpr std::uint64_t kSetupRound = ~std::uint64_t{0};
+
+  std::uint64_t client_id = kUnknownClient;
+  std::uint64_t round = kSetupRound;
+  SessionPhase phase = SessionPhase::kHello;
+  QuarantineReason reason = QuarantineReason::kDisconnect;
+
+  bool operator==(const QuarantineRecord&) const = default;
 };
 
 /// One global round of a session, with every field deterministic given
@@ -48,13 +82,17 @@ struct RoundRecord {
   double emd_star = 0;
   std::vector<float> global_weights;  // after this round's FedAvg
   double accuracy = 0;                // balanced-test-set top-1 (0 if !evaluate)
+  /// Clients quarantined during this round (ascending ids; empty on the
+  /// happy path). FedAvg reweights over the updates that actually arrived.
+  std::vector<std::uint64_t> dropped;
   /// §6.4 traffic attributable to this round, at exact encoded frame sizes.
   fl::ChannelLedger ledger;
 
   bool operator==(const RoundRecord& o) const {
     return try_emds == o.try_emds && best_try == o.best_try && selected == o.selected &&
            population == o.population && emd_star == o.emd_star &&
-           global_weights == o.global_weights && accuracy == o.accuracy;
+           global_weights == o.global_weights && accuracy == o.accuracy &&
+           dropped == o.dropped;
   }
 };
 
@@ -66,12 +104,17 @@ struct RoundRecord {
 struct SessionTranscript {
   std::vector<std::uint64_t> overall_registry;  // R_A
   std::vector<RoundRecord> rounds;
+  /// Every client the session dropped, sorted by (client_id, round, phase,
+  /// reason) — the churn half of the acceptance contract: for a seeded
+  /// fault plan these records are identical across loopback and TCP.
+  std::vector<QuarantineRecord> quarantined;
   /// Traffic of the per-connection setup phase (hello, key dispatch,
   /// registration + registry broadcast) — everything before round 0.
   fl::ChannelLedger setup_ledger;
 
   bool operator==(const SessionTranscript& o) const {
-    return overall_registry == o.overall_registry && rounds == o.rounds;
+    return overall_registry == o.overall_registry && rounds == o.rounds &&
+           quarantined == o.quarantined;
   }
 };
 
@@ -93,7 +136,10 @@ struct SessionTranscript {
 /// FedAvg + eval) run over the same connections before shutdown. Blocks
 /// until every client was told to shut down. `dataset` provides the
 /// prototype's evaluation set; client data stays on the client endpoints.
-/// Throws TransportError / WireError on a misbehaving peer.
+/// A misbehaving or silent peer does not abort the session: it is
+/// quarantined (typed record in the transcript, link closed) under the
+/// per-phase deadlines in `params.timeouts`, and the round proceeds over
+/// the survivors. The driver only throws when the entire cohort is gone.
 SessionTranscript run_server_session(std::span<const std::shared_ptr<Transport>> links,
                                      const data::FederatedDataset& dataset,
                                      const nn::Sequential& prototype,
@@ -130,6 +176,17 @@ SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
                                        const SessionParams& params,
                                        fl::ChannelAccountant* channel = nullptr);
 
+/// Churn harness: same as above, but client `i`'s endpoint is wrapped in a
+/// FaultyTransport running `plans[i]` (kNone = honest). Clients with an
+/// enabled plan are expected to die mid-session; their exceptions are
+/// swallowed (the server-side quarantine records are the observable
+/// outcome). `plans.size()` must equal the cohort size.
+SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
+                                       const nn::Sequential& prototype,
+                                       const SessionParams& params,
+                                       std::span<const FaultPlan> plans,
+                                       fl::ChannelAccountant* channel = nullptr);
+
 /// Same harness over real sockets: a TcpServer with `workers` event-loop
 /// shards on an ephemeral 127.0.0.1 port, one in-process client thread per
 /// dataset shard connecting through TcpTransport. The hello exchange binds
@@ -139,6 +196,16 @@ SessionTranscript run_loopback_session(const data::FederatedDataset& dataset,
 SessionTranscript run_tcp_session(const data::FederatedDataset& dataset,
                                   const nn::Sequential& prototype,
                                   const SessionParams& params, std::size_t workers = 1,
+                                  fl::ChannelAccountant* channel = nullptr);
+
+/// Churn harness over real sockets — the TCP twin of the fault-plan
+/// loopback overload, for asserting that a seeded plan quarantines the
+/// same clients with the same records on both transports.
+SessionTranscript run_tcp_session(const data::FederatedDataset& dataset,
+                                  const nn::Sequential& prototype,
+                                  const SessionParams& params,
+                                  std::span<const FaultPlan> plans,
+                                  std::size_t workers = 1,
                                   fl::ChannelAccountant* channel = nullptr);
 
 }  // namespace dubhe::net

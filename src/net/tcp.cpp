@@ -21,6 +21,7 @@
 #include <map>
 
 #include "net/poller.hpp"
+#include "stats/rng.hpp"
 
 namespace dubhe::net {
 
@@ -161,7 +162,7 @@ TcpTransport::~TcpTransport() {
 }
 
 void TcpTransport::send(const Frame& frame) {
-  const auto header = encode_frame_header(frame.type, frame.payload);
+  const auto header = encode_frame_header(frame.type, frame.payload, frame.seq);
   std::lock_guard<std::mutex> lock(send_mu_);
   if (closed_.load()) throw TransportError("TcpTransport: send after close");
   iovec iov[2];
@@ -173,11 +174,31 @@ void TcpTransport::send(const Frame& frame) {
   account_sent(frame, frame_wire_size(frame.payload.size()));
 }
 
-std::optional<Frame> TcpTransport::receive() {
+std::optional<Frame> TcpTransport::receive(std::chrono::milliseconds deadline) {
+  using Clock = std::chrono::steady_clock;
+  const bool timed = deadline > kNoDeadline;
+  const auto until = Clock::now() + deadline;
   for (;;) {
     if (auto frame = reader_.next()) {
       account_received(*frame, frame_wire_size(frame->payload.size()));
       return frame;
+    }
+    if (timed) {
+      // The socket is blocking; gate the read behind poll so a silent peer
+      // costs at most the remaining deadline, not forever.
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(until - Clock::now());
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr =
+          left.count() <= 0 ? 0 : ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("poll on " + peer_);
+      }
+      if (pr == 0) {
+        throw TransportTimeout("TcpTransport: no frame from " + peer_ + " within " +
+                               std::to_string(deadline.count()) + "ms");
+      }
     }
     std::uint8_t buf[kReadChunk];
     const ssize_t n = ::read(fd_, buf, sizeof buf);
@@ -203,6 +224,33 @@ void TcpTransport::close() {
     // shutdown (not close) so a receive() blocked in read() wakes with EOF
     // instead of racing a reused descriptor.
     ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+std::shared_ptr<TcpTransport> connect_with_retry(const std::string& host,
+                                                 std::uint16_t port,
+                                                 const RetryPolicy& policy) {
+  using Clock = std::chrono::steady_clock;
+  const auto give_up = Clock::now() + policy.budget;
+  stats::Rng jitter(policy.jitter_seed);
+  auto step = policy.base_delay;
+  for (;;) {
+    try {
+      return TcpTransport::connect(host, port);
+    } catch (const TransportError&) {
+      const auto now = Clock::now();
+      if (now >= give_up) throw;
+      // Full jitter: sleep uniform in [1, step], then double the step (capped)
+      // — a cohort launched together decorrelates instead of reconnecting in
+      // lockstep, and a given jitter_seed reproduces the same schedule.
+      const auto span = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(step.count()));
+      const auto sleep = std::chrono::milliseconds(1 + jitter.below(span));
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(give_up - now);
+      std::this_thread::sleep_for(std::min(sleep, remaining));
+      step = std::min(step * 2, policy.max_delay);
+    }
   }
 }
 
@@ -259,7 +307,7 @@ class TcpServer::ConnTransport final : public Transport {
 
   void send(const Frame& frame) override {
     SendBuf buf;
-    buf.header = encode_frame_header(frame.type, frame.payload);
+    buf.header = encode_frame_header(frame.type, frame.payload, frame.seq);
     buf.payload = frame.payload;  // the queue outlives the caller's frame
     const std::size_t size = frame_wire_size(frame.payload.size());
     {
@@ -273,12 +321,20 @@ class TcpServer::ConnTransport final : public Transport {
     account_sent(frame, size);
   }
 
-  std::optional<Frame> receive() override {
+  std::optional<Frame> receive(std::chrono::milliseconds deadline) override {
     std::unique_lock<std::mutex> lock(conn_->m);
-    conn_->cv.wait(lock, [&] {
+    const auto ready = [&] {
       return !conn_->inbox.empty() || conn_->peer_gone || conn_->want_close ||
              conn_->decode_error != nullptr;
-    });
+    };
+    if (deadline > kNoDeadline) {
+      if (!conn_->cv.wait_for(lock, deadline, ready)) {
+        throw TransportTimeout("TcpServer: no frame from " + conn_->peer +
+                               " within " + std::to_string(deadline.count()) + "ms");
+      }
+    } else {
+      conn_->cv.wait(lock, ready);
+    }
     if (!conn_->inbox.empty()) {
       Frame frame = std::move(conn_->inbox.front());
       conn_->inbox.pop_front();
@@ -291,6 +347,7 @@ class TcpServer::ConnTransport final : public Transport {
     if (conn_->decode_error != nullptr) std::rethrow_exception(conn_->decode_error);
     return std::nullopt;
   }
+  using Transport::receive;
 
   void close() override {
     {

@@ -33,7 +33,8 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   void send(const Frame& frame) override;
-  std::optional<Frame> receive() override;
+  std::optional<Frame> receive(std::chrono::milliseconds deadline) override;
+  using Transport::receive;
   void close() override;
   [[nodiscard]] std::string peer_name() const override { return peer_; }
 
@@ -46,6 +47,24 @@ class TcpTransport final : public Transport {
   std::mutex send_mu_;  // serializes whole frames if a caller does fan-in
   std::atomic<bool> closed_{false};
 };
+
+/// Bounded exponential-backoff policy for connect_with_retry. The jitter is
+/// seeded (full-jitter: each sleep is uniform in [1, current step]) so a
+/// cohort of clients started together decorrelates its retries yet any
+/// single client's retry schedule is reproducible.
+struct RetryPolicy {
+  std::chrono::milliseconds budget{30000};     // total time before giving up
+  std::chrono::milliseconds base_delay{20};    // first backoff step
+  std::chrono::milliseconds max_delay{1000};   // step ceiling
+  std::uint64_t jitter_seed = 0;
+};
+
+/// TcpTransport::connect with bounded exponential backoff: retries refused /
+/// unreachable connections (the server may not be listening yet) until the
+/// policy budget runs out, then rethrows the last TransportError.
+std::shared_ptr<TcpTransport> connect_with_retry(const std::string& host,
+                                                 std::uint16_t port,
+                                                 const RetryPolicy& policy = {});
 
 /// The aggregation server's front end, structured for c10k:
 ///

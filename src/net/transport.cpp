@@ -52,12 +52,20 @@ void LoopbackTransport::send(const Frame& frame) {
   account_sent(frame, size);
 }
 
-std::optional<Frame> LoopbackTransport::receive() {
+std::optional<Frame> LoopbackTransport::receive(std::chrono::milliseconds deadline) {
   Queue& q = in();
   std::vector<std::uint8_t> encoded;
   {
     std::unique_lock<std::mutex> lock(q.m);
-    q.cv.wait(lock, [&] { return !q.frames.empty() || q.closed; });
+    const auto ready = [&] { return !q.frames.empty() || q.closed; };
+    if (deadline > kNoDeadline) {
+      if (!q.cv.wait_for(lock, deadline, ready)) {
+        throw TransportTimeout("loopback: no frame within " +
+                               std::to_string(deadline.count()) + "ms");
+      }
+    } else {
+      q.cv.wait(lock, ready);
+    }
     if (q.frames.empty()) return std::nullopt;
     encoded = std::move(q.frames.front());
     q.frames.pop_front();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -22,6 +23,18 @@ class TransportError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A deadline-aware receive ran out of time before a frame (or a close)
+/// arrived. The channel itself is still intact — the caller decides whether
+/// a late peer is a straggler to wait longer for or a quarantine case.
+class TransportTimeout : public TransportError {
+ public:
+  using TransportError::TransportError;
+};
+
+/// Passing this (or any zero/negative duration) as a receive deadline means
+/// "block forever" — the pre-deadline behavior.
+inline constexpr std::chrono::milliseconds kNoDeadline{0};
+
 /// One endpoint of a bidirectional, ordered, reliable frame channel — the
 /// abstraction the FL protocol runs on. Implementations: LoopbackTransport
 /// (in-process queue pair) and the TCP endpoints in net/tcp.hpp. One logical
@@ -37,7 +50,11 @@ class Transport {
   virtual void send(const Frame& frame) = 0;
   /// Blocks for the next frame; nullopt once the peer has closed and the
   /// queue is drained. Throws WireError if the peer sent malformed bytes.
-  virtual std::optional<Frame> receive() = 0;
+  /// With a positive `deadline`, throws TransportTimeout if no frame (and no
+  /// close) arrives within that budget; kNoDeadline blocks forever.
+  virtual std::optional<Frame> receive(std::chrono::milliseconds deadline) = 0;
+  /// Convenience: block-forever receive.
+  std::optional<Frame> receive() { return receive(kNoDeadline); }
   /// Idempotent. Wakes any blocked receive() on both ends.
   virtual void close() = 0;
   [[nodiscard]] virtual std::string peer_name() const = 0;
@@ -80,7 +97,8 @@ class LoopbackTransport final : public Transport {
   make_pair(LinkModel model = {});
 
   void send(const Frame& frame) override;
-  std::optional<Frame> receive() override;
+  std::optional<Frame> receive(std::chrono::milliseconds deadline) override;
+  using Transport::receive;
   void close() override;
   [[nodiscard]] std::string peer_name() const override { return "loopback"; }
 

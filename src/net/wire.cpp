@@ -204,9 +204,8 @@ std::size_t check_header(std::span<const std::uint8_t> h, std::size_t max_payloa
   if (!is_valid(static_cast<MsgType>(h[5]))) {
     throw WireError(WireErrc::kBadType, "unknown message type " + std::to_string(h[5]));
   }
-  if (h[6] != 0 || h[7] != 0) {
-    throw WireError(WireErrc::kBadFlags, "nonzero flags in a version-1 frame");
-  }
+  // Bytes 6..7 carry the frame sequence (any value is valid); the session
+  // driver, not the codec, enforces monotonicity.
   const std::size_t len = get_u32(h.data() + 8);
   if (len > max_payload) {
     throw WireError(WireErrc::kOversized, "payload length " + std::to_string(len) +
@@ -257,8 +256,33 @@ std::string to_string(WireErrc code) {
     case WireErrc::kTruncated: return "truncated frame";
     case WireErrc::kBadCrc: return "crc mismatch";
     case WireErrc::kBadPayload: return "bad payload";
+    case WireErrc::kReplayed: return "replayed frame";
   }
   return "wire error";
+}
+
+std::string to_string(QuarantineReason reason) {
+  switch (reason) {
+    case QuarantineReason::kTimeout: return "timeout";
+    case QuarantineReason::kDisconnect: return "disconnect";
+    case QuarantineReason::kBadFrame: return "bad_frame";
+    case QuarantineReason::kBadCiphertext: return "bad_ciphertext";
+    case QuarantineReason::kBadParticipation: return "bad_participation";
+    case QuarantineReason::kReplay: return "replay";
+  }
+  return "quarantine_reason(" + std::to_string(static_cast<int>(reason)) + ")";
+}
+
+std::string to_string(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kHello: return "hello";
+    case SessionPhase::kRegistration: return "registration";
+    case SessionPhase::kParticipation: return "participation";
+    case SessionPhase::kDistribution: return "distribution";
+    case SessionPhase::kUpdate: return "update";
+    case SessionPhase::kShutdown: return "shutdown";
+  }
+  return "phase(" + std::to_string(static_cast<int>(phase)) + ")";
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
@@ -298,8 +322,8 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame, std::size_t max_paylo
   std::copy(kMagic.begin(), kMagic.end(), out.begin());
   out[4] = kWireVersion;
   out[5] = static_cast<std::uint8_t>(frame.type);
-  out[6] = 0;
-  out[7] = 0;
+  out[6] = static_cast<std::uint8_t>(frame.seq >> 8);
+  out[7] = static_cast<std::uint8_t>(frame.seq & 0xFF);
   put_u32(out.data() + 8, static_cast<std::uint32_t>(frame.payload.size()));
   put_u32(out.data() + 12, crc32(frame.payload));
   std::copy(frame.payload.begin(), frame.payload.end(), out.begin() + kFrameHeaderBytes);
@@ -307,7 +331,8 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame, std::size_t max_paylo
 }
 
 std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
-    MsgType type, std::span<const std::uint8_t> payload, std::size_t max_payload) {
+    MsgType type, std::span<const std::uint8_t> payload, std::uint16_t seq,
+    std::size_t max_payload) {
   if (!is_valid(type)) {
     throw WireError(WireErrc::kBadType, "refusing to encode an unknown message type");
   }
@@ -319,8 +344,8 @@ std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
   std::copy(kMagic.begin(), kMagic.end(), out.begin());
   out[4] = kWireVersion;
   out[5] = static_cast<std::uint8_t>(type);
-  out[6] = 0;
-  out[7] = 0;
+  out[6] = static_cast<std::uint8_t>(seq >> 8);
+  out[7] = static_cast<std::uint8_t>(seq & 0xFF);
   put_u32(out.data() + 8, static_cast<std::uint32_t>(payload.size()));
   put_u32(out.data() + 12, crc32(payload));
   return out;
@@ -344,6 +369,7 @@ Frame decode_frame(std::span<const std::uint8_t> bytes, std::size_t max_payload)
   }
   Frame frame;
   frame.type = static_cast<MsgType>(bytes[5]);
+  frame.seq = static_cast<std::uint16_t>((bytes[6] << 8) | bytes[7]);
   frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
   const std::uint32_t want = get_u32(bytes.data() + 12);
   if (crc32(frame.payload) != want) {
@@ -374,6 +400,7 @@ std::optional<Frame> FrameReader::next() {
   // every received frame — this is the transport hot path).
   Frame frame;
   frame.type = static_cast<MsgType>(h[5]);
+  frame.seq = static_cast<std::uint16_t>((h[6] << 8) | h[7]);
   frame.payload.assign(h + kFrameHeaderBytes, h + kFrameHeaderBytes + len);
   const std::uint32_t want = get_u32(h + 12);
   pos_ += kFrameHeaderBytes + len;

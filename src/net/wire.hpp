@@ -16,7 +16,8 @@ namespace dubhe::net {
 ///   [0..3]   magic "DUBH"
 ///   [4]      wire version (kWireVersion)
 ///   [5]      message type (MsgType)
-///   [6..7]   flags, big-endian u16, must be zero in version 1
+///   [6..7]   frame sequence number, big-endian u16 (flags in versions 1-3,
+///            where it had to be zero)
 ///   [8..11]  payload length, big-endian u32
 ///   [12..15] CRC32 (IEEE) of the payload, big-endian u32
 ///   [16..]   payload
@@ -33,7 +34,13 @@ inline constexpr std::array<std::uint8_t, 4> kMagic{'D', 'U', 'B', 'H'};
 /// model updates (quantized, packed ciphertexts for the top-k coordinates
 /// plus a plaintext remainder behind an index bitmap). A version-2 peer is
 /// refused at the first frame (kBadVersion).
-inline constexpr std::uint8_t kWireVersion = 3;
+/// Version 4: the reserved flags field becomes a per-connection frame
+/// sequence number (u16, wraps). Each endpoint numbers its outbound frames
+/// 0, 1, 2, ... per connection; the session driver rejects any frame whose
+/// sequence is not the expected successor (kReplayed), so a replayed
+/// kParticipation or model-update frame is a typed quarantine, never a
+/// silent duplicate merge. A version-3 peer is refused at the first frame.
+inline constexpr std::uint8_t kWireVersion = 4;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Decoder-side ceiling on a single frame's payload. Frames whose length
 /// prefix exceeds this are rejected before any allocation, so a corrupted
@@ -73,11 +80,13 @@ enum class WireErrc {
   kBadMagic,
   kBadVersion,
   kBadType,
-  kBadFlags,
+  kBadFlags,   // retired in version 4 (the field carries the sequence now)
   kOversized,  // length prefix exceeds the decoder's max payload
   kTruncated,  // header promises more payload bytes than are present
   kBadCrc,
   kBadPayload,  // frame intact, payload malformed for its type
+  kReplayed,    // frame sequence is not the expected successor (replay /
+                // reordering on an ordered channel — session driver check)
 };
 
 [[nodiscard]] std::string to_string(WireErrc code);
@@ -93,14 +102,48 @@ class WireError : public std::runtime_error {
   WireErrc code_;
 };
 
-/// One decoded message: type tag plus opaque payload bytes. The payload
-/// codecs in net/codec.hpp give these a typed meaning.
+/// One decoded message: type tag, opaque payload bytes, and the
+/// per-connection sequence number. The payload codecs in net/codec.hpp give
+/// these a typed meaning. `seq` travels in the header's former flags field;
+/// the session driver assigns it on send (0, 1, 2, ... per connection and
+/// direction, wrapping at 2^16) and verifies it on receive. It sits last so
+/// codecs can keep aggregate-initializing `{type, payload}` (seq is a
+/// connection concern, stamped at the send boundary).
 struct Frame {
   MsgType type = MsgType::kShutdown;
   std::vector<std::uint8_t> payload;
+  std::uint16_t seq = 0;
 
   bool operator==(const Frame&) const = default;
 };
+
+/// Why the session driver dropped a client into quarantine instead of
+/// aborting the session (the robustness contract: a misbehaving client
+/// costs the cohort one participant, not the round). Each value corresponds
+/// to one injectable fault family in net/fault.hpp and one column of the
+/// fault matrix in tests/test_net_faults.cpp.
+enum class QuarantineReason : std::uint8_t {
+  kTimeout = 1,        // the per-phase deadline expired
+  kDisconnect,         // peer closed / transport error mid-phase
+  kBadFrame,           // malformed or out-of-protocol frame / payload
+  kBadCiphertext,      // ciphertext does not match the session key/geometry
+  kBadParticipation,   // participation bits with wrong shape/round/values
+  kReplay,             // frame sequence violation (duplicate / replayed)
+};
+
+/// Which protocol phase a client was in when it was quarantined (also the
+/// trigger vocabulary of net::FaultPlan).
+enum class SessionPhase : std::uint8_t {
+  kHello = 1,      // client hello / id binding
+  kRegistration,   // key dispatch + encrypted registry upload/broadcast
+  kParticipation,  // round begin + proactive draw collection
+  kDistribution,   // per-try encrypted distribution upload
+  kUpdate,         // model down / trained update up
+  kShutdown,       // session teardown drain
+};
+
+[[nodiscard]] std::string to_string(QuarantineReason reason);
+[[nodiscard]] std::string to_string(SessionPhase phase);
 
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), the integrity check
 /// carried by every frame. Dispatches at runtime through core::cpu: on
@@ -137,7 +180,7 @@ struct Frame {
 /// and the payload as two iovecs of one writev, so a frame goes out in a
 /// single syscall without ever being copied into one contiguous buffer.
 [[nodiscard]] std::array<std::uint8_t, kFrameHeaderBytes> encode_frame_header(
-    MsgType type, std::span<const std::uint8_t> payload,
+    MsgType type, std::span<const std::uint8_t> payload, std::uint16_t seq = 0,
     std::size_t max_payload = kDefaultMaxPayload);
 
 /// One-shot decode of a buffer holding exactly one frame (trailing bytes are

@@ -142,7 +142,8 @@ TEST(WireFrame, ReaderReassemblesByteByByte) {
   std::vector<Frame> frames;
   std::vector<std::uint8_t> stream;
   for (int i = 0; i < 5; ++i) {
-    frames.push_back({MsgType::kModelDown, random_payload(rng, 100 + 37 * i)});
+    frames.push_back({MsgType::kModelDown, random_payload(rng, 100 + 37 * i),
+                      static_cast<std::uint16_t>(i)});
     const auto bytes = net::encode_frame(frames.back());
     stream.insert(stream.end(), bytes.begin(), bytes.end());
   }
@@ -182,10 +183,18 @@ TEST(WireFrame, AdversarialDecodesFailTyped) {
   bad = bytes;
   bad[5] = 5;
   EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadType);
-  // Nonzero flags.
-  bad = bytes;
-  bad[6] = 1;
-  EXPECT_EQ(code_of([&] { (void)net::decode_frame(bad); }), WireErrc::kBadFlags);
+  // Bytes 6..7 are the v4 sequence field (they were must-be-zero flags in
+  // v1-3): any value decodes, recomputing nothing else. Replay enforcement
+  // is the session driver's job, not the codec's.
+  {
+    Frame seqd = good;
+    seqd.seq = 0xBEEF;
+    const auto seq_bytes = net::encode_frame(seqd);
+    EXPECT_EQ(seq_bytes[6], 0xBE);
+    EXPECT_EQ(seq_bytes[7], 0xEF);
+    EXPECT_EQ(net::decode_frame(seq_bytes), seqd);
+    EXPECT_NE(net::decode_frame(seq_bytes), good);  // seq participates in ==
+  }
   // Oversized length prefix (decoder limit).
   EXPECT_EQ(code_of([&] { (void)net::decode_frame(bytes, /*max_payload=*/16); }),
             WireErrc::kOversized);

@@ -18,10 +18,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
 #include "nn/builders.hpp"
@@ -46,6 +48,8 @@ struct Options {
   std::size_t workers = 1;
   bool plain = false;
   double he_rate = 0.0;
+  std::string fault_plan;        // empty = honest
+  std::size_t fault_client = 0;  // which client misbehaves (selftest)
 };
 
 const char* kUsage = R"(dubhe_node — run one Dubhe FL participant as a process
@@ -65,6 +69,14 @@ Common options (must match across all processes of one session):
                  the paper's python-paillier layout; packed is the default
   --he-rate X    fraction of model-update coordinates shipped encrypted
                  (top-k by |global weight|; default 0 = plaintext updates)
+Fault injection (churn testing — see src/net/README.md "Failure model"):
+  --fault-plan S scripted misbehavior "kind@phase[:nth][+delay_ms]", e.g.
+                 disconnect@participation:1 or straggle@update+2000.
+                 On --client: this client runs the plan (its own death is
+                 expected and exits 0). On --selftest: the plan is given to
+                 client --fault-client and the loopback/TCP transcripts —
+                 quarantine records included — are compared byte for byte.
+  --fault-client K  which client misbehaves in --selftest (default 0)
 Server options:
   --port P       listen port; 0 = ephemeral (default 45711)
   --port-file F  write the bound port to F (atomically) once listening
@@ -126,6 +138,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.he_rate = std::strtod(v, nullptr);
     } else if (a == "--workers" && (v = need_value(i))) {
       opt.workers = std::strtoull(v, nullptr, 10);
+    } else if (a == "--fault-plan" && (v = need_value(i))) {
+      opt.fault_plan = v;
+    } else if (a == "--fault-client" && (v = need_value(i))) {
+      opt.fault_client = std::strtoull(v, nullptr, 10);
     } else {
       // A matched flag that failed need_value lands here too with v null —
       // the missing-value message already printed, don't call it unknown.
@@ -147,6 +163,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
   }
   if (opt.he_rate < 0.0 || opt.he_rate > 1.0) {
     std::fprintf(stderr, "error: need 0 <= he-rate <= 1\n");
+    return false;
+  }
+  if (!opt.fault_plan.empty()) {
+    try {
+      (void)net::parse_fault_plan(opt.fault_plan);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n", e.what());
+      return false;
+    }
+  }
+  if (opt.fault_client >= opt.clients) {
+    std::fprintf(stderr, "error: --fault-client must be < --clients\n");
     return false;
   }
   return true;
@@ -246,18 +274,34 @@ int run_client(const Options& opt) {
       return 1;
     }
   }
-  std::shared_ptr<net::TcpTransport> link;
-  while (link == nullptr) {
-    try {
-      link = net::TcpTransport::connect(opt.host, static_cast<std::uint16_t>(port));
-    } catch (const net::TransportError&) {
-      if (Clock::now() >= deadline) throw;
-      std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
-  }
+  // Bounded exponential backoff with per-client jitter: a cohort of clients
+  // launched by one script decorrelates its retries against a server that
+  // is not listening yet, but any single client's schedule is reproducible.
+  net::RetryPolicy retry;
+  retry.budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  retry.jitter_seed = 0x9e3779b97f4a7c15ull ^ opt.id;
+  std::shared_ptr<net::Transport> link =
+      net::connect_with_retry(opt.host, static_cast<std::uint16_t>(port), retry);
   std::printf("dubhe_node client %zu: connected to %s\n", opt.id,
               link->peer_name().c_str());
-  net::serve_client(*link, opt.id, dataset, proto, make_params(opt));
+  const bool faulty = !opt.fault_plan.empty();
+  if (faulty) {
+    link = std::make_shared<net::FaultyTransport>(std::move(link),
+                                                  net::parse_fault_plan(opt.fault_plan));
+    std::printf("dubhe_node client %zu: running fault plan %s\n", opt.id,
+                opt.fault_plan.c_str());
+  }
+  try {
+    net::serve_client(*link, opt.id, dataset, proto, make_params(opt));
+  } catch (const std::exception& e) {
+    // A client running a fault plan is *scripted* to die mid-session; its
+    // exception is the plan working, not a failure of this process.
+    if (!faulty) throw;
+    std::printf("dubhe_node client %zu: fault fired as planned (%s)\n", opt.id,
+                e.what());
+    return 0;
+  }
   std::printf("dubhe_node client %zu: session complete\n", opt.id);
   return 0;
 }
@@ -266,6 +310,31 @@ int run_selftest(const Options& opt) {
   const auto dataset = make_dataset(opt);
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
   const auto params = make_params(opt);
+  if (!opt.fault_plan.empty()) {
+    // Churn selftest: the faulty client cannot match the fault-free direct
+    // path, so the contract becomes loopback == TCP under the same seeded
+    // plan — quarantine records included.
+    std::vector<net::FaultPlan> plans(opt.clients);
+    plans[opt.fault_client] = net::parse_fault_plan(opt.fault_plan);
+    const auto loopback = net::run_loopback_session(dataset, proto, params, plans);
+    const auto tcp = net::run_tcp_session(dataset, proto, params, plans, opt.workers);
+    const std::string text = net::format_transcript(loopback);
+    if (!(loopback == tcp)) {
+      std::fprintf(stderr,
+                   "SELFTEST FAILED: churn transcript diverges across transports\n");
+      std::fprintf(stderr, "--- loopback ---\n%s--- tcp ---\n%s", text.c_str(),
+                   net::format_transcript(tcp).c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), stdout);
+    std::printf("selftest: loopback == tcp under fault plan %s (client %zu)\n",
+                opt.fault_plan.c_str(), opt.fault_client);
+    if (!opt.transcript_path.empty() && !write_file(opt.transcript_path, text)) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.transcript_path.c_str());
+      return 1;
+    }
+    return 0;
+  }
   const auto direct = net::run_session_direct(dataset, proto, params);
   const auto loopback = net::run_loopback_session(dataset, proto, params);
   const std::string text = net::format_transcript(direct);
