@@ -15,6 +15,7 @@
 #include "bigint/prime.hpp"
 #include "core/cpu.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 #include "paillier/encrypted_vector.hpp"
 #include "paillier/packing.hpp"
 
@@ -298,6 +299,36 @@ void print_batch_table() {
               core::ParallelRuntime::instance().worker_count());
 }
 
+/// The telemetry contract on the crypto hot path: the per-op counters and
+/// histograms in paillier.cpp must cost <2% on a 2048-bit encrypt whether
+/// collection is off (the default, one relaxed load) or on (sharded atomic
+/// adds). Prints ms/op with telemetry off and on plus the relative overhead.
+void print_telemetry_overhead_table() {
+  constexpr std::size_t kKeyBits = 2048;
+  const he::Keypair& kp = keypair(kKeyBits);
+  bigint::Xoshiro256ss rng(45);
+
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(false);
+  const double off_sec =
+      time_op([&] { benchmark::DoNotOptimize(kp.pub.encrypt(BigUint{1}, rng)); });
+  telemetry::set_enabled(true);
+  const double on_sec =
+      time_op([&] { benchmark::DoNotOptimize(kp.pub.encrypt(BigUint{1}, rng)); });
+  telemetry::set_enabled(was_enabled);
+
+  std::printf("== telemetry overhead on paillier encrypt (key_bits = %zu) ==\n",
+              kKeyBits);
+  std::printf("%-36s %12s %12s\n", "mode", "ms/op", "ops/sec");
+  std::printf("%-36s %12.3f %12.1f\n", "encrypt, telemetry off", off_sec * 1e3,
+              1.0 / off_sec);
+  std::printf("%-36s %12.3f %12.1f\n", "encrypt, telemetry on", on_sec * 1e3,
+              1.0 / on_sec);
+  std::printf("%-36s %11.2f%%\n", "overhead (on vs off)",
+              (on_sec / off_sec - 1.0) * 100.0);
+  std::printf("\n");
+}
+
 /// Packed-versus-per-slot vector operations at the deployment key size:
 /// encrypt, decrypt, and homomorphic add of one 63-logical-value vector
 /// (what a 2048-bit key with 32-bit slots fits in a single ciphertext),
@@ -376,6 +407,7 @@ int main(int argc, char** argv) {
   }
   if (!filtered) {
     print_ops_table();
+    print_telemetry_overhead_table();
     print_batch_table();
     print_packed_table();
   }

@@ -7,10 +7,13 @@
 // with rounds x stragglers x delay, the deadline-on column is bounded by
 // stragglers x deadline (plus the honest session itself).
 
+#include <array>
 #include <chrono>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/telemetry.hpp"
 #include "net/fault.hpp"
 #include "net/node.hpp"
 #include "nn/builders.hpp"
@@ -55,6 +58,37 @@ net::SessionParams make_params(bool deadline_on) {
   return p;
 }
 
+// The quarantine ledger as the telemetry registry sees it: session code
+// counts `dubhe_quarantine_total{reason=...}` itself, so the bench reads the
+// registry instead of re-deriving reasons from the transcript. Returns a
+// compact "reason=n" summary of the counters that moved since `before`.
+constexpr std::array<const char*, 6> kQuarantineReasons = {
+    "timeout",   "disconnect",        "bad_frame",
+    "bad_ciphertext", "bad_participation", "replay"};
+
+std::array<std::uint64_t, 6> quarantine_counts() {
+  std::array<std::uint64_t, 6> counts{};
+  for (std::size_t i = 0; i < kQuarantineReasons.size(); ++i) {
+    counts[i] = telemetry::counter(std::string("dubhe_quarantine_total{reason=\"") +
+                                   kQuarantineReasons[i] + "\"}")
+                    .value();
+  }
+  return counts;
+}
+
+std::string quarantine_delta(const std::array<std::uint64_t, 6>& before,
+                             const std::array<std::uint64_t, 6>& after) {
+  std::string out;
+  for (std::size_t i = 0; i < kQuarantineReasons.size(); ++i) {
+    if (after[i] == before[i]) continue;
+    if (!out.empty()) out += ' ';
+    out += kQuarantineReasons[i];
+    out += '=';
+    out += std::to_string(after[i] - before[i]);
+  }
+  return out.empty() ? "-" : out;
+}
+
 }  // namespace
 
 int main() {
@@ -67,8 +101,10 @@ int main() {
   const auto dataset = make_dataset();
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
 
-  sim::Table table(
-      {"stragglers", "deadline", "wall ms", "quarantined", "rounds done"});
+  telemetry::set_enabled(true);  // quarantine column reads the registry
+
+  sim::Table table({"stragglers", "deadline", "wall ms", "quarantined",
+                    "by reason (registry)", "rounds done"});
   for (const std::size_t stragglers : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
     for (const bool deadline_on : {false, true}) {
       std::vector<net::FaultPlan> plans(kClients);
@@ -78,6 +114,7 @@ int main() {
         plans[i].repeat = true;  // straggle every round, not just once
         plans[i].delay = kStraggleDelay;
       }
+      const auto before = quarantine_counts();
       const auto t0 = std::chrono::steady_clock::now();
       const auto t = net::run_loopback_session(dataset, proto,
                                                make_params(deadline_on), plans);
@@ -86,6 +123,7 @@ int main() {
       table.add_row({std::to_string(stragglers), deadline_on ? "50 ms" : "off",
                      std::to_string(wall.count()),
                      std::to_string(t.quarantined.size()),
+                     quarantine_delta(before, quarantine_counts()),
                      std::to_string(t.rounds.size())});
     }
   }

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dubhe::net {
+
+/// Loopback-only admin endpoint for the process-wide telemetry registry: a
+/// single-threaded HTTP/1.0 GET server on the Poller infrastructure.
+///
+///   GET /metrics       -> Prometheus text exposition (version 0.0.4)
+///   GET /metrics.json  -> JSON dump of every counter/gauge/histogram
+///
+/// Trust model: the socket binds 127.0.0.1 and the endpoint is deliberately
+/// unauthenticated — anyone who can open a loopback connection on this host
+/// can read the metrics. It must never be exposed beyond loopback (no
+/// bind-address knob exists on purpose), and it only ever *reads* the
+/// registry: no request can mutate process state.
+///
+/// Out-of-band by construction: its thread touches only the telemetry
+/// registry snapshots, never the data plane, so scraping mid-session cannot
+/// perturb transcripts.
+class MetricsHttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back with
+  /// port()) and starts the serving thread. Throws TransportError on
+  /// bind/listen failure.
+  explicit MetricsHttpServer(std::uint16_t port = 0);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Closes the listener and every in-flight connection, joins the serving
+  /// thread. Called by the destructor; safe to call twice.
+  void stop();
+
+ private:
+  void loop();
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1, wake_w_ = -1;  // self-pipe: stop() wakes the poller
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace dubhe::net

@@ -10,6 +10,7 @@
 
 #include "core/multitime.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 #include "core/registration.hpp"
 #include "core/selection.hpp"
 #include "core/selective.hpp"
@@ -60,6 +61,33 @@ struct RestartRound {};
 constexpr std::uint64_t kUnknown = QuarantineRecord::kUnknownClient;
 constexpr std::uint64_t kSetup = QuarantineRecord::kSetupRound;
 
+/// Per-phase wall-clock histograms for the server session. Telemetry is
+/// strictly out-of-band: nothing here touches the RNG streams, payloads, or
+/// control flow, so transcripts stay byte-identical with telemetry on or off.
+telemetry::Histogram& phase_hist(SessionPhase phase) {
+  static telemetry::Histogram& hello =
+      telemetry::histogram("dubhe_phase_seconds{phase=\"hello\"}");
+  static telemetry::Histogram& registration =
+      telemetry::histogram("dubhe_phase_seconds{phase=\"registration\"}");
+  static telemetry::Histogram& participation =
+      telemetry::histogram("dubhe_phase_seconds{phase=\"participation\"}");
+  static telemetry::Histogram& distribution =
+      telemetry::histogram("dubhe_phase_seconds{phase=\"distribution\"}");
+  static telemetry::Histogram& update =
+      telemetry::histogram("dubhe_phase_seconds{phase=\"update\"}");
+  static telemetry::Histogram& shutdown =
+      telemetry::histogram("dubhe_phase_seconds{phase=\"drain\"}");
+  switch (phase) {
+    case SessionPhase::kHello: return hello;
+    case SessionPhase::kRegistration: return registration;
+    case SessionPhase::kParticipation: return participation;
+    case SessionPhase::kDistribution: return distribution;
+    case SessionPhase::kUpdate: return update;
+    case SessionPhase::kShutdown: return shutdown;
+  }
+  return hello;
+}
+
 /// The server's view of the cohort once the hello exchange bound links to
 /// ids: per-client link + frame-sequence counters, and the quarantine
 /// machinery. Any per-client failure — timeout, disconnect, malformed
@@ -88,6 +116,12 @@ class ServerCohort {
 
   void quarantine(std::uint64_t id, std::uint64_t round, SessionPhase phase,
                   QuarantineReason reason) {
+    if (telemetry::enabled()) {
+      // Quarantines are rare (fault paths only), so the per-call registry
+      // lookup for the label is fine here — no cached ref needed.
+      telemetry::counter("dubhe_quarantine_total{reason=\"" + to_string(reason) + "\"}")
+          .inc();
+    }
     quarantined_.push_back({id, round, phase, reason});
     if (id < links_.size() && links_[id].t != nullptr) {
       // Close immediately: a quarantined client's late frames must never be
@@ -302,9 +336,23 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
   SessionTranscript t;
   ServerCohort cohort(N, t.quarantined);
 
+  if (telemetry::enabled()) {
+    // Pre-register every quarantine series so a scrape always exposes the
+    // family (zero-valued until an event) — dashboards and the smoke test's
+    // mid-session grep must not depend on a fault having fired yet.
+    for (const auto reason :
+         {QuarantineReason::kTimeout, QuarantineReason::kDisconnect,
+          QuarantineReason::kBadFrame, QuarantineReason::kBadCiphertext,
+          QuarantineReason::kBadParticipation, QuarantineReason::kReplay}) {
+      telemetry::counter("dubhe_quarantine_total{reason=\"" + to_string(reason) + "\"}");
+    }
+  }
+
   // --- hello: bind links to client ids. A link that cannot produce a valid
   // hello has no id yet, so its record carries kUnknownClient; the link is
   // closed and never joins the cohort.
+  {
+  telemetry::Span hello_span("phase:hello", &phase_hist(SessionPhase::kHello));
   for (const auto& link : links) {
     try {
       auto frame = link->receive(to.registration);
@@ -341,8 +389,14 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
                                    static_cast<std::uint32_t>(id)}),
                 kSetup, SessionPhase::kHello);
   }
+  }
 
   // --- §5.1 (once per connection): key dispatch + registration. -------------
+  const he::PackedCodec session_packed(params.secure.key_bits - 1,
+                                       params.secure.packing_slot_bits);
+  {
+  telemetry::Span reg_span("phase:registration",
+                           &phase_hist(SessionPhase::kRegistration));
   const Frame key_frame =
       make_key_material({session.keypair().pub, session.keypair().prv});
   for (std::size_t id = 0; id < N; ++id) {
@@ -355,8 +409,6 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
                 kSetup, SessionPhase::kRegistration);
   }
 
-  const he::PackedCodec session_packed(params.secure.key_bits - 1,
-                                       params.secure.packing_slot_bits);
   std::vector<he::EncryptedVector> uploads;
   std::vector<he::PackedEncryptedVector> packed_uploads;
   for (std::size_t id = 0; id < N; ++id) {
@@ -424,6 +476,7 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
     }
     t.overall_registry = session.reduce_registry({&sum, 1});
   }
+  }
   t.setup_ledger = acct.snapshot();
 
   // --- the per-round loop over the same persistent connections. -------------
@@ -438,11 +491,14 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
     // Round begin + the clients' own participation draws. The server never
     // computes an Eq. 6 probability — it only resolves the volunteered bits
     // to exactly K with its replenish stream (§5.2 server half).
+    std::vector<std::vector<std::uint8_t>> draws(N);
+    {
+    telemetry::Span part_span("phase:participation",
+                              &phase_hist(SessionPhase::kParticipation));
     for (std::size_t id = 0; id < N; ++id) {
       cohort.send(id, make_round_begin({static_cast<std::uint64_t>(r)}), r,
                   SessionPhase::kParticipation);
     }
-    std::vector<std::vector<std::uint8_t>> draws(N);
     for (std::size_t id = 0; id < N; ++id) {
       if (!cohort.alive(id)) continue;
       auto f = cohort.recv(id, MsgType::kParticipation, to.upload, r,
@@ -467,12 +523,16 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
       }
       draws[id] = std::move(part.draws);
     }
+    }
 
     // --- §5.3: multi-time determination with per-try encrypted aggregation.
     // A selected client that fails its sweep costs the whole determination:
     // the sweep finishes first (every surviving response consumed, queues
     // balanced), the offender is already quarantined, and the determination
     // re-runs over the survivors with K capped at the cohort that is left.
+    {
+    telemetry::Span dist_span("phase:distribution",
+                              &phase_hist(SessionPhase::kDistribution));
     for (;;) {
       const std::vector<std::size_t> ids = cohort.alive_ids();
       if (ids.empty()) {
@@ -559,8 +619,11 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
         rec = RoundRecord{};
       }
     }
+    }
 
     // --- training round over the winning set (FedAvg over what arrives). ----
+    {
+    telemetry::Span upd_span("phase:update", &phase_hist(SessionPhase::kUpdate));
     const std::uint64_t round_seed = stats::derive_seed(params.round_seed, r);
     const std::vector<float>& global = server.global_weights();
     std::vector<std::size_t> recipients;
@@ -630,6 +693,9 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
       if (m > 0) {
         const std::vector<std::uint64_t> enc_sums = session.reduce_registry({&enc_sum, 1});
         for (std::size_t j = 0; j < plan.k; ++j) sums[plan.mask[j]] = enc_sums[j];
+        static telemetry::Histogram& fedavg_hist =
+            telemetry::histogram("dubhe_fedavg_seconds");
+        telemetry::ScopedTimer fedavg_timer(fedavg_hist);
         server.set_global_weights(core::merge_quantized_updates(
             global, sums, m, params.secure.update_quant_bits,
             params.secure.update_quant_scale));
@@ -653,7 +719,13 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
         }
         updates.push_back(std::move(up.weights));
       }
-      if (!updates.empty()) server.aggregate(updates);
+      if (!updates.empty()) {
+        static telemetry::Histogram& fedavg_hist =
+            telemetry::histogram("dubhe_fedavg_seconds");
+        telemetry::ScopedTimer fedavg_timer(fedavg_hist);
+        server.aggregate(updates);
+      }
+    }
     }
     rec.global_weights = server.global_weights();
     if (params.evaluate) rec.accuracy = server.evaluate(dataset);
@@ -663,15 +735,20 @@ SessionTranscript server_session_impl(std::span<const std::shared_ptr<Transport>
     std::sort(rec.dropped.begin(), rec.dropped.end());
     rec.ledger = fl::ledger_delta(acct.snapshot(), before);
     t.rounds.push_back(std::move(rec));
+    static telemetry::Counter& rounds_total = telemetry::counter("dubhe_rounds_total");
+    rounds_total.inc();
   }
 
   // --- shutdown: every surviving client acknowledges by closing; the drain
   // deadline is the zombie guard (a peer that never acknowledges gets a
   // typed record and a closed link instead of wedging teardown).
-  for (std::size_t id = 0; id < N; ++id) {
-    cohort.send(id, make_shutdown(), kSetup, SessionPhase::kShutdown);
+  {
+    telemetry::Span drain_span("phase:drain", &phase_hist(SessionPhase::kShutdown));
+    for (std::size_t id = 0; id < N; ++id) {
+      cohort.send(id, make_shutdown(), kSetup, SessionPhase::kShutdown);
+    }
+    for (std::size_t id = 0; id < N; ++id) cohort.shutdown_drain(id, to.drain);
   }
-  for (std::size_t id = 0; id < N; ++id) cohort.shutdown_drain(id, to.drain);
 
   // Hello order (and with it record order) can depend on TCP accept order;
   // the canonical sort makes the quarantine list — and the transcript —

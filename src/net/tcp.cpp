@@ -20,6 +20,8 @@
 #include <exception>
 #include <map>
 
+#include "core/telemetry.hpp"
+#include "net/metrics_http.hpp"
 #include "net/poller.hpp"
 #include "stats/rng.hpp"
 
@@ -126,6 +128,30 @@ void drain_wake(int r) {
   std::uint8_t buf[64];  // eventfd reads need >= 8 bytes; pipes drain in gulps
   while (::read(r, buf, sizeof buf) > 0) {
   }
+}
+
+/// Event-loop counters (see src/net/README.md for the catalog). Cached
+/// references: the registry lookup happens once, the hot path pays one
+/// relaxed atomic add per event.
+telemetry::Counter& accepts_total() {
+  static telemetry::Counter& c = telemetry::counter("dubhe_accepts_total");
+  return c;
+}
+telemetry::Counter& emfile_sheds_total() {
+  static telemetry::Counter& c = telemetry::counter("dubhe_emfile_sheds_total");
+  return c;
+}
+telemetry::Counter& sendmsg_batches_total() {
+  static telemetry::Counter& c = telemetry::counter("dubhe_sendmsg_batches_total");
+  return c;
+}
+telemetry::Counter& backpressure_parks_total() {
+  static telemetry::Counter& c = telemetry::counter("dubhe_backpressure_parks_total");
+  return c;
+}
+telemetry::Gauge& connections_gauge() {
+  static telemetry::Gauge& g = telemetry::gauge("dubhe_server_connections");
+  return g;
 }
 
 }  // namespace
@@ -295,6 +321,10 @@ struct TcpServer::Worker {
   std::vector<std::shared_ptr<Conn>> dirty;
 
   std::map<int, std::shared_ptr<Conn>> conns;  // worker-thread only
+
+  /// dubhe_worker_loops_total{worker=i}, bound at construction so the loop
+  /// body never does a registry lookup.
+  telemetry::Counter* loop_iters = nullptr;
 };
 
 /// The Transport face of one accepted connection. Lifetime: holds the Conn
@@ -397,6 +427,8 @@ TcpServer::TcpServer(std::uint16_t port, std::size_t workers) {
       w->poller = Poller::create();
       open_wake_channel(w->wake_r, w->wake_w);
       w->poller->set(w->wake_r, /*want_read=*/true, /*want_write=*/false);
+      w->loop_iters = &telemetry::counter("dubhe_worker_loops_total{worker=\"" +
+                                          std::to_string(i) + "\"}");
       workers_.push_back(std::move(w));
     }
   } catch (...) {
@@ -417,6 +449,15 @@ TcpServer::TcpServer(std::uint16_t port, std::size_t workers) {
 TcpServer::~TcpServer() { stop(); }
 
 const char* TcpServer::backend_name() const { return workers_.front()->poller->name(); }
+
+std::uint16_t TcpServer::serve_metrics(std::uint16_t port) {
+  if (metrics_ == nullptr) metrics_ = std::make_unique<MetricsHttpServer>(port);
+  return metrics_->port();
+}
+
+std::uint16_t TcpServer::metrics_port() const {
+  return metrics_ != nullptr ? metrics_->port() : 0;
+}
 
 std::shared_ptr<Transport> TcpServer::accept() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -451,7 +492,10 @@ bool TcpServer::shed_connection() {
   ::close(reserve_fd_);
   reserve_fd_ = -1;
   const int fd = ::accept(listen_fd_, nullptr, nullptr);
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) {
+    ::close(fd);
+    emfile_sheds_total().inc();
+  }
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   return fd >= 0;
 }
@@ -497,6 +541,8 @@ void TcpServer::listener_loop() {
       }
       conn->owner = best;
       best->load.fetch_add(1, std::memory_order_relaxed);
+      accepts_total().inc();
+      connections_gauge().add(1);
       {
         std::lock_guard<std::mutex> lock(best->mu);
         best->adopt.push_back(conn);
@@ -522,6 +568,7 @@ void TcpServer::retire(Worker& w, int fd) {
   if (w.conns.erase(fd) == 0) return;
   w.poller->remove(fd);
   w.load.fetch_sub(1, std::memory_order_relaxed);
+  connections_gauge().add(-1);
 }
 
 void TcpServer::update_conn(Worker& w, const std::shared_ptr<Conn>& conn) {
@@ -569,7 +616,10 @@ void TcpServer::handle_read(Worker& w, const std::shared_ptr<Conn>& conn,
       // Enforce the high-water bound inside the burst too: stop reading
       // this connection (bytes stay in the kernel buffer and TCP flow
       // control takes over) and let other connections run.
-      if (over_high_water) break;
+      if (over_high_water) {
+        backpressure_parks_total().inc();
+        break;
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -622,6 +672,7 @@ void TcpServer::handle_write(Worker& w, const std::shared_ptr<Conn>& conn) {
     msg.msg_iov = iov;
     msg.msg_iovlen = cnt;
     const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) sendmsg_batches_total().inc();
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -655,6 +706,7 @@ void TcpServer::worker_loop(Worker& w) {
   std::vector<Poller::Event> events;
   std::vector<std::shared_ptr<Conn>> batch;
   while (!stopping_.load()) {
+    w.loop_iters->inc();
     // Intake. Adoptions are queued before any dirty mark for the same
     // connection (a transport only exists after its adopt enqueue), and
     // update_conn registers on first sight, so processing one combined
@@ -717,6 +769,7 @@ void TcpServer::worker_loop(Worker& w) {
 void TcpServer::stop() {
   // Idempotent; not meant to be raced from several threads (the owner —
   // typically the destructor — calls it).
+  metrics_.reset();  // admin endpoint goes down before the data plane
   stopping_.store(true);
   if (wake_w_ >= 0) ring(wake_r_, wake_w_);
   for (const auto& w : workers_) {

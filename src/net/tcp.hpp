@@ -15,6 +15,8 @@
 
 namespace dubhe::net {
 
+class MetricsHttpServer;
+
 /// Client-side TCP endpoint: a blocking connected socket speaking the frame
 /// protocol. connect() resolves only dotted-quad / localhost addresses (the
 /// deployment story here is aggregator + clients on a LAN; no resolver
@@ -108,6 +110,14 @@ class TcpServer {
   /// Called by the destructor; safe to call twice.
   void stop();
 
+  /// Starts the loopback-only admin endpoint (net/metrics_http.hpp) next to
+  /// the data-plane listener and returns its bound port (`port` 0 picks an
+  /// ephemeral one). Idempotent: a second call returns the existing port.
+  /// The endpoint lives until stop().
+  std::uint16_t serve_metrics(std::uint16_t port = 0);
+  /// 0 until serve_metrics() has been called.
+  [[nodiscard]] std::uint16_t metrics_port() const;
+
  private:
   struct Conn;
   struct Worker;
@@ -128,6 +138,7 @@ class TcpServer {
   std::uint16_t port_ = 0;
   std::thread listener_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<MetricsHttpServer> metrics_;
   std::atomic<bool> stopping_{false};
 
   std::mutex mu_;  // guards pending_

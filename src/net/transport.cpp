@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include "core/telemetry.hpp"
 #include "net/codec.hpp"
 
 namespace dubhe::net {
@@ -9,7 +10,18 @@ void Transport::set_accountant(fl::ChannelAccountant* accountant, fl::Direction 
   outbound_ = outbound;
 }
 
+// Every frame that crosses any transport (loopback, TCP client, server conn)
+// passes through exactly one account_* call, which makes these the two tap
+// points for the process-wide frame/byte counters — decorators like
+// FaultyTransport delegate and never double-count.
+
 void Transport::account_sent(const Frame& frame, std::size_t frame_bytes) const {
+  static telemetry::Counter& frames =
+      telemetry::counter("dubhe_frames_total{dir=\"out\"}");
+  static telemetry::Counter& bytes =
+      telemetry::counter("dubhe_frame_bytes_total{dir=\"out\"}");
+  frames.inc();
+  bytes.inc(frame_bytes);
   if (accountant_ != nullptr) {
     accountant_->record(account_kind(frame.type), outbound_, frame_bytes, 1,
                         encrypted_payload_bytes(frame));
@@ -17,6 +29,12 @@ void Transport::account_sent(const Frame& frame, std::size_t frame_bytes) const 
 }
 
 void Transport::account_received(const Frame& frame, std::size_t frame_bytes) const {
+  static telemetry::Counter& frames =
+      telemetry::counter("dubhe_frames_total{dir=\"in\"}");
+  static telemetry::Counter& bytes =
+      telemetry::counter("dubhe_frame_bytes_total{dir=\"in\"}");
+  frames.inc();
+  bytes.inc(frame_bytes);
   if (accountant_ != nullptr) {
     const auto inbound = outbound_ == fl::Direction::kServerToClient
                              ? fl::Direction::kClientToServer

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/cpu.hpp"
+#include "core/telemetry.hpp"
 
 // The PCLMUL tier needs carry-less multiply intrinsics. It is compiled only
 // in SIMD-enabled builds on x86 with a compiler that supports per-function
@@ -245,6 +246,36 @@ std::string to_string(MsgType type) {
   return "msg_type(" + std::to_string(static_cast<int>(type)) + ")";
 }
 
+namespace detail {
+
+namespace {
+/// snake_case label values for the wire-error counter series.
+const char* errc_label(WireErrc code) {
+  switch (code) {
+    case WireErrc::kShortBuffer: return "short_buffer";
+    case WireErrc::kBadMagic: return "bad_magic";
+    case WireErrc::kBadVersion: return "bad_version";
+    case WireErrc::kBadType: return "bad_type";
+    case WireErrc::kBadFlags: return "bad_flags";
+    case WireErrc::kOversized: return "oversized";
+    case WireErrc::kTruncated: return "truncated";
+    case WireErrc::kBadCrc: return "bad_crc";
+    case WireErrc::kBadPayload: return "bad_payload";
+    case WireErrc::kReplayed: return "replayed";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void note_wire_error(WireErrc code) {
+  if (!telemetry::enabled()) return;
+  telemetry::counter(std::string{"dubhe_wire_errors_total{code=\""} +
+                     errc_label(code) + "\"}")
+      .inc();
+}
+
+}  // namespace detail
+
 std::string to_string(WireErrc code) {
   switch (code) {
     case WireErrc::kShortBuffer: return "short buffer";
@@ -286,6 +317,8 @@ std::string to_string(SessionPhase phase) {
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static telemetry::Counter& slice8_calls =
+      telemetry::counter("dubhe_crc32_calls_total{tier=\"slice8\"}");
   std::uint32_t c = 0xFFFFFFFFu;
   const std::uint8_t* p = bytes.data();
   std::size_t n = bytes.size();
@@ -294,12 +327,17 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
   // and benches flipping tiers through core::cpu::set_enabled take effect
   // immediately instead of fighting a cached function pointer.
   if (n >= kPclmulMinBytes && pclmul_usable()) {
+    static telemetry::Counter& pclmul_calls =
+        telemetry::counter("dubhe_crc32_calls_total{tier=\"pclmul\"}");
     const std::size_t chunk = n & ~std::size_t{15};  // whole 16-byte blocks
     c = pclmul_update(c, p, chunk);
     p += chunk;
     n -= chunk;
+    pclmul_calls.inc();
+    return slice8_update(c, p, n) ^ 0xFFFFFFFFu;
   }
 #endif
+  slice8_calls.inc();
   return slice8_update(c, p, n) ^ 0xFFFFFFFFu;
 }
 

@@ -91,10 +91,19 @@ enum class WireErrc {
 
 [[nodiscard]] std::string to_string(WireErrc code);
 
+namespace detail {
+/// Telemetry tap: bumps dubhe_wire_errors_total{code=...} (out-of-band, a
+/// no-op unless telemetry is enabled). Every WireError construction is a
+/// decode/encode rejection, so the constructor is the one counting site.
+void note_wire_error(WireErrc code);
+}  // namespace detail
+
 class WireError : public std::runtime_error {
  public:
   WireError(WireErrc code, const std::string& what)
-      : std::runtime_error(to_string(code) + ": " + what), code_(code) {}
+      : std::runtime_error(to_string(code) + ": " + what), code_(code) {
+    detail::note_wire_error(code);
+  }
 
   [[nodiscard]] WireErrc code() const { return code_; }
 

@@ -4,8 +4,31 @@
 
 #include "bigint/prime.hpp"
 #include "core/parallel.hpp"
+#include "core/telemetry.hpp"
 
 namespace dubhe::he {
+
+namespace {
+
+/// Crypto-op telemetry (counts + latency histograms, fixed-base vs plain
+/// noise path). Out-of-band: no RNG or ciphertext state is touched, so
+/// instrumented and uninstrumented runs are byte-identical.
+telemetry::Histogram& encrypt_hist(bool fixed_base) {
+  static telemetry::Histogram& fb = telemetry::histogram(
+      "dubhe_paillier_encrypt_seconds{mode=\"fixed_base\"}");
+  static telemetry::Histogram& plain =
+      telemetry::histogram("dubhe_paillier_encrypt_seconds{mode=\"plain\"}");
+  return fixed_base ? fb : plain;
+}
+telemetry::Counter& encrypt_count(bool fixed_base) {
+  static telemetry::Counter& fb =
+      telemetry::counter("dubhe_paillier_encrypt_total{mode=\"fixed_base\"}");
+  static telemetry::Counter& plain =
+      telemetry::counter("dubhe_paillier_encrypt_total{mode=\"plain\"}");
+  return fixed_base ? fb : plain;
+}
+
+}  // namespace
 
 PublicKey::PublicKey(BigUint n)
     : n_(std::move(n)),
@@ -25,6 +48,9 @@ Ciphertext PublicKey::encrypt_deterministic(const BigUint& m) const {
 }
 
 Ciphertext PublicKey::encrypt(const BigUint& m, bigint::EntropySource& rng) const {
+  const bool fixed_base = noise_table_ != nullptr;
+  encrypt_count(fixed_base).inc();
+  telemetry::ScopedTimer timer(encrypt_hist(fixed_base));
   Ciphertext gm = encrypt_deterministic(m);
   return rerandomize(gm, rng);
 }
@@ -97,6 +123,11 @@ std::vector<Ciphertext> PublicKey::rerandomize_batch(std::span<const Ciphertext>
 }
 
 Ciphertext PublicKey::add(const Ciphertext& a, const Ciphertext& b) const {
+  static telemetry::Counter& adds = telemetry::counter("dubhe_paillier_add_total");
+  static telemetry::Histogram& hist =
+      telemetry::histogram("dubhe_paillier_add_seconds");
+  adds.inc();
+  telemetry::ScopedTimer timer(hist);
   return Ciphertext{a.c.mul_mod(b.c, n_sq_)};
 }
 
@@ -141,6 +172,12 @@ PrivateKey::PrivateKey(const BigUint& p, const BigUint& q) : p_(p), q_(q) {
 }
 
 BigUint PrivateKey::decrypt(const Ciphertext& ct) const {
+  static telemetry::Counter& decrypts =
+      telemetry::counter("dubhe_paillier_decrypt_total");
+  static telemetry::Histogram& hist =
+      telemetry::histogram("dubhe_paillier_decrypt_seconds");
+  decrypts.inc();
+  telemetry::ScopedTimer timer(hist);
   if (ct.c >= pub_.n_squared()) {
     throw std::out_of_range("Paillier: ciphertext out of range");
   }

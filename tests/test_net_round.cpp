@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/cpu.hpp"
+#include "core/telemetry.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
 #include "nn/builders.hpp"
@@ -128,6 +129,43 @@ TEST(NetRound, LoopbackMatchesDirectBitForBit) {
   EXPECT_GE(loopback.rounds[0].ledger.messages(fl::MessageKind::kControl,
                                                fl::Direction::kClientToServer),
             dataset.num_clients());
+}
+
+TEST(NetRound, TranscriptByteIdenticalWithTelemetryOnAndOff) {
+  // The out-of-band contract: flipping collection AND tracing on must not
+  // move a single transcript byte — no instrumentation site may touch an
+  // RNG stream, a payload, or a control decision. Quarantines included:
+  // the fault plan exercises the counting path inside ServerCohort.
+  const auto dataset = make_dataset(6);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  auto params = make_params(2, 2);
+  params.evaluate = false;
+  std::vector<net::FaultPlan> plans(6);
+  plans[1] = net::parse_fault_plan("disconnect@participation:1");
+
+  telemetry::set_enabled(false);
+  telemetry::set_trace_enabled(false);
+  const auto off = net::run_loopback_session(dataset, proto, params, plans);
+
+  telemetry::set_enabled(true);
+  telemetry::set_trace_enabled(true);
+  const auto on = net::run_loopback_session(dataset, proto, params, plans);
+  telemetry::set_enabled(false);
+  telemetry::set_trace_enabled(false);
+
+  EXPECT_EQ(net::format_transcript(off), net::format_transcript(on));
+  expect_same_transcript(off, on);
+  ASSERT_EQ(off.quarantined.size(), 1u);
+
+  // And the instrumented run did record: the counting is real, just
+  // invisible to the protocol.
+  EXPECT_GT(telemetry::counter("dubhe_frames_total{dir=\"in\"}").value(), 0u);
+  EXPECT_GT(
+      telemetry::counter("dubhe_quarantine_total{reason=\"disconnect\"}").value(), 0u);
+  EXPECT_GT(telemetry::histogram("dubhe_phase_seconds{phase=\"registration\"}").count(),
+            0u);
+  EXPECT_FALSE(telemetry::trace_events().empty());
+  telemetry::reset_all();
 }
 
 TEST(NetRound, PlainSlotModeIsValueIdenticalToPackedDefault) {

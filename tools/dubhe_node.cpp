@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "net/fault.hpp"
 #include "net/node.hpp"
 #include "net/tcp.hpp"
@@ -50,6 +51,9 @@ struct Options {
   double he_rate = 0.0;
   std::string fault_plan;        // empty = honest
   std::size_t fault_client = 0;  // which client misbehaves (selftest)
+  int metrics_port = -1;         // -1 = no admin endpoint; 0 = ephemeral
+  std::string metrics_port_file;
+  std::string trace_out;         // Chrome trace_event JSON path; empty = off
 };
 
 const char* kUsage = R"(dubhe_node — run one Dubhe FL participant as a process
@@ -83,9 +87,18 @@ Server options:
   --transcript F write the round transcript to F
   --workers W    event-loop worker shards (default 1; DUBHE_CPU=portable
                  forces the poll backend inside each shard)
+  --metrics-port P     serve GET /metrics (Prometheus text) and /metrics.json
+                       on 127.0.0.1:P; 0 = ephemeral. Turns telemetry
+                       collection on. Unauthenticated, loopback-only — see
+                       src/net/README.md "Admin endpoint".
+  --metrics-port-file F  write the bound metrics port to F (atomically)
 Client options:
   --id K         this client's index in [0, N)
   --port-file F  wait for F and read the port from it
+Telemetry (any mode; see src/net/README.md "Telemetry"):
+  --trace-out F  record phase spans and write a Chrome trace_event JSON to F
+                 at exit (load via chrome://tracing or https://ui.perfetto.dev).
+                 Collection is otherwise off unless DUBHE_TELEMETRY=on.
 )";
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -142,6 +155,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.fault_plan = v;
     } else if (a == "--fault-client" && (v = need_value(i))) {
       opt.fault_client = std::strtoull(v, nullptr, 10);
+    } else if (a == "--metrics-port" && (v = need_value(i))) {
+      opt.metrics_port = std::atoi(v);
+    } else if (a == "--metrics-port-file" && (v = need_value(i))) {
+      opt.metrics_port_file = v;
+    } else if (a == "--trace-out" && (v = need_value(i))) {
+      opt.trace_out = v;
     } else {
       // A matched flag that failed need_value lands here too with v null —
       // the missing-value message already printed, don't call it unknown.
@@ -226,6 +245,17 @@ int run_server(const Options& opt) {
       !write_file(opt.port_file, std::to_string(server.port()) + "\n")) {
     std::fprintf(stderr, "error: cannot write %s\n", opt.port_file.c_str());
     return 1;
+  }
+  if (opt.metrics_port >= 0) {
+    telemetry::set_enabled(true);  // an admin endpoint implies collection
+    const std::uint16_t mp =
+        server.serve_metrics(static_cast<std::uint16_t>(opt.metrics_port));
+    std::printf("dubhe_node server: metrics on http://127.0.0.1:%u/metrics\n", mp);
+    if (!opt.metrics_port_file.empty() &&
+        !write_file(opt.metrics_port_file, std::to_string(mp) + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.metrics_port_file.c_str());
+      return 1;
+    }
   }
   std::vector<std::shared_ptr<net::Transport>> links;
   links.reserve(opt.clients);
@@ -361,16 +391,38 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stderr);
     return 2;
   }
+  if (!opt.trace_out.empty()) {
+    // Span tracing needs collection on; both stay strictly out-of-band, so
+    // transcripts are byte-identical either way.
+    telemetry::set_enabled(true);
+    telemetry::set_trace_enabled(true);
+  }
+  int rc = 2;
   try {
     switch (opt.mode) {
-      case Options::Mode::kServer: return run_server(opt);
-      case Options::Mode::kClient: return run_client(opt);
-      case Options::Mode::kSelftest: return run_selftest(opt);
+      case Options::Mode::kServer: rc = run_server(opt); break;
+      case Options::Mode::kClient: rc = run_client(opt); break;
+      case Options::Mode::kSelftest: rc = run_selftest(opt); break;
       case Options::Mode::kNone: break;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dubhe_node: fatal: %s\n", e.what());
     return 1;
   }
-  return 2;
+  if (telemetry::enabled()) {
+    const std::string summary = telemetry::Registry::global().render_summary();
+    if (!summary.empty()) {
+      std::printf("--- telemetry ---\n%s", summary.c_str());
+    }
+  }
+  if (!opt.trace_out.empty()) {
+    if (telemetry::write_chrome_trace(opt.trace_out)) {
+      std::printf("trace: %zu span(s) -> %s\n", telemetry::trace_events().size(),
+                  opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.trace_out.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

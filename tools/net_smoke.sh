@@ -135,3 +135,79 @@ grep -q "quarantined=client:1 round:1 phase:participation reason:disconnect" \
   "$TMP/server_churn.txt" || {
   echo "error: expected quarantine record missing from churn transcript" >&2; exit 1; }
 echo "net smoke OK: churn session survived, quarantine records are byte-identical"
+
+# Fourth leg: live metrics. The server exposes the /metrics admin endpoint
+# (--metrics-port 0 = ephemeral, published via --metrics-port-file) and
+# client 1 runs zombie@shutdown — it swallows the shutdown ack, so the
+# server sits in its 5 s drain window with every session frame already
+# exchanged. That window is the deterministic scrape target: curl must see
+# non-zero dubhe_frames_total and the (pre-registered) dubhe_quarantine_total
+# family in valid Prometheus text WHILE the session is still live. Telemetry
+# is strictly out-of-band, so the transcript must still be byte-identical to
+# the in-process selftest under the same fault plan.
+PLAN="zombie@shutdown"
+echo "== dubhe_node live-metrics smoke (/metrics scraped mid-session: $PLAN) =="
+rm -f "$TMP/port" "$TMP/mport"
+"$NODE" --server --clients 3 --rounds "$ROUNDS" --workers 2 --port 0 \
+        --port-file "$TMP/port" --metrics-port 0 --metrics-port-file "$TMP/mport" \
+        --transcript "$TMP/server_metrics.txt" &
+SERVER_PID=$!
+PIDS="$SERVER_PID"
+
+CLIENT_PIDS=""
+for i in 0 1 2; do
+  if [ "$i" = 1 ]; then
+    "$NODE" --client --id "$i" --clients 3 --rounds "$ROUNDS" \
+            --fault-plan "$PLAN" --port-file "$TMP/port" &
+  else
+    "$NODE" --client --id "$i" --clients 3 --rounds "$ROUNDS" \
+            --port-file "$TMP/port" &
+  fi
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+  PIDS="$PIDS $!"
+done
+
+# Scrape while the server is alive: retry until frames have flowed (the
+# drain window gives ~5 s of guaranteed-live server after the last frame).
+SCRAPED=0
+tries=0
+while [ "$tries" -lt 80 ]; do
+  tries=$((tries + 1))
+  if [ -s "$TMP/mport" ] && \
+     curl -sf "http://127.0.0.1:$(cat "$TMP/mport")/metrics" > "$TMP/scrape.txt" 2>/dev/null && \
+     grep -q '^dubhe_frames_total{dir="in"} [1-9]' "$TMP/scrape.txt"; then
+    SCRAPED=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$SCRAPED" = 1 ] || {
+  echo "error: never scraped non-zero dubhe_frames_total from the live server" >&2
+  exit 1; }
+grep -q '^# TYPE dubhe_frames_total counter$' "$TMP/scrape.txt" || {
+  echo "error: scrape is not valid Prometheus text (missing TYPE line)" >&2; exit 1; }
+grep -q '^dubhe_quarantine_total{reason="timeout"} ' "$TMP/scrape.txt" || {
+  echo "error: dubhe_quarantine_total family missing from live scrape" >&2; exit 1; }
+grep -q '^dubhe_phase_seconds_bucket{phase="registration",le="+Inf"} [1-9]' \
+  "$TMP/scrape.txt" || {
+  echo "error: per-phase histogram missing from live scrape" >&2; exit 1; }
+# The aggregator's crypto ops are homomorphic add + decrypt (clients do the
+# encrypting in their own processes).
+grep -q '^# TYPE dubhe_paillier_decrypt_total counter$' "$TMP/scrape.txt" || {
+  echo "error: crypto op counters missing from live scrape" >&2; exit 1; }
+grep -q '^dubhe_paillier_add_total [1-9]' "$TMP/scrape.txt" || {
+  echo "error: homomorphic-add counter missing from live scrape" >&2; exit 1; }
+
+# The zombie client exits 0: ignoring shutdown is its scripted plan.
+for pid in $CLIENT_PIDS; do
+  wait "$pid" || { echo "error: a client process failed (metrics leg)" >&2; exit 1; }
+done
+wait "$SERVER_PID" || { echo "error: the server process failed (metrics leg)" >&2; exit 1; }
+PIDS=""
+
+"$NODE" --selftest --clients 3 --rounds "$ROUNDS" --fault-plan "$PLAN" \
+        --fault-client 1 --transcript "$TMP/selftest_metrics.txt" > /dev/null
+
+echo "== transcript check (live metrics on vs telemetry-off selftest) =="
+diff "$TMP/server_metrics.txt" "$TMP/selftest_metrics.txt"
+echo "net smoke OK: /metrics served mid-session, transcript still byte-identical"
