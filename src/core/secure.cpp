@@ -75,8 +75,23 @@ SecureSelectionSession::SecureSelectionSession(const RegistryCodec& codec,
   }
 }
 
+std::uint64_t registration_stream_seed(std::uint64_t session_seed,
+                                       std::uint64_t client_id) {
+  return stats::derive_seed(session_seed, client_id);
+}
+
+std::uint64_t distribution_stream_seed(std::uint64_t session_seed,
+                                       std::uint64_t num_clients,
+                                       std::uint64_t try_slot,
+                                       std::uint64_t client_id) {
+  // Streams [0, N) are the registration seeds; global try slot s (the
+  // session driver passes round * H + h) occupies [N * (s + 1), N * (s + 2)),
+  // so no two uploads ever share a stream — across tries or across rounds.
+  return stats::derive_seed(session_seed, num_clients * (try_slot + 1) + client_id);
+}
+
 std::uint64_t SecureSelectionSession::registration_seed(std::size_t k) const {
-  return stats::derive_seed(session_seed_, k);
+  return registration_stream_seed(session_seed_, k);
 }
 
 std::uint64_t participation_seed(std::uint64_t session_seed, std::uint64_t round,
@@ -92,10 +107,7 @@ std::uint64_t participation_seed(std::uint64_t session_seed, std::uint64_t round
 
 std::uint64_t SecureSelectionSession::distribution_seed(std::size_t try_slot,
                                                         std::size_t k) const {
-  // Streams [0, N) are the registration seeds; global try slot s (the
-  // session driver passes round * H + h) occupies [N * (s + 1), N * (s + 2)),
-  // so no two uploads ever share a stream — across tries or across rounds.
-  return stats::derive_seed(session_seed_, num_clients_ * (try_slot + 1) + k);
+  return distribution_stream_seed(session_seed_, num_clients_, try_slot, k);
 }
 
 std::size_t SecureSelectionSession::encrypted_registry_bytes() const {

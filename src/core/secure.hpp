@@ -83,6 +83,17 @@ std::vector<std::uint64_t> quantize_distribution(const stats::Distribution& d,
                                                std::uint64_t round,
                                                std::uint64_t client_id);
 
+/// The encryption-stream seed derivations as free functions, so a shard
+/// aggregator (which never constructs a SecureSelectionSession — it holds no
+/// keypair of its own) can validate client uploads against the same streams
+/// the root and the clients use. The member functions below delegate here.
+[[nodiscard]] std::uint64_t registration_stream_seed(std::uint64_t session_seed,
+                                                     std::uint64_t client_id);
+[[nodiscard]] std::uint64_t distribution_stream_seed(std::uint64_t session_seed,
+                                                     std::uint64_t num_clients,
+                                                     std::uint64_t try_slot,
+                                                     std::uint64_t client_id);
+
 /// Accumulated wall-clock spent inside cryptographic primitives.
 struct CryptoTimings {
   double keygen_seconds = 0;

@@ -413,6 +413,373 @@ Frame make_shutdown() { return Frame{MsgType::kShutdown, {}}; }
 
 namespace {
 
+/// Quarantine-record list section shared by every shard-plane partial:
+/// u32 count, then per record u64 client_id, u64 round, u8 phase, u8
+/// reason. Phase/reason bytes outside their enum ranges are rejected — a
+/// record that parses is safe to splice into the root transcript verbatim.
+void write_quarantine_list(Writer& w, std::span<const QuarantineRecord> records) {
+  w.u32_size(records.size(), "quarantine record count");
+  for (const QuarantineRecord& q : records) {
+    w.u64(q.client_id);
+    w.u64(q.round);
+    w.u8(static_cast<std::uint8_t>(q.phase));
+    w.u8(static_cast<std::uint8_t>(q.reason));
+  }
+}
+
+std::vector<QuarantineRecord> read_quarantine_list(Reader& r) {
+  const std::size_t count = r.u32();
+  if (count * 18 > r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "quarantine record count mismatch");
+  }
+  std::vector<QuarantineRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QuarantineRecord q;
+    q.client_id = r.u64();
+    q.round = r.u64();
+    const auto phase = r.take(1)[0];
+    const auto reason = r.take(1)[0];
+    if (phase < static_cast<std::uint8_t>(SessionPhase::kHello) ||
+        phase > static_cast<std::uint8_t>(SessionPhase::kShutdown)) {
+      throw WireError(WireErrc::kBadPayload, "quarantine record: bad phase byte");
+    }
+    if (reason < static_cast<std::uint8_t>(QuarantineReason::kTimeout) ||
+        reason > static_cast<std::uint8_t>(QuarantineReason::kReplay)) {
+      throw WireError(WireErrc::kBadPayload, "quarantine record: bad reason byte");
+    }
+    q.phase = static_cast<SessionPhase>(phase);
+    q.reason = static_cast<QuarantineReason>(reason);
+    records.push_back(q);
+  }
+  return records;
+}
+
+/// The (contributors == 0) <=> (no ciphertext) canonical-encoding rule of
+/// the partial-sum payloads, plus the self-tag check — the root never hands
+/// untagged bytes to the paillier deserializer.
+void check_partial_ciphertext(std::uint32_t contributors,
+                              std::span<const std::uint8_t> ct) {
+  if ((contributors == 0) != ct.empty()) {
+    throw WireError(WireErrc::kBadPayload,
+                    "partial sum: contributor count and ciphertext disagree");
+  }
+  if (!ct.empty() && ct[0] != 'V' && ct[0] != 'K') {
+    throw WireError(WireErrc::kBadPayload, "partial sum: not an encrypted vector");
+  }
+}
+
+}  // namespace
+
+Frame make_shard_hello(const ShardHello& m) {
+  Writer w;
+  w.u32(m.shard_id);
+  w.u32(m.num_shards);
+  w.u64(m.first_client);
+  w.u64(m.num_clients);
+  w.u64(m.total_clients);
+  w.u32(m.protocol);
+  return Frame{MsgType::kShardHello, w.take()};
+}
+
+ShardHello parse_shard_hello(const Frame& f) {
+  check_type(f, MsgType::kShardHello);
+  Reader r(f.payload);
+  ShardHello m;
+  m.shard_id = r.u32();
+  m.num_shards = r.u32();
+  m.first_client = r.u64();
+  m.num_clients = r.u64();
+  m.total_clients = r.u64();
+  m.protocol = r.u32();
+  r.finish();
+  if (m.num_shards == 0 || m.shard_id >= m.num_shards) {
+    throw WireError(WireErrc::kBadPayload, "shard hello: shard id outside shard count");
+  }
+  if (m.num_clients > m.total_clients ||
+      m.first_client > m.total_clients - m.num_clients) {
+    throw WireError(WireErrc::kBadPayload, "shard hello: client range outside cohort");
+  }
+  return m;
+}
+
+Frame make_shard_round_begin(const ShardRoundBegin& m) {
+  Writer w;
+  w.u64(m.round);
+  return Frame{MsgType::kShardRoundBegin, w.take()};
+}
+
+ShardRoundBegin parse_shard_round_begin(const Frame& f) {
+  check_type(f, MsgType::kShardRoundBegin);
+  Reader r(f.payload);
+  ShardRoundBegin m;
+  m.round = r.u64();
+  r.finish();
+  return m;
+}
+
+Frame make_partial_registry(const PartialRegistry& m) {
+  check_partial_ciphertext(m.contributors, m.ciphertext);
+  Writer w;
+  w.reserve(12 + 18 * m.quarantined.size() + m.ciphertext.size());
+  w.u32(m.shard_id);
+  w.u32(m.contributors);
+  write_quarantine_list(w, m.quarantined);
+  w.bytes(m.ciphertext);
+  return Frame{MsgType::kPartialRegistry, w.take()};
+}
+
+PartialRegistry parse_partial_registry(const Frame& f) {
+  check_type(f, MsgType::kPartialRegistry);
+  Reader r(f.payload);
+  PartialRegistry m;
+  m.shard_id = r.u32();
+  m.contributors = r.u32();
+  m.quarantined = read_quarantine_list(r);
+  const auto ct = r.rest();
+  m.ciphertext.assign(ct.begin(), ct.end());
+  check_partial_ciphertext(m.contributors, m.ciphertext);
+  return m;
+}
+
+Frame make_partial_participation(const PartialParticipation& m) {
+  Writer w;
+  w.u32(m.shard_id);
+  w.u64(m.round);
+  write_quarantine_list(w, m.quarantined);
+  w.u32_size(m.entries.size(), "participation entry count");
+  for (const Participation& e : m.entries) {
+    for (const std::uint8_t d : e.draws) {
+      if (d > 1) throw WireError(WireErrc::kBadPayload, "participation draw not a bit");
+    }
+    w.u64(e.client_id);
+    w.u32_size(e.draws.size(), "draw count");
+    w.bytes(e.draws);
+  }
+  return Frame{MsgType::kPartialParticipation, w.take()};
+}
+
+PartialParticipation parse_partial_participation(const Frame& f) {
+  check_type(f, MsgType::kPartialParticipation);
+  Reader r(f.payload);
+  PartialParticipation m;
+  m.shard_id = r.u32();
+  m.round = r.u64();
+  m.quarantined = read_quarantine_list(r);
+  const std::size_t count = r.u32();
+  m.entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Participation e;
+    e.client_id = r.u64();
+    e.round = m.round;
+    const std::size_t draws = r.u32();
+    if (draws > r.remaining()) {
+      throw WireError(WireErrc::kBadPayload, "partial participation: draw count mismatch");
+    }
+    const auto bits = r.take(draws);
+    e.draws.assign(bits.begin(), bits.end());
+    for (const std::uint8_t d : e.draws) {
+      if (d > 1) {
+        throw WireError(WireErrc::kBadPayload, "participation draw not a bit");
+      }
+    }
+    // Strictly ascending ids: one canonical encoding per set of survivors,
+    // and no client can appear (and be counted) twice.
+    if (i > 0 && e.client_id <= m.entries.back().client_id) {
+      throw WireError(WireErrc::kBadPayload,
+                      "partial participation: entries not strictly ascending");
+    }
+    m.entries.push_back(std::move(e));
+  }
+  r.finish();
+  if (m.round == QuarantineRecord::kSetupRound && !m.entries.empty()) {
+    throw WireError(WireErrc::kBadPayload, "drain report carries participation entries");
+  }
+  return m;
+}
+
+Frame make_shard_try_begin(const ShardTryBegin& m) {
+  Writer w;
+  w.reserve(16 + 8 * m.selected.size());
+  w.u64(m.round);
+  w.u32(m.try_index);
+  w.u32_size(m.selected.size(), "selected count");
+  for (const std::uint64_t id : m.selected) w.u64(id);
+  return Frame{MsgType::kShardTryBegin, w.take()};
+}
+
+ShardTryBegin parse_shard_try_begin(const Frame& f) {
+  check_type(f, MsgType::kShardTryBegin);
+  Reader r(f.payload);
+  ShardTryBegin m;
+  m.round = r.u64();
+  m.try_index = r.u32();
+  const std::size_t count = r.u32();
+  if (count * 8 != r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "shard try begin: selected count mismatch");
+  }
+  m.selected.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) m.selected.push_back(r.u64());
+  r.finish();
+  return m;
+}
+
+Frame make_partial_population(const PartialPopulation& m) {
+  check_partial_ciphertext(m.contributors, m.ciphertext);
+  Writer w;
+  w.reserve(25 + 18 * m.quarantined.size() + m.ciphertext.size());
+  w.u32(m.shard_id);
+  w.u64(m.round);
+  w.u32(m.try_index);
+  w.u32(m.contributors);
+  w.u8(m.failed ? 1 : 0);
+  write_quarantine_list(w, m.quarantined);
+  w.bytes(m.ciphertext);
+  return Frame{MsgType::kPartialPopulation, w.take()};
+}
+
+PartialPopulation parse_partial_population(const Frame& f) {
+  check_type(f, MsgType::kPartialPopulation);
+  Reader r(f.payload);
+  PartialPopulation m;
+  m.shard_id = r.u32();
+  m.round = r.u64();
+  m.try_index = r.u32();
+  m.contributors = r.u32();
+  const auto failed = r.take(1)[0];
+  if (failed > 1) {
+    throw WireError(WireErrc::kBadPayload, "partial population: failed flag not a bit");
+  }
+  m.failed = failed == 1;
+  m.quarantined = read_quarantine_list(r);
+  const auto ct = r.rest();
+  m.ciphertext.assign(ct.begin(), ct.end());
+  check_partial_ciphertext(m.contributors, m.ciphertext);
+  return m;
+}
+
+Frame make_shard_update_begin(const ShardUpdateBegin& m) {
+  Writer w;
+  w.reserve(16 + 8 * m.recipients.size() + 4 * m.weights.size());
+  w.u64(m.round);
+  w.u32_size(m.recipients.size(), "recipient count");
+  for (const std::uint64_t id : m.recipients) w.u64(id);
+  w.u32_size(m.weights.size(), "weight count");
+  for (const float x : m.weights) w.u32(std::bit_cast<std::uint32_t>(x));
+  return Frame{MsgType::kShardUpdateBegin, w.take()};
+}
+
+ShardUpdateBegin parse_shard_update_begin(const Frame& f) {
+  check_type(f, MsgType::kShardUpdateBegin);
+  Reader r(f.payload);
+  ShardUpdateBegin m;
+  m.round = r.u64();
+  const std::size_t rcount = r.u32();
+  if (rcount * 8 > r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "shard update begin: recipient count mismatch");
+  }
+  m.recipients.reserve(rcount);
+  for (std::size_t i = 0; i < rcount; ++i) m.recipients.push_back(r.u64());
+  const std::size_t wcount = r.u32();
+  if (wcount * 4 != r.remaining()) {
+    throw WireError(WireErrc::kBadPayload, "shard update begin: weight count mismatch");
+  }
+  m.weights.reserve(wcount);
+  for (std::size_t i = 0; i < wcount; ++i) {
+    m.weights.push_back(std::bit_cast<float>(r.u32()));
+  }
+  r.finish();
+  return m;
+}
+
+Frame make_partial_update(const PartialUpdate& m) {
+  if (m.mode > 1) {
+    throw WireError(WireErrc::kBadPayload, "partial update: unknown mode");
+  }
+  Writer w;
+  w.u32(m.shard_id);
+  w.u64(m.round);
+  w.u8(m.mode);
+  write_quarantine_list(w, m.quarantined);
+  if (m.mode == 0) {
+    w.u32_size(m.updates.size(), "update entry count");
+    for (const ShardUpdateEntry& e : m.updates) {
+      w.u64(e.client_id);
+      w.u32_size(e.weights.size(), "weight count");
+      for (const float x : e.weights) w.u32(std::bit_cast<std::uint32_t>(x));
+    }
+  } else {
+    check_partial_ciphertext(m.contributors, m.ciphertext);
+    if (m.contributors == 0 && !m.plain_sums.empty()) {
+      throw WireError(WireErrc::kBadPayload,
+                      "partial update: plain sums without contributors");
+    }
+    w.u32(m.contributors);
+    w.u32_size(m.plain_sums.size(), "plain sum count");
+    for (const std::uint64_t v : m.plain_sums) w.u64(v);
+    w.bytes(m.ciphertext);
+  }
+  return Frame{MsgType::kPartialUpdate, w.take()};
+}
+
+PartialUpdate parse_partial_update(const Frame& f) {
+  check_type(f, MsgType::kPartialUpdate);
+  Reader r(f.payload);
+  PartialUpdate m;
+  m.shard_id = r.u32();
+  m.round = r.u64();
+  m.mode = r.take(1)[0];
+  if (m.mode > 1) {
+    throw WireError(WireErrc::kBadPayload, "partial update: unknown mode");
+  }
+  m.quarantined = read_quarantine_list(r);
+  if (m.mode == 0) {
+    const std::size_t count = r.u32();
+    m.updates.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ShardUpdateEntry e;
+      e.client_id = r.u64();
+      // Entries ride in the shard's recipient order, which is a subsequence
+      // of the global selection order — not necessarily ascending — so only
+      // duplicates are rejected (same id twice would double-count a client
+      // in the FedAvg reassembly).
+      for (const ShardUpdateEntry& seen : m.updates) {
+        if (seen.client_id == e.client_id) {
+          throw WireError(WireErrc::kBadPayload, "partial update: duplicate client id");
+        }
+      }
+      const std::size_t wcount = r.u32();
+      if (wcount * 4 > r.remaining()) {
+        throw WireError(WireErrc::kBadPayload, "partial update: weight count mismatch");
+      }
+      e.weights.reserve(wcount);
+      for (std::size_t j = 0; j < wcount; ++j) {
+        e.weights.push_back(std::bit_cast<float>(r.u32()));
+      }
+      m.updates.push_back(std::move(e));
+    }
+    r.finish();
+  } else {
+    m.contributors = r.u32();
+    const std::size_t pcount = r.u32();
+    if (pcount * 8 > r.remaining()) {
+      throw WireError(WireErrc::kBadPayload, "partial update: plain sum count mismatch");
+    }
+    m.plain_sums.reserve(pcount);
+    for (std::size_t i = 0; i < pcount; ++i) m.plain_sums.push_back(r.u64());
+    const auto ct = r.rest();
+    m.ciphertext.assign(ct.begin(), ct.end());
+    check_partial_ciphertext(m.contributors, m.ciphertext);
+    if (m.contributors == 0 && !m.plain_sums.empty()) {
+      throw WireError(WireErrc::kBadPayload,
+                      "partial update: plain sums without contributors");
+    }
+  }
+  return m;
+}
+
+namespace {
+
 /// Bounds-checked big-endian u32 peek used by encrypted_payload_bytes.
 bool peek_u32(std::span<const std::uint8_t> p, std::size_t off, std::uint64_t& out) {
   if (p.size() < off + 4) return false;
@@ -465,6 +832,41 @@ std::size_t encrypted_payload_bytes(const Frame& f) {
       return static_cast<std::size_t>(
           encrypted_vector_payload_bytes(p.subspan(static_cast<std::size_t>(prefix))));
     }
+    case MsgType::kPartialRegistry: {
+      // shard_id, contributors, quarantine list, then the 'V'/'K' vector.
+      const std::span<const std::uint8_t> p = f.payload;
+      std::uint64_t qcount = 0;
+      if (!peek_u32(p, 8, qcount)) return 0;
+      const std::uint64_t off = 12 + 18 * qcount;
+      if (p.size() <= off) return 0;
+      return static_cast<std::size_t>(
+          encrypted_vector_payload_bytes(p.subspan(static_cast<std::size_t>(off))));
+    }
+    case MsgType::kPartialPopulation: {
+      // shard_id, round, try_index, contributors, failed byte, quarantine
+      // list, then the 'V'/'K' vector.
+      const std::span<const std::uint8_t> p = f.payload;
+      std::uint64_t qcount = 0;
+      if (!peek_u32(p, 21, qcount)) return 0;
+      const std::uint64_t off = 25 + 18 * qcount;
+      if (p.size() <= off) return 0;
+      return static_cast<std::size_t>(
+          encrypted_vector_payload_bytes(p.subspan(static_cast<std::size_t>(off))));
+    }
+    case MsgType::kPartialUpdate: {
+      // Only mode 1 (partial sums) carries ciphertext: shard_id, round,
+      // mode byte, quarantine list, contributors, plain sums, 'K' vector.
+      const std::span<const std::uint8_t> p = f.payload;
+      if (p.size() < 13 || p[12] != 1) return 0;
+      std::uint64_t qcount = 0;
+      std::uint64_t pcount = 0;
+      if (!peek_u32(p, 13, qcount)) return 0;
+      if (!peek_u32(p, 21 + 18 * qcount, pcount)) return 0;
+      const std::uint64_t off = 25 + 18 * qcount + 8 * pcount;
+      if (p.size() <= off) return 0;
+      return static_cast<std::size_t>(
+          encrypted_vector_payload_bytes(p.subspan(static_cast<std::size_t>(off))));
+    }
     default:
       // kKeyMaterial ships key material, not ciphertext; everything else is
       // control-plane or plaintext weights.
@@ -481,6 +883,12 @@ fl::MessageKind account_kind(MsgType type) {
     case MsgType::kModelDown:
     case MsgType::kModelUpdate:
     case MsgType::kModelUpdateSparse: return fl::MessageKind::kModelWeights;
+    // Shard plane: partial sums account under the phase they aggregate, so
+    // flat and tree deployments are comparable row by row.
+    case MsgType::kPartialRegistry: return fl::MessageKind::kRegistry;
+    case MsgType::kPartialPopulation: return fl::MessageKind::kDistribution;
+    case MsgType::kShardUpdateBegin:
+    case MsgType::kPartialUpdate: return fl::MessageKind::kModelWeights;
     default: return fl::MessageKind::kControl;
   }
 }

@@ -137,6 +137,151 @@ ModelUpdateSparse parse_model_update_sparse(const Frame& f);
 
 Frame make_shutdown();
 
+/// --- the shard plane (wire v5): root <-> shard-aggregator payloads. ------
+/// A shard aggregator owns the contiguous client range [first_client,
+/// first_client + num_clients) of a cohort of total_clients, split across
+/// num_shards shards. Partial messages carry the shard's quarantine records
+/// since its previous report (so churn reaches the root transcript intact)
+/// and, where ciphertext flows, the shard's homomorphic partial sum in the
+/// paillier wire form ('V'/'K' self-tagged bytes) — the root validates it
+/// against the session key and geometry before it joins the global sum,
+/// exactly as the flat aggregator validates a client upload.
+
+struct ShardHello {
+  std::uint32_t shard_id = 0;
+  std::uint32_t num_shards = 0;
+  std::uint64_t first_client = 0;
+  std::uint64_t num_clients = 0;    // clients this shard owns
+  std::uint64_t total_clients = 0;  // cohort size across all shards
+  std::uint32_t protocol = kWireVersion;
+
+  bool operator==(const ShardHello&) const = default;
+};
+
+struct ShardRoundBegin {
+  std::uint64_t round = 0;
+
+  bool operator==(const ShardRoundBegin&) const = default;
+};
+
+/// Partial registry sum: `contributors` clients' validated uploads summed
+/// homomorphically shard-side. `ciphertext` is empty iff contributors == 0
+/// (a canonical-encoding rule the parser enforces).
+struct PartialRegistry {
+  std::uint32_t shard_id = 0;
+  std::uint32_t contributors = 0;
+  std::vector<QuarantineRecord> quarantined;
+  std::vector<std::uint8_t> ciphertext;  // 'V'/'K' paillier wire form
+
+  bool operator==(const PartialRegistry&) const = default;
+};
+
+/// The shard's surviving clients' validated participation draws for one
+/// round (entries strictly ascending by client id — canonical encoding).
+/// round == QuarantineRecord::kSetupRound marks the shutdown drain report,
+/// which carries only the final quarantine flush (entries must be empty).
+struct PartialParticipation {
+  std::uint32_t shard_id = 0;
+  std::uint64_t round = 0;
+  std::vector<QuarantineRecord> quarantined;
+  std::vector<Participation> entries;
+
+  bool operator==(const PartialParticipation&) const = default;
+};
+
+/// One tentative try for a shard: the selected clients this shard owns, in
+/// global selection order. The shard runs the unchanged per-client
+/// distribution sweep over them.
+struct ShardTryBegin {
+  std::uint64_t round = 0;
+  std::uint32_t try_index = 0;             // h
+  std::vector<std::uint64_t> selected;     // global client ids
+
+  bool operator==(const ShardTryBegin&) const = default;
+};
+
+/// Partial population sum for one try. `failed` mirrors the flat driver's
+/// restart trigger: a selected client died or misbehaved during the sweep
+/// (the sweep still completed, the offenders are in `quarantined`), so the
+/// root must restart the whole determination over the survivors.
+struct PartialPopulation {
+  std::uint32_t shard_id = 0;
+  std::uint64_t round = 0;
+  std::uint32_t try_index = 0;
+  std::uint32_t contributors = 0;
+  bool failed = false;
+  std::vector<QuarantineRecord> quarantined;
+  std::vector<std::uint8_t> ciphertext;  // empty iff contributors == 0
+
+  bool operator==(const PartialPopulation&) const = default;
+};
+
+/// Update phase for a shard: its recipients (global selection order) and
+/// the global weights to train from.
+struct ShardUpdateBegin {
+  std::uint64_t round = 0;
+  std::vector<std::uint64_t> recipients;  // global client ids
+  std::vector<float> weights;
+
+  bool operator==(const ShardUpdateBegin&) const = default;
+};
+
+/// One forwarded plaintext update inside a PartialUpdate (mode 0).
+struct ShardUpdateEntry {
+  std::uint64_t client_id = 0;
+  std::vector<float> weights;
+
+  bool operator==(const ShardUpdateEntry&) const = default;
+};
+
+/// The shard's update-phase result. Two modes, because float FedAvg is
+/// order-sensitive while the quantized/encrypted path is exact:
+///   mode 0 (update_he_rate == 0): the raw per-client float updates are
+///     forwarded, tagged with their ids, so the root can reassemble them in
+///     flat selection order before the FedAvg accumulation — summing floats
+///     shard-side would re-associate the adds and drift the transcript.
+///   mode 1 (update_he_rate > 0): genuine partial aggregation — exact u64
+///     sums over the plaintext coordinates (ascending plan order) plus the
+///     homomorphic partial sum of the packed top-k ciphertexts; u64
+///     wrap-around addition and Paillier addition are both associative, so
+///     re-parenthesizing across shards is bit-identical.
+struct PartialUpdate {
+  std::uint32_t shard_id = 0;
+  std::uint64_t round = 0;
+  std::uint8_t mode = 0;  // 0 = forwarded updates, 1 = sparse partial sums
+  std::vector<QuarantineRecord> quarantined;
+  std::vector<ShardUpdateEntry> updates;   // mode 0
+  std::uint32_t contributors = 0;          // mode 1
+  std::vector<std::uint64_t> plain_sums;   // mode 1, ascending plan order
+  std::vector<std::uint8_t> ciphertext;    // mode 1, empty iff contributors == 0
+
+  bool operator==(const PartialUpdate&) const = default;
+};
+
+Frame make_shard_hello(const ShardHello& m);
+ShardHello parse_shard_hello(const Frame& f);
+
+Frame make_shard_round_begin(const ShardRoundBegin& m);
+ShardRoundBegin parse_shard_round_begin(const Frame& f);
+
+Frame make_partial_registry(const PartialRegistry& m);
+PartialRegistry parse_partial_registry(const Frame& f);
+
+Frame make_partial_participation(const PartialParticipation& m);
+PartialParticipation parse_partial_participation(const Frame& f);
+
+Frame make_shard_try_begin(const ShardTryBegin& m);
+ShardTryBegin parse_shard_try_begin(const Frame& f);
+
+Frame make_partial_population(const PartialPopulation& m);
+PartialPopulation parse_partial_population(const Frame& f);
+
+Frame make_shard_update_begin(const ShardUpdateBegin& m);
+ShardUpdateBegin parse_shard_update_begin(const Frame& f);
+
+Frame make_partial_update(const PartialUpdate& m);
+PartialUpdate parse_partial_update(const Frame& f);
+
 /// Ciphertext-material bytes inside a frame's payload: the raw Paillier
 /// ciphertext bytes of a 'V'/'K' encrypted-vector payload or of the packed
 /// section of a kModelUpdateSparse payload — excluding framing, length

@@ -1,0 +1,147 @@
+#pragma once
+
+/// Shared machinery of the aggregator-side session drivers. The flat
+/// driver (net/node.cpp) and the tree drivers (net/shard.cpp: root and
+/// shard-aggregator) all sit at the receiving end of untrusted per-client
+/// links and share the same discipline: typed quarantine instead of
+/// aborts, session-key/shape validation before any ciphertext joins a
+/// homomorphic sum, and one authoritative derivation for every plan or
+/// seed both ends compute independently. Internal to the net layer —
+/// nothing here is part of the public session API in net/node.hpp.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/multitime.hpp"
+#include "core/secure.hpp"
+#include "core/telemetry.hpp"
+#include "net/codec.hpp"
+#include "net/node.hpp"
+#include "net/transport.hpp"
+
+namespace dubhe::net::detail {
+
+constexpr std::uint64_t kUnknown = QuarantineRecord::kUnknownClient;
+constexpr std::uint64_t kSetup = QuarantineRecord::kSetupRound;
+
+/// Wire-parsed uploads are untrusted: before a ciphertext joins a
+/// homomorphic sum it must carry the *session* key and the expected shape,
+/// otherwise a misbehaving client could silently corrupt the aggregate
+/// (deserialization only validates slots against the key the payload itself
+/// embeds). Clients apply the same checks to the registry broadcast before
+/// trusting its decryption, and the tree root applies them to every
+/// shard-aggregated partial sum before it joins the global reduction.
+void check_encrypted(const he::EncryptedVector& v, const he::PublicKey& session_key,
+                     std::size_t want_slots);
+void check_encrypted(const he::PackedEncryptedVector& v, const he::PublicKey& session_key,
+                     std::size_t want_logical, const he::PackedCodec& want_codec);
+
+/// Thrown inside a round's determination when a selected client failed its
+/// distribution sweep: the sweep is always finished first (so every sent
+/// request has its response consumed and the per-connection queues stay
+/// balanced), the offenders are quarantined, and the whole determination
+/// re-runs over the survivors. The replenish stream (sel_rng) continues —
+/// the restart point is a deterministic function of the fault plan, which
+/// keeps churn transcripts identical across transports.
+struct RestartRound {};
+
+/// Per-phase wall-clock histograms for the session drivers. Telemetry is
+/// strictly out-of-band: nothing here touches the RNG streams, payloads, or
+/// control flow, so transcripts stay byte-identical with telemetry on or
+/// off. (The registry is keyed by series name, so the flat and tree drivers
+/// land in the same histograms.)
+telemetry::Histogram& phase_hist(SessionPhase phase);
+
+/// The aggregator's view of its cohort once the hello exchange bound links
+/// to ids: per-client link + frame-sequence counters, and the quarantine
+/// machinery. Any per-client failure — timeout, disconnect, malformed
+/// frame, sequence violation — drops that client (typed record, link
+/// closed) instead of aborting the session.
+///
+/// Ids passed in are cohort-local (indices into the link table); the
+/// quarantine records carry `id_base + id` so a shard aggregator owning the
+/// global range [id_base, id_base + n) emits records in global client ids —
+/// the flat driver passes id_base = 0 and the two coincide.
+class ServerCohort {
+ public:
+  ServerCohort(std::size_t n, std::vector<QuarantineRecord>& quarantined,
+               std::uint64_t id_base = 0)
+      : links_(n), quarantined_(quarantined), id_base_(id_base) {}
+
+  void bind(std::size_t id, std::shared_ptr<Transport> t) {
+    links_[id].t = std::move(t);
+    links_[id].recv_seq = 1;  // the hello (seq 0) was already consumed
+  }
+
+  [[nodiscard]] bool alive(std::size_t id) const { return links_[id].t != nullptr; }
+
+  [[nodiscard]] std::vector<std::size_t> alive_ids() const {
+    std::vector<std::size_t> ids;
+    ids.reserve(links_.size());
+    for (std::size_t id = 0; id < links_.size(); ++id) {
+      if (alive(id)) ids.push_back(id);
+    }
+    return ids;
+  }
+
+  void quarantine(std::uint64_t id, std::uint64_t round, SessionPhase phase,
+                  QuarantineReason reason);
+
+  /// Sends with this link's next outbound sequence number. A dead channel
+  /// quarantines the client (kDisconnect) and returns false.
+  bool send(std::size_t id, Frame frame, std::uint64_t round, SessionPhase phase);
+
+  /// Receives one frame of the expected type under the phase deadline,
+  /// enforcing the monotonic-sequence rule (a replayed frame is a typed
+  /// quarantine, never a silent duplicate). Any failure quarantines the
+  /// client and returns nullopt.
+  std::optional<Frame> recv(std::size_t id, MsgType want,
+                            std::chrono::milliseconds deadline, std::uint64_t round,
+                            SessionPhase phase);
+
+  /// Shutdown drain with a deadline (the zombie guard): frames are read and
+  /// discarded — sequence rules no longer matter, the session is over —
+  /// until the peer closes or the deadline expires.
+  void shutdown_drain(std::size_t id, std::chrono::milliseconds deadline);
+
+ private:
+  struct LiveLink {
+    std::shared_ptr<Transport> t;
+    std::uint16_t send_seq = 0;
+    std::uint16_t recv_seq = 0;
+  };
+
+  std::vector<LiveLink> links_;
+  std::vector<QuarantineRecord>& quarantined_;
+  std::uint64_t id_base_ = 0;
+};
+
+/// Geometry of one round's selectively encrypted updates (wire v3,
+/// kModelUpdateSparse), derived identically on every endpoint from data
+/// they already share: the global weights broadcast in kModelDown, the
+/// session's SecureConfig, and the cohort size N. Zero mask bytes cross
+/// the wire, all clients' packed ciphertext slots line up for homomorphic
+/// addition, and the server can reject an upload whose bitmap disagrees.
+struct SparseUpdatePlan {
+  std::size_t n = 0;                     // total coordinates
+  std::size_t k = 0;                     // encrypted coordinates
+  std::vector<std::uint32_t> mask;       // encrypted indices, ascending
+  std::vector<std::uint32_t> plain_idx;  // the complement, ascending
+  std::vector<std::uint8_t> bitmap;
+  he::PackedCodec codec{1, 1};
+};
+
+SparseUpdatePlan sparse_plan(std::span<const float> global, const core::SecureConfig& sc,
+                             std::size_t num_clients);
+
+/// Both execution modes run the §5.3.1 determination through the single
+/// authoritative core::multi_time_select loop (only the selection and
+/// aggregation steps differ); this just copies its outcome into the record.
+void fill_from_outcome(RoundRecord& r, core::MultiTimeOutcome&& mt);
+
+void check_session_params(const SessionParams& params, std::size_t N);
+
+}  // namespace dubhe::net::detail

@@ -17,6 +17,7 @@
 #include "fl/client.hpp"
 #include "fl/server.hpp"
 #include "net/codec.hpp"
+#include "net/cohort.hpp"
 #include "net/tcp.hpp"
 #include "stats/rng.hpp"
 
@@ -24,192 +25,18 @@ namespace dubhe::net {
 
 namespace {
 
-/// Wire-parsed uploads are untrusted: before a ciphertext joins a
-/// homomorphic sum it must carry the *session* key and the expected shape,
-/// otherwise a misbehaving client could silently corrupt the aggregate
-/// (deserialization only validates slots against the key the payload itself
-/// embeds). Clients apply the same checks to the registry broadcast before
-/// trusting its decryption.
-void check_encrypted(const he::EncryptedVector& v, const he::PublicKey& session_key,
-                     std::size_t want_slots) {
-  if (!(v.public_key() == session_key) || v.size() != want_slots) {
-    throw WireError(WireErrc::kBadPayload, "encrypted payload does not match the session");
-  }
-}
-
-void check_encrypted(const he::PackedEncryptedVector& v, const he::PublicKey& session_key,
-                     std::size_t want_logical, const he::PackedCodec& want_codec) {
-  // Both geometry fields matter: a forged slots_per_plaintext can keep the
-  // ciphertext count identical while shifting every slot boundary.
-  if (!(v.public_key() == session_key) || v.logical_size() != want_logical ||
-      v.codec().slot_bits() != want_codec.slot_bits() ||
-      v.codec().slots_per_plaintext() != want_codec.slots_per_plaintext()) {
-    throw WireError(WireErrc::kBadPayload,
-                    "packed encrypted payload does not match the session");
-  }
-}
-
-/// Thrown inside a round's determination when a selected client failed its
-/// distribution sweep: the sweep is always finished first (so every sent
-/// request has its response consumed and the per-connection queues stay
-/// balanced), the offenders are quarantined, and the whole determination
-/// re-runs over the survivors. The replenish stream (sel_rng) continues —
-/// the restart point is a deterministic function of the fault plan, which
-/// keeps churn transcripts identical across transports.
-struct RestartRound {};
-
-constexpr std::uint64_t kUnknown = QuarantineRecord::kUnknownClient;
-constexpr std::uint64_t kSetup = QuarantineRecord::kSetupRound;
-
-/// Per-phase wall-clock histograms for the server session. Telemetry is
-/// strictly out-of-band: nothing here touches the RNG streams, payloads, or
-/// control flow, so transcripts stay byte-identical with telemetry on or off.
-telemetry::Histogram& phase_hist(SessionPhase phase) {
-  static telemetry::Histogram& hello =
-      telemetry::histogram("dubhe_phase_seconds{phase=\"hello\"}");
-  static telemetry::Histogram& registration =
-      telemetry::histogram("dubhe_phase_seconds{phase=\"registration\"}");
-  static telemetry::Histogram& participation =
-      telemetry::histogram("dubhe_phase_seconds{phase=\"participation\"}");
-  static telemetry::Histogram& distribution =
-      telemetry::histogram("dubhe_phase_seconds{phase=\"distribution\"}");
-  static telemetry::Histogram& update =
-      telemetry::histogram("dubhe_phase_seconds{phase=\"update\"}");
-  static telemetry::Histogram& shutdown =
-      telemetry::histogram("dubhe_phase_seconds{phase=\"drain\"}");
-  switch (phase) {
-    case SessionPhase::kHello: return hello;
-    case SessionPhase::kRegistration: return registration;
-    case SessionPhase::kParticipation: return participation;
-    case SessionPhase::kDistribution: return distribution;
-    case SessionPhase::kUpdate: return update;
-    case SessionPhase::kShutdown: return shutdown;
-  }
-  return hello;
-}
-
-/// The server's view of the cohort once the hello exchange bound links to
-/// ids: per-client link + frame-sequence counters, and the quarantine
-/// machinery. Any per-client failure — timeout, disconnect, malformed
-/// frame, sequence violation — drops that client (typed record, link
-/// closed) instead of aborting the session.
-class ServerCohort {
- public:
-  ServerCohort(std::size_t n, std::vector<QuarantineRecord>& quarantined)
-      : links_(n), quarantined_(quarantined) {}
-
-  void bind(std::size_t id, std::shared_ptr<Transport> t) {
-    links_[id].t = std::move(t);
-    links_[id].recv_seq = 1;  // the hello (seq 0) was already consumed
-  }
-
-  [[nodiscard]] bool alive(std::size_t id) const { return links_[id].t != nullptr; }
-
-  [[nodiscard]] std::vector<std::size_t> alive_ids() const {
-    std::vector<std::size_t> ids;
-    ids.reserve(links_.size());
-    for (std::size_t id = 0; id < links_.size(); ++id) {
-      if (alive(id)) ids.push_back(id);
-    }
-    return ids;
-  }
-
-  void quarantine(std::uint64_t id, std::uint64_t round, SessionPhase phase,
-                  QuarantineReason reason) {
-    if (telemetry::enabled()) {
-      // Quarantines are rare (fault paths only), so the per-call registry
-      // lookup for the label is fine here — no cached ref needed.
-      telemetry::counter("dubhe_quarantine_total{reason=\"" + to_string(reason) + "\"}")
-          .inc();
-    }
-    quarantined_.push_back({id, round, phase, reason});
-    if (id < links_.size() && links_[id].t != nullptr) {
-      // Close immediately: a quarantined client's late frames must never be
-      // read (they would desynchronize the per-phase receive sweeps).
-      links_[id].t->close();
-      links_[id].t = nullptr;
-    }
-  }
-
-  /// Sends with this link's next outbound sequence number. A dead channel
-  /// quarantines the client (kDisconnect) and returns false.
-  bool send(std::size_t id, Frame frame, std::uint64_t round, SessionPhase phase) {
-    if (!alive(id)) return false;
-    frame.seq = links_[id].send_seq;
-    try {
-      links_[id].t->send(frame);
-    } catch (const TransportError&) {
-      quarantine(id, round, phase, QuarantineReason::kDisconnect);
-      return false;
-    }
-    ++links_[id].send_seq;
-    return true;
-  }
-
-  /// Receives one frame of the expected type under the phase deadline,
-  /// enforcing the monotonic-sequence rule (a replayed frame is a typed
-  /// quarantine, never a silent duplicate). Any failure quarantines the
-  /// client and returns nullopt.
-  std::optional<Frame> recv(std::size_t id, MsgType want, std::chrono::milliseconds deadline,
-                            std::uint64_t round, SessionPhase phase) {
-    if (!alive(id)) return std::nullopt;
-    try {
-      auto frame = links_[id].t->receive(deadline);
-      if (!frame) {
-        quarantine(id, round, phase, QuarantineReason::kDisconnect);
-        return std::nullopt;
-      }
-      if (frame->seq != links_[id].recv_seq) {
-        quarantine(id, round, phase, QuarantineReason::kReplay);
-        return std::nullopt;
-      }
-      ++links_[id].recv_seq;
-      if (frame->type != want) {
-        quarantine(id, round, phase, QuarantineReason::kBadFrame);
-        return std::nullopt;
-      }
-      return frame;
-    } catch (const TransportTimeout&) {
-      quarantine(id, round, phase, QuarantineReason::kTimeout);
-    } catch (const TransportError&) {
-      quarantine(id, round, phase, QuarantineReason::kDisconnect);
-    } catch (const WireError&) {
-      // Transport-level decode garbage (bad CRC, framing cut mid-stream).
-      quarantine(id, round, phase, QuarantineReason::kBadFrame);
-    }
-    return std::nullopt;
-  }
-
-  /// Shutdown drain with a deadline (the zombie guard): frames are read and
-  /// discarded — sequence rules no longer matter, the session is over —
-  /// until the peer closes or the deadline expires.
-  void shutdown_drain(std::size_t id, std::chrono::milliseconds deadline) {
-    if (!alive(id)) return;
-    try {
-      while (links_[id].t->receive(deadline)) {
-        // drain stragglers until the peer closes
-      }
-      links_[id].t->close();
-      links_[id].t = nullptr;
-    } catch (const TransportTimeout&) {
-      quarantine(id, kSetup, SessionPhase::kShutdown, QuarantineReason::kTimeout);
-    } catch (const TransportError&) {
-      quarantine(id, kSetup, SessionPhase::kShutdown, QuarantineReason::kDisconnect);
-    } catch (const WireError&) {
-      quarantine(id, kSetup, SessionPhase::kShutdown, QuarantineReason::kBadFrame);
-    }
-  }
-
- private:
-  struct LiveLink {
-    std::shared_ptr<Transport> t;
-    std::uint16_t send_seq = 0;
-    std::uint16_t recv_seq = 0;
-  };
-
-  std::vector<LiveLink> links_;
-  std::vector<QuarantineRecord>& quarantined_;
-};
+// The cohort/quarantine machinery, upload validation, and sparse-update
+// plans are shared with the tree drivers (net/shard.cpp) via net/cohort.hpp.
+using detail::check_encrypted;
+using detail::check_session_params;
+using detail::fill_from_outcome;
+using detail::kSetup;
+using detail::kUnknown;
+using detail::phase_hist;
+using detail::RestartRound;
+using detail::ServerCohort;
+using detail::sparse_plan;
+using detail::SparseUpdatePlan;
 
 /// Client-side encryption of one upload (registry one-hot or quantized
 /// distribution) under the session's packing mode, seeded from the server's
@@ -223,37 +50,6 @@ Frame encrypt_upload(MsgType type, const he::PublicKey& pk, const SessionParams&
                                  he::PackedEncryptedVector::encrypt(pk, packed, values, rng));
   }
   return make_encrypted_vector(type, he::EncryptedVector::encrypt(pk, values, rng));
-}
-
-/// Geometry of one round's selectively encrypted updates (wire v3,
-/// kModelUpdateSparse), derived identically on every endpoint from data
-/// they already share: the global weights broadcast in kModelDown, the
-/// session's SecureConfig, and the cohort size N. Zero mask bytes cross
-/// the wire, all clients' packed ciphertext slots line up for homomorphic
-/// addition, and the server can reject an upload whose bitmap disagrees.
-struct SparseUpdatePlan {
-  std::size_t n = 0;                     // total coordinates
-  std::size_t k = 0;                     // encrypted coordinates
-  std::vector<std::uint32_t> mask;       // encrypted indices, ascending
-  std::vector<std::uint32_t> plain_idx;  // the complement, ascending
-  std::vector<std::uint8_t> bitmap;
-  he::PackedCodec codec{1, 1};
-};
-
-SparseUpdatePlan sparse_plan(std::span<const float> global, const core::SecureConfig& sc,
-                             std::size_t num_clients) {
-  SparseUpdatePlan plan;
-  plan.n = global.size();
-  plan.k = core::update_encrypted_count(plan.n, sc.update_he_rate);
-  plan.mask = core::topk_mask_indices(global, plan.k);
-  plan.bitmap = core::make_update_bitmap(plan.mask, plan.n);
-  plan.plain_idx.reserve(plan.n - plan.k);
-  for (std::uint32_t i = 0; i < plan.n; ++i) {
-    if ((plan.bitmap[i / 8] & (1u << (i % 8))) == 0) plan.plain_idx.push_back(i);
-  }
-  plan.codec = he::PackedCodec(sc.key_bits - 1,
-                               core::update_slot_bits(sc.update_quant_bits, num_clients));
-  return plan;
 }
 
 /// Client half: split a quantized update along the plan's mask, encrypt
@@ -290,23 +86,6 @@ std::vector<std::uint8_t> proactive_draws(std::uint64_t session_seed, std::uint6
   std::vector<std::uint8_t> draws(H, 0);
   for (std::size_t h = 0; h < H; ++h) draws[h] = rng.bernoulli(probability) ? 1 : 0;
   return draws;
-}
-
-/// Both execution modes run the §5.3.1 determination through the single
-/// authoritative core::multi_time_select loop (only the selection and
-/// aggregation steps differ); this just copies its outcome into the record.
-void fill_from_outcome(RoundRecord& r, core::MultiTimeOutcome&& mt) {
-  r.try_emds = std::move(mt.try_emds);
-  r.best_try = mt.best_try;
-  r.selected = std::move(mt.selected);
-  r.population = std::move(mt.population);
-  r.emd_star = mt.emd_star;
-}
-
-void check_session_params(const SessionParams& params, std::size_t N) {
-  if (params.K == 0) throw std::invalid_argument("session: K == 0");
-  if (params.K > N) throw std::invalid_argument("session: K > N");
-  if (params.rounds == 0) throw std::invalid_argument("session: rounds == 0");
 }
 
 /// Server half of one tentative try: transpose the clients' per-round draw

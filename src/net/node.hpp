@@ -50,23 +50,9 @@ struct SessionParams {
   SessionTimeouts timeouts;  // server-side per-phase receive deadlines
 };
 
-/// One quarantined client: who, when (round + phase), and why. A
-/// misbehaving client costs the cohort one participant, never the round —
-/// the server records the drop here and proceeds with the survivors.
-struct QuarantineRecord {
-  /// client_id when the failure happened before the hello bound an id.
-  static constexpr std::uint64_t kUnknownClient = ~std::uint64_t{0};
-  /// round for failures outside the round loop (hello, registration,
-  /// shutdown drain).
-  static constexpr std::uint64_t kSetupRound = ~std::uint64_t{0};
-
-  std::uint64_t client_id = kUnknownClient;
-  std::uint64_t round = kSetupRound;
-  SessionPhase phase = SessionPhase::kHello;
-  QuarantineReason reason = QuarantineReason::kDisconnect;
-
-  bool operator==(const QuarantineRecord&) const = default;
-};
+/// QuarantineRecord lives in net/wire.hpp since wire v5 (the shard plane
+/// ships the records up the aggregation tree), re-exported here via the
+/// transport include.
 
 /// One global round of a session, with every field deterministic given
 /// (dataset, prototype, SessionParams). Equality and the formatted

@@ -222,7 +222,7 @@ bool is_valid(MsgType type) {
   const auto v = static_cast<std::uint8_t>(type);
   constexpr auto kRetiredRegistrationInfo = std::uint8_t{5};
   return v >= static_cast<std::uint8_t>(MsgType::kClientHello) &&
-         v <= static_cast<std::uint8_t>(MsgType::kModelUpdateSparse) &&
+         v <= static_cast<std::uint8_t>(MsgType::kPartialUpdate) &&
          v != kRetiredRegistrationInfo;
 }
 
@@ -242,6 +242,14 @@ std::string to_string(MsgType type) {
     case MsgType::kRoundBegin: return "round_begin";
     case MsgType::kParticipation: return "participation";
     case MsgType::kModelUpdateSparse: return "model_update_sparse";
+    case MsgType::kShardHello: return "shard_hello";
+    case MsgType::kShardRoundBegin: return "shard_round_begin";
+    case MsgType::kPartialRegistry: return "partial_registry";
+    case MsgType::kPartialParticipation: return "partial_participation";
+    case MsgType::kShardTryBegin: return "shard_try_begin";
+    case MsgType::kPartialPopulation: return "partial_population";
+    case MsgType::kShardUpdateBegin: return "shard_update_begin";
+    case MsgType::kPartialUpdate: return "partial_update";
   }
   return "msg_type(" + std::to_string(static_cast<int>(type)) + ")";
 }

@@ -40,7 +40,15 @@ inline constexpr std::array<std::uint8_t, 4> kMagic{'D', 'U', 'B', 'H'};
 /// sequence is not the expected successor (kReplayed), so a replayed
 /// kParticipation or model-update frame is a typed quarantine, never a
 /// silent duplicate merge. A version-3 peer is refused at the first frame.
-inline constexpr std::uint8_t kWireVersion = 4;
+/// Version 5: the shard plane appended (kShardHello .. kPartialUpdate) —
+/// the root <-> shard-aggregator messages of the 2-level aggregation tree.
+/// A shard owns a disjoint slice of the cohort, runs the unchanged
+/// per-client protocol against it, and ships homomorphic partial sums (and
+/// quarantine records) up to the root, which finishes the Eq. 6 reductions.
+/// The client-facing messages are untouched, so a client cannot tell a
+/// shard from a flat aggregator. A version-4 peer is refused at the first
+/// frame.
+inline constexpr std::uint8_t kWireVersion = 5;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Decoder-side ceiling on a single frame's payload. Frames whose length
 /// prefix exceeds this are rejected before any allocation, so a corrupted
@@ -68,6 +76,18 @@ enum class MsgType : std::uint8_t {
   kRoundBegin = 13,          // S->C: a global round starts (carries its index)
   kParticipation = 14,       // C->S: the client's own per-try Bernoulli draws
   kModelUpdateSparse = 15,   // C->S: quantized update, top-k coords encrypted
+  // --- the shard plane (wire v5): root (R) <-> shard aggregator (A). A
+  // shard speaks the client-facing types above to its slice of the cohort
+  // and these to the root. Partials carry the shard's quarantine records
+  // since its previous report, so churn is visible in the root transcript.
+  kShardHello = 16,           // A->R: shard id + owned client range
+  kShardRoundBegin = 17,      // R->A: begin round r over the shard's cohort
+  kPartialRegistry = 18,      // A->R: homomorphic partial sum of registry uploads
+  kPartialParticipation = 19, // A->R: surviving clients' validated draws
+  kShardTryBegin = 20,        // R->A: one tentative try: h + selected members
+  kPartialPopulation = 21,    // A->R: partial population sum for one try
+  kShardUpdateBegin = 22,     // R->A: update phase: recipients + global weights
+  kPartialUpdate = 23,        // A->R: forwarded updates / partial update sums
 };
 
 [[nodiscard]] bool is_valid(MsgType type);
@@ -153,6 +173,27 @@ enum class SessionPhase : std::uint8_t {
 
 [[nodiscard]] std::string to_string(QuarantineReason reason);
 [[nodiscard]] std::string to_string(SessionPhase phase);
+
+/// One quarantined client: who, when (round + phase), and why. A
+/// misbehaving client costs the cohort one participant, never the round —
+/// the session driver records the drop here and proceeds with the
+/// survivors. Lives in the wire header (not node.hpp) because the shard
+/// plane's partial messages carry these records up the aggregation tree
+/// verbatim.
+struct QuarantineRecord {
+  /// client_id when the failure happened before the hello bound an id.
+  static constexpr std::uint64_t kUnknownClient = ~std::uint64_t{0};
+  /// round for failures outside the round loop (hello, registration,
+  /// shutdown drain).
+  static constexpr std::uint64_t kSetupRound = ~std::uint64_t{0};
+
+  std::uint64_t client_id = kUnknownClient;
+  std::uint64_t round = kSetupRound;
+  SessionPhase phase = SessionPhase::kHello;
+  QuarantineReason reason = QuarantineReason::kDisconnect;
+
+  bool operator==(const QuarantineRecord&) const = default;
+};
 
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), the integrity check
 /// carried by every frame. Dispatches at runtime through core::cpu: on

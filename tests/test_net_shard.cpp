@@ -1,0 +1,382 @@
+// The aggregation tree's acceptance contract: a 2-level session (root +
+// A shard aggregators + N clients) produces a transcript byte-identical to
+// the flat single-aggregator session on the same seeds — the tree only
+// re-parenthesizes the homomorphic reductions, so shard count must never
+// move a transcript byte. That holds over loopback and real TCP sockets,
+// with selective update encryption on, and under a seeded fault plan whose
+// quarantine records must ride up the tree intact. Plus the shard-plane
+// codec under friendly and hostile bytes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/registry.hpp"
+
+#include "net/codec.hpp"
+#include "net/fault.hpp"
+#include "net/node.hpp"
+#include "net/shard.hpp"
+#include "net/wire.hpp"
+#include "nn/builders.hpp"
+
+namespace dubhe {
+namespace {
+
+using net::Frame;
+using net::MsgType;
+using net::QuarantineRecord;
+using net::QuarantineReason;
+using net::SessionPhase;
+using net::ShardRange;
+using net::WireErrc;
+using net::WireError;
+
+data::FederatedDataset make_dataset(std::size_t num_clients) {
+  data::PartitionConfig pc;
+  pc.num_classes = 10;
+  pc.num_clients = num_clients;
+  pc.samples_per_client = 48;
+  pc.rho = 8;
+  pc.emd_avg = 1.4;
+  pc.seed = 21;
+  return {data::mnist_like(), pc};
+}
+
+net::SessionParams make_params(std::size_t K, std::size_t rounds = 1) {
+  net::SessionParams p;
+  p.secure.key_bits = 128;  // tree vs flat equality is key-size independent
+  p.K = K;
+  p.H = 3;
+  p.rounds = rounds;
+  p.train = {.batch_size = 8, .epochs = 1, .lr = 1e-3, .use_adam = true};
+  return p;
+}
+
+void expect_same_transcript(const net::SessionTranscript& a,
+                            const net::SessionTranscript& b) {
+  EXPECT_EQ(a.overall_registry, b.overall_registry);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_EQ(a.rounds[r].selected, b.rounds[r].selected) << "round " << r;
+    ASSERT_EQ(a.rounds[r].global_weights.size(), b.rounds[r].global_weights.size());
+    EXPECT_EQ(std::memcmp(a.rounds[r].global_weights.data(),
+                          b.rounds[r].global_weights.data(),
+                          a.rounds[r].global_weights.size() * sizeof(float)),
+              0)
+        << "round " << r;
+  }
+  // The formatted transcript covers EMDs, populations, accuracy, dropped
+  // sets and quarantine records — the full byte-equality bar.
+  EXPECT_EQ(net::format_transcript(a), net::format_transcript(b));
+}
+
+TEST(ShardRangeSplit, PartitionsEveryCohort) {
+  for (std::size_t total : {0u, 1u, 5u, 8u, 17u}) {
+    for (std::size_t A : {1u, 2u, 3u, 4u, 7u}) {
+      std::size_t covered = 0;
+      for (std::size_t s = 0; s < A; ++s) {
+        const ShardRange r = net::shard_range(total, A, s);
+        EXPECT_EQ(r.first, covered) << total << "/" << A << "/" << s;
+        covered += r.count;
+        // Balanced: sizes differ by at most one, larger slices first.
+        EXPECT_GE(r.count, total / A);
+        EXPECT_LE(r.count, total / A + 1);
+      }
+      EXPECT_EQ(covered, total) << total << "/" << A;
+    }
+  }
+  EXPECT_THROW((void)net::shard_range(8, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)net::shard_range(8, 2, 2), std::invalid_argument);
+}
+
+TEST(ShardTree, LoopbackTreeMatchesFlatForEveryShardCount) {
+  // The tentpole: same seeds, same dataset — the flat driver and the tree
+  // at A in {1, 2, 3} must agree to the byte. A == 1 pins the degenerate
+  // tree (one shard owning everything) against the flat path too.
+  const auto dataset = make_dataset(8);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  const auto params = make_params(3, 2);
+
+  const auto flat = net::run_loopback_session(dataset, proto, params);
+  for (const std::size_t A : {1u, 2u, 3u}) {
+    const auto tree = net::run_tree_session(dataset, proto, params, A);
+    expect_same_transcript(flat, tree);
+  }
+}
+
+TEST(ShardTree, TcpTreeMatchesFlatTcp) {
+  // Real sockets on both tiers: shard servers accept their slices, the root
+  // accepts the shards, accept order is arbitrary on every tier — and the
+  // transcript still cannot move.
+  const auto dataset = make_dataset(6);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  auto params = make_params(2, 2);
+  params.evaluate = false;
+
+  const auto flat = net::run_tcp_session(dataset, proto, params, 1);
+  const auto tree = net::run_tree_tcp_session(dataset, proto, params, 2, 2);
+  expect_same_transcript(flat, tree);
+}
+
+TEST(ShardTree, SelectiveEncryptionPartialSumsAreExact)  {
+  // he_rate > 0 is the genuine partial-aggregation mode: shards sum u64
+  // plaintext coordinates and multiply packed ciphertexts locally, the root
+  // only merges A partials. Both algebraic structures are associative, so
+  // the re-parenthesized sums must be bit-identical to the flat driver's.
+  const auto dataset = make_dataset(6);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  auto params = make_params(3, 2);
+  params.secure.update_he_rate = 0.5;
+
+  const auto flat = net::run_loopback_session(dataset, proto, params);
+  const auto tree = net::run_tree_session(dataset, proto, params, 3);
+  expect_same_transcript(flat, tree);
+}
+
+TEST(ShardTree, ShardSideFaultReachesRootTranscriptIntact) {
+  // A client disconnecting mid-round inside shard 1 must surface in the
+  // root transcript as exactly the record the flat driver would produce:
+  // same global client id, round, phase, reason — quarantines ride the
+  // partial messages up the tree unmodified.
+  const std::size_t N = 6;
+  const auto dataset = make_dataset(N);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  auto params = make_params(2, 2);
+  params.evaluate = false;
+  std::vector<net::FaultPlan> plans(N);
+  plans[4] = net::parse_fault_plan("disconnect@participation:1");
+
+  const auto flat = net::run_loopback_session(dataset, proto, params, plans);
+  const auto tree = net::run_tree_session(dataset, proto, params, 2, plans);
+  expect_same_transcript(flat, tree);
+  ASSERT_EQ(tree.quarantined.size(), 1u);
+  EXPECT_EQ(tree.quarantined[0].client_id, 4u);  // global id, owned by shard 1
+  EXPECT_EQ(tree.quarantined[0].round, 1u);
+  EXPECT_EQ(tree.quarantined[0].phase, SessionPhase::kParticipation);
+  EXPECT_EQ(tree.quarantined[0].reason, QuarantineReason::kDisconnect);
+
+  // Same plan over TCP: timing changes, the transcript must not.
+  const auto tree_tcp = net::run_tree_tcp_session(dataset, proto, params, 2, plans);
+  expect_same_transcript(flat, tree_tcp);
+}
+
+// --- shard-plane codec: round trips. ---------------------------------------
+
+std::vector<QuarantineRecord> sample_quarantines() {
+  return {{net::QuarantineRecord::kUnknownClient, net::QuarantineRecord::kSetupRound,
+           SessionPhase::kHello, QuarantineReason::kTimeout},
+          {7, 2, SessionPhase::kUpdate, QuarantineReason::kBadCiphertext}};
+}
+
+TEST(ShardCodec, RoundTripsEveryMessage) {
+  const net::ShardHello hello{1, 4, 25, 25, 100, net::kWireVersion};
+  EXPECT_EQ(net::parse_shard_hello(net::make_shard_hello(hello)), hello);
+
+  const net::ShardRoundBegin rb{42};
+  EXPECT_EQ(net::parse_shard_round_begin(net::make_shard_round_begin(rb)), rb);
+
+  net::PartialRegistry pr;
+  pr.shard_id = 2;
+  pr.contributors = 3;
+  pr.quarantined = sample_quarantines();
+  pr.ciphertext = {'V', 1, 2, 3};
+  EXPECT_EQ(net::parse_partial_registry(net::make_partial_registry(pr)), pr);
+  pr.contributors = 0;
+  pr.ciphertext.clear();
+  EXPECT_EQ(net::parse_partial_registry(net::make_partial_registry(pr)), pr);
+
+  net::PartialParticipation pp;
+  pp.shard_id = 1;
+  pp.round = 3;
+  pp.quarantined = sample_quarantines();
+  pp.entries = {{5, 3, {1, 0, 1}}, {6, 3, {0, 0, 0}}};
+  EXPECT_EQ(net::parse_partial_participation(net::make_partial_participation(pp)), pp);
+
+  const net::ShardTryBegin tb{3, 2, {5, 9, 6}};  // selection order, not sorted
+  EXPECT_EQ(net::parse_shard_try_begin(net::make_shard_try_begin(tb)), tb);
+
+  net::PartialPopulation pop;
+  pop.shard_id = 0;
+  pop.round = 3;
+  pop.try_index = 2;
+  pop.contributors = 2;
+  pop.failed = true;
+  pop.quarantined = sample_quarantines();
+  pop.ciphertext = {'K', 9};
+  EXPECT_EQ(net::parse_partial_population(net::make_partial_population(pop)), pop);
+
+  const net::ShardUpdateBegin ub{3, {5, 9}, {1.5f, -2.25f, 0.0f}};
+  EXPECT_EQ(net::parse_shard_update_begin(net::make_shard_update_begin(ub)), ub);
+
+  net::PartialUpdate pu0;
+  pu0.shard_id = 1;
+  pu0.round = 3;
+  pu0.mode = 0;
+  pu0.quarantined = sample_quarantines();
+  pu0.updates = {{9, {0.5f, 1.25f}}, {5, {-3.0f, 0.0f}}};  // recipient order
+  EXPECT_EQ(net::parse_partial_update(net::make_partial_update(pu0)), pu0);
+
+  net::PartialUpdate pu1;
+  pu1.shard_id = 1;
+  pu1.round = 3;
+  pu1.mode = 1;
+  pu1.contributors = 2;
+  pu1.plain_sums = {10, 0, 77};
+  pu1.ciphertext = {'K', 1};
+  EXPECT_EQ(net::parse_partial_update(net::make_partial_update(pu1)), pu1);
+}
+
+// --- shard-plane codec: hostile bytes must fail typed, never UB. -----------
+
+WireErrc code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const WireError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a WireError";
+  return WireErrc::kBadPayload;
+}
+
+TEST(ShardCodec, RejectsMalformedShardHello) {
+  // shard_id must be < num_shards; the announced slice must fit the cohort.
+  EXPECT_EQ(code_of([] {
+              (void)net::parse_shard_hello(
+                  net::make_shard_hello({3, 2, 0, 4, 8, net::kWireVersion}));
+            }),
+            WireErrc::kBadPayload);
+  EXPECT_EQ(code_of([] {
+              (void)net::parse_shard_hello(
+                  net::make_shard_hello({0, 2, 6, 4, 8, net::kWireVersion}));
+            }),
+            WireErrc::kBadPayload);
+  // Truncation is typed too.
+  Frame f = net::make_shard_hello({0, 2, 0, 4, 8, net::kWireVersion});
+  f.payload.pop_back();
+  EXPECT_EQ(code_of([&] { (void)net::parse_shard_hello(f); }), WireErrc::kBadPayload);
+}
+
+TEST(ShardCodec, RejectsInconsistentPartials) {
+  // contributors > 0 requires a ciphertext; contributors == 0 forbids one.
+  net::PartialRegistry pr;
+  pr.shard_id = 0;
+  pr.contributors = 2;
+  EXPECT_THROW((void)net::make_partial_registry(pr), WireError);
+  pr.contributors = 0;
+  pr.ciphertext = {'V', 1};
+  EXPECT_THROW((void)net::make_partial_registry(pr), WireError);
+
+  // A ciphertext field that is not the self-tagged paillier wire form.
+  pr.contributors = 1;
+  pr.ciphertext = {0x00, 0x01};
+  EXPECT_THROW((void)net::make_partial_registry(pr), WireError);
+
+  // Quarantine records with out-of-range enums are rejected on decode.
+  net::PartialParticipation pp;
+  pp.shard_id = 0;
+  pp.round = 1;
+  pp.quarantined = {{1, 0, SessionPhase::kUpdate, QuarantineReason::kTimeout}};
+  Frame f = net::make_partial_participation(pp);
+  // Locate the reason byte (last byte of the single 18-byte record) and
+  // corrupt it past the enum range.
+  f.payload[f.payload.size() - 5] = 0xEE;  // reason byte of the only record
+  EXPECT_EQ(code_of([&] { (void)net::parse_partial_participation(f); }),
+            WireErrc::kBadPayload);
+
+  // Non-ascending participation entries are a canonical-encoding violation
+  // the decoder rejects (the encoder is a trusted local caller).
+  pp.quarantined.clear();
+  pp.entries = {{6, 1, {1}}, {5, 1, {0}}};
+  EXPECT_EQ(code_of([&] {
+              (void)net::parse_partial_participation(net::make_partial_participation(pp));
+            }),
+            WireErrc::kBadPayload);
+
+  // Mode-0 partial updates must not carry duplicate client ids.
+  net::PartialUpdate pu;
+  pu.shard_id = 0;
+  pu.round = 1;
+  pu.mode = 0;
+  pu.updates = {{5, {1.0f}}, {5, {2.0f}}};
+  EXPECT_EQ(
+      code_of([&] { (void)net::parse_partial_update(net::make_partial_update(pu)); }),
+      WireErrc::kBadPayload);
+
+  // A drain report (round == kSetupRound) must not carry entries.
+  net::PartialParticipation drain;
+  drain.shard_id = 0;
+  drain.round = net::QuarantineRecord::kSetupRound;
+  drain.entries = {{1, 0, {1}}};
+  EXPECT_EQ(code_of([&] {
+              (void)net::parse_partial_participation(net::make_partial_participation(drain));
+            }),
+            WireErrc::kBadPayload);
+}
+
+TEST(ShardTree, RootRejectsWrongShapePartialSum) {
+  // run_root_session validates every shard partial like a client upload:
+  // a ciphertext under a foreign key or with the wrong slot count is a
+  // fatal TransportError (shards are infrastructure, not churn). Simulate a
+  // buggy shard by speaking just enough of the protocol by hand.
+  const auto dataset = make_dataset(4);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  auto params = make_params(2, 1);
+  params.evaluate = false;
+
+  auto [root_side, shard_side] = net::LoopbackTransport::make_pair();
+  std::vector<std::shared_ptr<net::Transport>> links{root_side};
+  std::thread rogue([&, shard = shard_side] {
+    try {
+      std::uint16_t seq = 0;
+      auto send = [&](Frame f) {
+        f.seq = seq++;
+        shard->send(f);
+      };
+      send(net::make_shard_hello({0, 1, 0, 4, 4, net::kWireVersion}));
+      (void)shard->receive();  // kServerHello
+      (void)shard->receive();  // kKeyMaterial
+      // A partial registry whose ciphertext is under a *fresh* key: parses
+      // fine, fails the session-key check at the root.
+      bigint::Xoshiro256ss rng(123);
+      const he::Keypair foreign = he::Keypair::generate(rng, params.secure.key_bits);
+      const core::RegistryCodec reg_codec(params.num_classes, params.reference_set);
+      const std::vector<std::uint64_t> vals(reg_codec.length(), 1);
+      const he::PackedCodec codec(params.secure.key_bits - 1,
+                                  params.secure.packing_slot_bits);
+      const auto enc =
+          he::PackedEncryptedVector::encrypt(foreign.pub, codec, vals, rng);
+      net::PartialRegistry pr;
+      pr.shard_id = 0;
+      pr.contributors = 4;
+      pr.ciphertext = net::make_encrypted_vector(MsgType::kRegistryUpload, enc).payload;
+      send(net::make_partial_registry(pr));
+      while (shard->receive()) {
+      }
+    } catch (...) {
+      shard->close();
+    }
+  });
+  EXPECT_THROW(
+      { (void)net::run_root_session(links, dataset, proto, params); },
+      net::TransportError);
+  root_side->close();
+  rogue.join();
+}
+
+TEST(ShardTree, RejectsInvalidTopologies) {
+  const auto dataset = make_dataset(4);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  const auto params = make_params(2, 1);
+  EXPECT_THROW((void)net::run_tree_session(dataset, proto, params, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)net::run_tree_session(dataset, proto, params, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dubhe

@@ -5,7 +5,8 @@
 # with DUBHE_SIMD=OFF so the portable scalar GEMM / rolled CIOS fallback
 # stays green. The release leg additionally runs the multi-process net
 # smoke (tools/net_smoke.sh: dubhe_node server + 3 client processes over
-# localhost, transcript diffed against the in-process selftest) and a
+# localhost, plus a 1-root + 2-shard + 4-client aggregation-tree leg,
+# every transcript diffed against the in-process selftest) and a
 # DUBHE_CPU=portable pass of the dispatch-sensitive suites (slice-by-8
 # CRC, scalar GEMM, poll(2) backend — the no-capability tier). Data races
 # are a separate tool's job: a final ThreadSanitizer pass builds the

@@ -26,6 +26,7 @@
 #include "core/telemetry.hpp"
 #include "net/fault.hpp"
 #include "net/node.hpp"
+#include "net/shard.hpp"
 #include "net/tcp.hpp"
 #include "nn/builders.hpp"
 
@@ -34,9 +35,12 @@ using namespace dubhe;
 namespace {
 
 struct Options {
-  enum class Mode { kNone, kServer, kClient, kSelftest } mode = Mode::kNone;
+  enum class Mode { kNone, kServer, kClient, kSelftest, kRoot, kShard } mode = Mode::kNone;
   std::size_t clients = 3;
   std::size_t id = 0;
+  std::size_t shards = 2;     // --role root/shard: aggregation-tree width
+  std::size_t shard_id = 0;   // --role shard: which slice this process owns
+  std::string shard_of;       // --role shard: the root's port file
   int port = 45711;
   std::string host = "127.0.0.1";
   std::string port_file;
@@ -61,6 +65,10 @@ const char* kUsage = R"(dubhe_node — run one Dubhe FL participant as a process
   dubhe_node --server   --clients N [--port P] [--port-file F] [--transcript F]
   dubhe_node --client   --id K --clients N [--host H] [--port P | --port-file F]
   dubhe_node --selftest --clients N [--transcript F]
+  dubhe_node --role root  --clients N --shards A [--port P] [--port-file F]
+                          [--transcript F]
+  dubhe_node --role shard --shard-id S --shards A --clients N
+                          --shard-of ROOT_PORT_FILE [--port P] [--port-file F]
 
 Common options (must match across all processes of one session):
   --clients N    cohort size (default 3)
@@ -95,6 +103,16 @@ Server options:
 Client options:
   --id K         this client's index in [0, N)
   --port-file F  wait for F and read the port from it
+Aggregation tree (see docs/architecture.md and src/net/README.md "Wire v5"):
+  --role root|shard  run one tier of the 2-level tree instead of the flat
+                 aggregator. The root listens for A shard aggregators and
+                 finishes every reduction; each shard listens for its slice
+                 of ceil(N/A) clients (clients point --port-file at their
+                 shard), then dials the root. Transcripts are byte-identical
+                 to the flat --server run on the same flags.
+  --shards A     shard-aggregator count (default 2; root and shards must agree)
+  --shard-id S   this shard's index in [0, A)
+  --shard-of F   wait for F and read the *root's* port from it (shard role)
 Telemetry (any mode; see src/net/README.md "Telemetry"):
   --trace-out F  record phase spans and write a Chrome trace_event JSON to F
                  at exit (load via chrome://tracing or https://ui.perfetto.dev).
@@ -120,6 +138,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.mode = Options::Mode::kClient;
     } else if (a == "--selftest") {
       opt.mode = Options::Mode::kSelftest;
+    } else if (a == "--role" && (v = need_value(i))) {
+      const std::string role = v;
+      if (role == "root") {
+        opt.mode = Options::Mode::kRoot;
+      } else if (role == "shard") {
+        opt.mode = Options::Mode::kShard;
+      } else {
+        std::fprintf(stderr, "error: --role must be root or shard\n");
+        return false;
+      }
+    } else if (a == "--shards" && (v = need_value(i))) {
+      opt.shards = std::strtoull(v, nullptr, 10);
+    } else if (a == "--shard-id" && (v = need_value(i))) {
+      opt.shard_id = std::strtoull(v, nullptr, 10);
+    } else if (a == "--shard-of" && (v = need_value(i))) {
+      opt.shard_of = v;
     } else if (a == "--plain") {
       opt.plain = true;
     } else if (a == "--help" || a == "-h") {
@@ -195,6 +229,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
   if (opt.fault_client >= opt.clients) {
     std::fprintf(stderr, "error: --fault-client must be < --clients\n");
     return false;
+  }
+  if (opt.mode == Options::Mode::kRoot || opt.mode == Options::Mode::kShard) {
+    if (opt.shards == 0 || opt.shards > opt.clients) {
+      std::fprintf(stderr, "error: need 0 < shards <= clients\n");
+      return false;
+    }
+  }
+  if (opt.mode == Options::Mode::kShard) {
+    if (opt.shard_id >= opt.shards) {
+      std::fprintf(stderr, "error: --shard-id must be < --shards\n");
+      return false;
+    }
+    if (opt.shard_of.empty()) {
+      std::fprintf(stderr, "error: --role shard needs --shard-of ROOT_PORT_FILE\n");
+      return false;
+    }
   }
   return true;
 }
@@ -336,6 +386,110 @@ int run_client(const Options& opt) {
   return 0;
 }
 
+/// Waits for a port file to appear (another process publishes it atomically)
+/// and reads the port out of it. Returns 0 on timeout.
+int wait_for_port(const std::string& path, std::chrono::steady_clock::time_point deadline) {
+  using Clock = std::chrono::steady_clock;
+  int port = 0;
+  while (Clock::now() < deadline) {
+    std::ifstream in(path);
+    if (in && (in >> port) && port > 0) return port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}
+
+int run_root(const Options& opt) {
+  const auto dataset = make_dataset(opt);
+  const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
+  net::TcpServer server(static_cast<std::uint16_t>(opt.port), opt.workers);
+  std::printf(
+      "dubhe_node root: listening on 127.0.0.1:%u (%s backend), waiting for %zu "
+      "shard aggregator%s over %zu clients\n",
+      server.port(), server.backend_name(), opt.shards, opt.shards == 1 ? "" : "s",
+      opt.clients);
+  if (!opt.port_file.empty() &&
+      !write_file(opt.port_file, std::to_string(server.port()) + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.port_file.c_str());
+    return 1;
+  }
+  if (opt.metrics_port >= 0) {
+    telemetry::set_enabled(true);
+    const std::uint16_t mp =
+        server.serve_metrics(static_cast<std::uint16_t>(opt.metrics_port));
+    std::printf("dubhe_node root: metrics on http://127.0.0.1:%u/metrics\n", mp);
+    if (!opt.metrics_port_file.empty() &&
+        !write_file(opt.metrics_port_file, std::to_string(mp) + "\n")) {
+      std::fprintf(stderr, "error: cannot write %s\n", opt.metrics_port_file.c_str());
+      return 1;
+    }
+  }
+  std::vector<std::shared_ptr<net::Transport>> links;
+  links.reserve(opt.shards);
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    auto link = server.accept();
+    if (link == nullptr) return 1;
+    std::printf("dubhe_node root: shard connected from %s\n", link->peer_name().c_str());
+    links.push_back(std::move(link));
+  }
+  fl::ChannelAccountant channel;
+  const auto t = net::run_root_session(links, dataset, proto, make_params(opt), &channel);
+  const std::string text = net::format_transcript(t);
+  std::fputs(text.c_str(), stdout);
+  std::printf("channel (root<->shards): %llu messages, %llu bytes on the wire\n",
+              static_cast<unsigned long long>(channel.total_messages()),
+              static_cast<unsigned long long>(channel.total_bytes()));
+  if (!opt.transcript_path.empty() && !write_file(opt.transcript_path, text)) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.transcript_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int run_shard(const Options& opt) {
+  const net::ShardRange range = net::shard_range(opt.clients, opt.shards, opt.shard_id);
+  net::TcpServer server(static_cast<std::uint16_t>(opt.port), opt.workers);
+  std::printf(
+      "dubhe_node shard %zu/%zu: listening on 127.0.0.1:%u, waiting for clients "
+      "[%zu, %zu)\n",
+      opt.shard_id, opt.shards, server.port(), range.first, range.first + range.count);
+  if (!opt.port_file.empty() &&
+      !write_file(opt.port_file, std::to_string(server.port()) + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", opt.port_file.c_str());
+    return 1;
+  }
+  std::vector<std::shared_ptr<net::Transport>> links;
+  links.reserve(range.count);
+  for (std::size_t i = 0; i < range.count; ++i) {
+    auto link = server.accept();
+    if (link == nullptr) return 1;
+    std::printf("dubhe_node shard %zu: client connected from %s\n", opt.shard_id,
+                link->peer_name().c_str());
+    links.push_back(std::move(link));
+  }
+  // Clients in hand, dial upward. The root's accept is the rendezvous: it
+  // waits for all A shards, so connect order across shards is irrelevant.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  const int root_port = wait_for_port(opt.shard_of, deadline);
+  if (root_port <= 0) {
+    std::fprintf(stderr, "error: no port appeared in %s\n", opt.shard_of.c_str());
+    return 1;
+  }
+  net::RetryPolicy retry;
+  retry.budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  retry.jitter_seed = 0x9e3779b97f4a7c15ull ^ (0xA000u + opt.shard_id);
+  const std::shared_ptr<net::Transport> uplink =
+      net::connect_with_retry(opt.host, static_cast<std::uint16_t>(root_port), retry);
+  std::printf("dubhe_node shard %zu: uplink to root at %s\n", opt.shard_id,
+              uplink->peer_name().c_str());
+  net::serve_shard(*uplink, links, static_cast<std::uint32_t>(opt.shard_id),
+                   static_cast<std::uint32_t>(opt.shards), opt.clients,
+                   make_params(opt));
+  std::printf("dubhe_node shard %zu: session complete\n", opt.shard_id);
+  return 0;
+}
+
 int run_selftest(const Options& opt) {
   const auto dataset = make_dataset(opt);
   const auto proto = nn::make_mlp(dataset.feature_dim(), 16, 10, 7);
@@ -403,6 +557,8 @@ int main(int argc, char** argv) {
       case Options::Mode::kServer: rc = run_server(opt); break;
       case Options::Mode::kClient: rc = run_client(opt); break;
       case Options::Mode::kSelftest: rc = run_selftest(opt); break;
+      case Options::Mode::kRoot: rc = run_root(opt); break;
+      case Options::Mode::kShard: rc = run_shard(opt); break;
       case Options::Mode::kNone: break;
     }
   } catch (const std::exception& e) {

@@ -211,3 +211,49 @@ PIDS=""
 echo "== transcript check (live metrics on vs telemetry-off selftest) =="
 diff "$TMP/server_metrics.txt" "$TMP/selftest_metrics.txt"
 echo "net smoke OK: /metrics served mid-session, transcript still byte-identical"
+
+# Fifth leg: the aggregation tree as real processes — 1 root + 2 shard
+# aggregators + 4 clients (wire v5, --role root/shard). Each shard owns a
+# contiguous half of the cohort: clients 0,1 dial shard 0; clients 2,3 dial
+# shard 1; the shards dial the root. The tree only re-parenthesizes the
+# homomorphic reductions, so the root's transcript must be byte-identical
+# to the flat in-process --selftest on the same flags.
+echo "== dubhe_node tree smoke (1 root + 2 shards + 4 clients, $ROUNDS rounds) =="
+rm -f "$TMP/port"
+"$NODE" --role root --clients 4 --shards 2 --rounds "$ROUNDS" --port 0 \
+        --port-file "$TMP/root.port" --transcript "$TMP/root.txt" &
+ROOT_PID=$!
+PIDS="$ROOT_PID"
+
+SHARD_PIDS=""
+for s in 0 1; do
+  "$NODE" --role shard --shard-id "$s" --shards 2 --clients 4 --rounds "$ROUNDS" \
+          --port 0 --port-file "$TMP/shard$s.port" --shard-of "$TMP/root.port" &
+  SHARD_PIDS="$SHARD_PIDS $!"
+  PIDS="$PIDS $!"
+done
+
+CLIENT_PIDS=""
+for i in 0 1 2 3; do
+  s=$((i / 2))  # shard_range(4, 2, s): shard 0 owns {0,1}, shard 1 owns {2,3}
+  "$NODE" --client --id "$i" --clients 4 --rounds "$ROUNDS" \
+          --port-file "$TMP/shard$s.port" &
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+  PIDS="$PIDS $!"
+done
+
+for pid in $CLIENT_PIDS; do
+  wait "$pid" || { echo "error: a client process failed (tree leg)" >&2; exit 1; }
+done
+for pid in $SHARD_PIDS; do
+  wait "$pid" || { echo "error: a shard aggregator failed (tree leg)" >&2; exit 1; }
+done
+wait "$ROOT_PID" || { echo "error: the root aggregator failed (tree leg)" >&2; exit 1; }
+PIDS=""
+
+"$NODE" --selftest --clients 4 --rounds "$ROUNDS" --transcript "$TMP/selftest_tree.txt" \
+        > /dev/null
+
+echo "== transcript check (2-level tree vs flat in-process) =="
+diff "$TMP/root.txt" "$TMP/selftest_tree.txt"
+echo "net smoke OK: tree and flat transcripts are byte-identical"
